@@ -1,0 +1,156 @@
+(* Benchmark and reproduction harness: regenerates every table and figure
+   of the paper's evaluation over the synthetic corpus, then runs Bechamel
+   micro-benchmarks of the analysis kernels (one per table).
+
+   Usage:
+     main.exe                 run everything on the full 1,432-binary corpus
+     main.exe --scale 0.1     shrink the corpus (fraction of programs)
+     main.exe table1|table2|fig5|errors|table3|table4|ablation|pe|micro *)
+
+let scale = ref 1.0
+let sections = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | s :: rest ->
+        sections := s :: !sections;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let want s = !sections = [] || List.mem s !sections
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+let time name f =
+  let t0 = Sys.time () in
+  let r = f () in
+  Printf.printf "[%s finished in %.1fs]\n%!" name (Sys.time () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per paper table.           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let profile = Fetch_synth.Profile.make Fetch_synth.Profile.Synthgcc Fetch_synth.Profile.O2 in
+  let built =
+    Fetch_synth.Link.build_random ~profile ~seed:4242
+      { Fetch_synth.Gen.default_spec with n_funcs = 80 }
+  in
+  let stripped = Fetch_elf.Image.strip built.image in
+  let loaded = Fetch_analysis.Loaded.load stripped in
+  let tests =
+    [
+      (* Table I/II kernel: eh_frame parsing *)
+      Test.make ~name:"table1_2/eh_frame_decode"
+        (Staged.stage (fun () ->
+             ignore (Fetch_dwarf.Eh_frame.of_image built.image)));
+      (* Q1/Fig5 kernel: safe recursive disassembly *)
+      Test.make ~name:"fig5/safe_recursive_disassembly"
+        (Staged.stage (fun () ->
+             ignore
+               (Fetch_analysis.Recursive.run loaded
+                  ~seeds:loaded.Fetch_analysis.Loaded.fde_starts)));
+      (* SIV-E / Table III kernel: full FETCH pipeline *)
+      Test.make ~name:"table3/fetch_pipeline"
+        (Staged.stage (fun () ->
+             ignore (Fetch_core.Pipeline.run_loaded loaded)));
+      (* Table IV kernel: static stack-height analysis *)
+      Test.make ~name:"table4/stack_height_analysis"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun s ->
+                 ignore
+                   (Fetch_analysis.Stack_height.analyze loaded
+                      ~style:Fetch_analysis.Stack_height.dyninst_style s))
+               loaded.Fetch_analysis.Loaded.fde_starts));
+      (* SV-A kernel: ROP gadget scan *)
+      Test.make ~name:"errors/rop_scan"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (lo, hi) ->
+                 ignore
+                   (Fetch_rop.Gadget.in_range loaded ~depth:3 ~lo
+                      ~hi:(min hi (lo + 512))))
+               (Fetch_analysis.Loaded.text_ranges loaded)));
+      (* Table V kernel: synthetic compiler end-to-end *)
+      Test.make ~name:"table5/synth_build"
+        (Staged.stage (fun () ->
+             ignore
+               (Fetch_synth.Link.build_random ~profile ~seed:99
+                  { Fetch_synth.Gen.default_spec with n_funcs = 40 })));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  banner "Bechamel micro-benchmarks (one kernel per paper table)";
+  List.iter
+    (fun t ->
+      let results = benchmark t in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "FETCH reproduction harness (scale %.2f: %d self-built binaries)\n"
+    !scale
+    (Fetch_eval.Corpus.count_selfbuilt ~scale:!scale ());
+  if want "table1" then begin
+    banner "Table I — wild binaries";
+    print_string (time "table1" (fun () -> Fetch_eval.Exp_dataset.table1 ()))
+  end;
+  if want "table2" || want "q1" then begin
+    banner "Table II + Q1 — self-built corpus, FDE coverage";
+    print_string
+      (time "table2+q1" (fun () -> Fetch_eval.Exp_dataset.table2_q1 ~scale:!scale ()))
+  end;
+  if want "fig5" || want "q2" || want "q3" then begin
+    banner "Figure 5 + Q2 + Q3 — strategy stacks";
+    let results = time "fig5" (fun () -> Fetch_eval.Exp_strategies.run ~scale:!scale ()) in
+    print_string (Fetch_eval.Exp_strategies.render results)
+  end;
+  if want "errors" || want "xref" || want "alg1" || want "rop" then begin
+    banner "SIV-E + SV-A + SV-C — pointer detection, FDE errors, Algorithm 1";
+    let t = time "errors" (fun () -> Fetch_eval.Exp_errors.run ~scale:!scale ()) in
+    print_string (Fetch_eval.Exp_errors.render t)
+  end;
+  if want "table3" || want "table5" then begin
+    banner "Table III + Table V — tool comparison and timing";
+    let cells = time "table3+5" (fun () -> Fetch_eval.Exp_tools.run ~scale:!scale ()) in
+    print_string (Fetch_eval.Exp_tools.render cells)
+  end;
+  if want "table4" then begin
+    banner "Table IV — stack-height analyses vs CFI";
+    let table = time "table4" (fun () -> Fetch_eval.Exp_heights.run ~scale:!scale ()) in
+    print_string (Fetch_eval.Exp_heights.render table)
+  end;
+  if want "ablation" then begin
+    banner "Ablation — Algorithm 1 height sources (SV-B design choice)";
+    let cells = time "ablation" (fun () -> Fetch_eval.Exp_ablation.run ~scale:!scale ()) in
+    print_string (Fetch_eval.Exp_ablation.render cells)
+  end;
+  if want "pe" then begin
+    banner "SVII-B — generality: x64 PE exception directory coverage";
+    let t = time "pe" (fun () -> Fetch_eval.Exp_pe.run ~scale:!scale ()) in
+    print_string (Fetch_eval.Exp_pe.render t)
+  end;
+  if want "micro" then micro ()

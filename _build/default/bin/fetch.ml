@@ -1,0 +1,308 @@
+(* The `fetch` command-line tool.
+
+   Subcommands:
+     generate   build a synthetic ELF binary (plus ground-truth manifest)
+     analyze    run FETCH on an ELF binary and print detected starts
+     disasm     linear disassembly of a binary's text section
+     compare    run every tool model on a binary and score against truth
+     unwind     show FDE records and CFI stack-height tables
+     handlers   list LSDA call sites and landing pads *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let load_image path =
+  match Fetch_elf.Decode.decode (read_file path) with
+  | Ok img -> img
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      exit 1
+
+(* ---- generate ---- *)
+
+let generate seed n_funcs compiler opt cxx keep_symbols out truth_out =
+  let compiler =
+    match compiler with
+    | "gcc" -> Fetch_synth.Profile.Synthgcc
+    | "llvm" -> Fetch_synth.Profile.Synthllvm
+    | other ->
+        Printf.eprintf "unknown compiler %s (use gcc or llvm)\n" other;
+        exit 1
+  in
+  let opt =
+    match opt with
+    | "O2" -> Fetch_synth.Profile.O2
+    | "O3" -> Fetch_synth.Profile.O3
+    | "Os" -> Fetch_synth.Profile.Os
+    | "Ofast" | "Of" -> Fetch_synth.Profile.Ofast
+    | other ->
+        Printf.eprintf "unknown optimization level %s\n" other;
+        exit 1
+  in
+  let profile = Fetch_synth.Profile.make compiler opt in
+  let spec =
+    {
+      Fetch_synth.Gen.default_spec with
+      n_funcs;
+      cxx;
+      strip = not keep_symbols;
+      n_asm_called = 1;
+      n_asm_tailonly = 1;
+      n_asm_pointer = 1;
+    }
+  in
+  let built = Fetch_synth.Link.build_random ~profile ~seed spec in
+  write_file out built.raw;
+  Printf.printf "wrote %s (%d bytes, %d functions, entry %#x)\n" out
+    (String.length built.raw)
+    (List.length built.truth.fns)
+    built.image.entry;
+  match truth_out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun (f : Fetch_synth.Truth.fn_truth) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%#x %d %s%s%s\n" f.start f.size f.name
+               (if f.is_assembly then " [asm]" else "")
+               (if not f.has_fde then " [no-fde]" else "")))
+        built.truth.fns;
+      write_file path (Buffer.contents buf);
+      Printf.printf "wrote ground truth to %s\n" path
+
+(* ---- analyze ---- *)
+
+let analyze path verbose =
+  let img = load_image path in
+  let r = Fetch_core.Pipeline.run img in
+  Printf.printf "%d function starts detected:\n" (List.length r.starts);
+  List.iter (fun s -> Printf.printf "  %#x\n" s) r.starts;
+  if verbose then begin
+    (match r.tailcall with
+    | Some o ->
+        Printf.printf "\ntail calls detected: %d\n" (List.length o.tail_calls);
+        List.iter
+          (fun (site, t) -> Printf.printf "  jmp at %#x -> %#x\n" site t)
+          o.tail_calls;
+        Printf.printf "non-contiguous parts merged: %d\n" (List.length o.merges);
+        List.iter
+          (fun (part, parent) -> Printf.printf "  %#x merged into %#x\n" part parent)
+          o.merges
+    | None -> ());
+    if r.invalid_fde_starts <> [] then begin
+      Printf.printf "FDE starts rejected by calling-convention check:\n";
+      List.iter (fun s -> Printf.printf "  %#x\n" s) r.invalid_fde_starts
+    end
+  end
+
+(* ---- disasm ---- *)
+
+let disasm path =
+  let img = load_image path in
+  let loaded = Fetch_analysis.Loaded.load img in
+  List.iter
+    (fun (lo, hi) ->
+      let insns, junk = Fetch_analysis.Linear_sweep.decode_range loaded ~lo ~hi in
+      List.iter
+        (fun (addr, _, insn) ->
+          Printf.printf "%#x: %s\n" addr (Fetch_x86.Insn.to_string insn))
+        insns;
+      if junk <> [] then
+        Printf.printf "(%d undecodable bytes skipped)\n" (List.length junk))
+    (Fetch_analysis.Loaded.text_ranges loaded)
+
+(* ---- compare ---- *)
+
+let compare_tools path truth_path =
+  let img = load_image path in
+  let loaded = Fetch_analysis.Loaded.load img in
+  let truth_starts =
+    match truth_path with
+    | Some p ->
+        read_file p |> String.split_on_char '\n'
+        |> List.filter_map (fun line ->
+               match String.split_on_char ' ' (String.trim line) with
+               | addr :: _ when addr <> "" -> int_of_string_opt addr
+               | _ -> None)
+    | None -> []
+  in
+  List.iter
+    (fun (tool : Fetch_baselines.Tools.t) ->
+      let t0 = Sys.time () in
+      let detected = tool.detect loaded in
+      let dt = Sys.time () -. t0 in
+      if truth_starts = [] then
+        Printf.printf "%-14s %5d starts  (%.1f ms)\n" tool.name
+          (List.length detected) (1000.0 *. dt)
+      else begin
+        let fp =
+          List.length (List.filter (fun d -> not (List.mem d truth_starts)) detected)
+        in
+        let fn =
+          List.length (List.filter (fun t -> not (List.mem t detected)) truth_starts)
+        in
+        Printf.printf "%-14s %5d starts, FP %4d, FN %4d  (%.1f ms)\n" tool.name
+          (List.length detected) fp fn (1000.0 *. dt)
+      end)
+    Fetch_baselines.Tools.all
+
+(* ---- unwind ---- *)
+
+let unwind path =
+  let img = load_image path in
+  match Fetch_dwarf.Eh_frame.of_image img with
+  | Error e ->
+      Printf.eprintf "eh_frame: %s\n" e;
+      exit 1
+  | Ok cies ->
+      List.iteri
+        (fun i (cie : Fetch_dwarf.Eh_frame.cie) ->
+          Printf.printf "CIE %d: code_align=%d data_align=%d ra=r%d\n" i
+            cie.code_align cie.data_align cie.ra_reg;
+          List.iter
+            (fun (fde : Fetch_dwarf.Eh_frame.fde) ->
+              Printf.printf "  FDE pc=[%#x, %#x) len=%d\n" fde.pc_begin
+                (fde.pc_begin + fde.pc_range) fde.pc_range;
+              match Fetch_dwarf.Cfa_table.rows ~cie fde with
+              | rows ->
+                  List.iter
+                    (fun (r : Fetch_dwarf.Cfa_table.row) ->
+                      let cfa =
+                        match r.cfa with
+                        | Fetch_dwarf.Cfa_table.Cfa_reg_offset (reg, o) ->
+                            Printf.sprintf "r%d+%d" reg o
+                        | Fetch_dwarf.Cfa_table.Cfa_expr -> "<expr>"
+                      in
+                      Printf.printf "    +%-4d CFA=%s%s\n" r.loc cfa
+                        (match
+                           Fetch_dwarf.Cfa_table.height_at rows r.loc
+                         with
+                        | Some h -> Printf.sprintf "  height=%d" h
+                        | None -> ""))
+                    rows
+              | exception Fetch_dwarf.Cfa_table.Unsupported m ->
+                  Printf.printf "    (unsupported CFI: %s)\n" m)
+            cie.fdes)
+        cies
+
+(* ---- handlers ---- *)
+
+let handlers path =
+  let img = load_image path in
+  match Fetch_dwarf.Eh_frame.of_image img with
+  | Error e ->
+      Printf.eprintf "eh_frame: %s\n" e;
+      exit 1
+  | Ok cies ->
+      let except = Fetch_elf.Image.section img ".gcc_except_table" in
+      let lsda_of addr =
+        match except with
+        | Some s when addr >= s.addr && addr < s.addr + String.length s.data
+          -> (
+            let off = addr - s.addr in
+            match
+              Fetch_dwarf.Lsda.decode
+                (String.sub s.data off (String.length s.data - off))
+            with
+            | Ok l -> Some l
+            | Error _ -> None)
+        | _ -> None
+      in
+      let any = ref false in
+      List.iter
+        (fun (fde : Fetch_dwarf.Eh_frame.fde) ->
+          match fde.lsda with
+          | None -> ()
+          | Some l -> (
+              match lsda_of l with
+              | None -> Printf.printf "FDE %#x: unreadable LSDA at %#x\n" fde.pc_begin l
+              | Some lsda ->
+                  any := true;
+                  Printf.printf "function %#x (LSDA %#x):\n" fde.pc_begin l;
+                  List.iter
+                    (fun (cs : Fetch_dwarf.Lsda.call_site) ->
+                      Printf.printf
+                        "  try [%#x, %#x) -> landing pad %#x (action %d)\n"
+                        (fde.pc_begin + cs.cs_start)
+                        (fde.pc_begin + cs.cs_start + cs.cs_len)
+                        (fde.pc_begin + cs.landing_pad)
+                        cs.action)
+                    lsda.call_sites))
+        (Fetch_dwarf.Eh_frame.all_fdes cies);
+      if not !any then print_endline "(no LSDAs: not a C++-style binary)"
+
+(* ---- cmdliner wiring ---- *)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY")
+
+let generate_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let n = Arg.(value & opt int 60 & info [ "functions" ] ~doc:"Number of functions.") in
+  let compiler =
+    Arg.(value & opt string "gcc" & info [ "compiler" ] ~doc:"gcc or llvm.")
+  in
+  let opt_level =
+    Arg.(value & opt string "O2" & info [ "opt" ] ~doc:"O2, O3, Os or Ofast.")
+  in
+  let cxx = Arg.(value & flag & info [ "cxx" ] ~doc:"C++-style program (throw sites).") in
+  let syms = Arg.(value & flag & info [ "symbols" ] ~doc:"Keep the symbol table.") in
+  let out =
+    Arg.(value & opt string "a.out" & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let truth =
+    Arg.(value & opt (some string) None & info [ "truth" ] ~doc:"Ground-truth output path.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic x86-64 ELF binary with .eh_frame")
+    Term.(const generate $ seed $ n $ compiler $ opt_level $ cxx $ syms $ out $ truth)
+
+let analyze_cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show tail calls and merges.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Detect function starts with FETCH")
+    Term.(const analyze $ path_arg $ verbose)
+
+let disasm_cmd =
+  Cmd.v (Cmd.info "disasm" ~doc:"Linear disassembly of the text section")
+    Term.(const disasm $ path_arg)
+
+let compare_cmd =
+  let truth =
+    Arg.(value & opt (some file) None & info [ "truth" ] ~doc:"Ground-truth file from generate.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run all tool models on a binary")
+    Term.(const compare_tools $ path_arg $ truth)
+
+let unwind_cmd =
+  Cmd.v
+    (Cmd.info "unwind" ~doc:"Dump .eh_frame FDEs and CFI stack-height tables")
+    Term.(const unwind $ path_arg)
+
+let handlers_cmd =
+  Cmd.v
+    (Cmd.info "handlers" ~doc:"List LSDA call sites and landing pads")
+    Term.(const handlers $ path_arg)
+
+let () =
+  let doc = "function detection with exception handling information" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "fetch" ~doc)
+          [
+            generate_cmd; analyze_cmd; disasm_cmd; compare_cmd; unwind_cmd;
+            handlers_cmd;
+          ]))

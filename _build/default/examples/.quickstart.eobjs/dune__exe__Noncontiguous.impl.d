@@ -1,0 +1,1 @@
+examples/noncontiguous.ml: Fetch_analysis Fetch_core Fetch_dwarf Fetch_synth Fetch_util Fetch_x86 List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fetch_core Fetch_synth List Printf String

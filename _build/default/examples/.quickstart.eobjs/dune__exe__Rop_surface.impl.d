@@ -1,0 +1,1 @@
+examples/rop_surface.ml: Fetch_analysis Fetch_core Fetch_rop Fetch_synth Fetch_x86 Int List Printf Set

@@ -1,0 +1,1 @@
+examples/rop_surface.mli:

@@ -1,0 +1,1 @@
+examples/throw_catch.ml: Fetch_analysis Fetch_dwarf Fetch_elf Fetch_synth Fetch_util Fetch_x86 Hashtbl List Printf String

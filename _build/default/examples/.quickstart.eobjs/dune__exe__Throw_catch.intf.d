@@ -1,0 +1,1 @@
+examples/throw_catch.mli:

@@ -1,0 +1,1 @@
+examples/tool_comparison.ml: Fetch_analysis Fetch_baselines Fetch_synth List Printf Sys

@@ -1,0 +1,1 @@
+examples/unwind_walk.ml: Fetch_analysis Fetch_dwarf Fetch_synth Fetch_util Fetch_x86 Hashtbl List Printf String

@@ -1,0 +1,1 @@
+examples/unwind_walk.mli:

@@ -1,0 +1,40 @@
+(* The Table III scenario in miniature: one stripped binary, every tool
+   model, scored against ground truth.
+
+     dune exec examples/tool_comparison.exe *)
+
+let () =
+  let profile =
+    Fetch_synth.Profile.make Fetch_synth.Profile.Synthllvm Fetch_synth.Profile.O3
+  in
+  let spec =
+    {
+      Fetch_synth.Gen.default_spec with
+      n_funcs = 120;
+      n_asm_called = 1;
+      n_asm_tailonly = 1;
+      n_asm_pointer = 1;
+      cxx = true;
+    }
+  in
+  let built = Fetch_synth.Link.build_random ~profile ~seed:99 spec in
+  let loaded = Fetch_analysis.Loaded.load built.image in
+  let truth = Fetch_synth.Truth.starts built.truth in
+  Printf.printf
+    "stripped llvm -O3 binary: %d true functions, %d with FDEs\n\n"
+    (List.length truth)
+    (Fetch_synth.Truth.count_if (fun f -> f.has_fde) built.truth);
+  Printf.printf "%-14s %9s %6s %6s %9s\n" "tool" "detected" "FP" "FN" "time(ms)";
+  List.iter
+    (fun (tool : Fetch_baselines.Tools.t) ->
+      let t0 = Sys.time () in
+      let detected = tool.detect loaded in
+      let dt = 1000.0 *. (Sys.time () -. t0) in
+      let fp = List.filter (fun d -> not (List.mem d truth)) detected in
+      let fn = List.filter (fun t -> not (List.mem t detected)) truth in
+      Printf.printf "%-14s %9d %6d %6d %9.1f\n" tool.name (List.length detected)
+        (List.length fp) (List.length fn) dt)
+    Fetch_baselines.Tools.all;
+  Printf.printf
+    "\nThe FDE-equipped strategies win because call frames name nearly every\n\
+     function directly; the pattern-driven tools must guess (SII-B).\n"

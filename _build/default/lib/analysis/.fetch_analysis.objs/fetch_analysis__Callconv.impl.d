@@ -1,0 +1,1 @@
+lib/analysis/callconv.ml: Fetch_x86 Hashtbl Insn List Loaded Reg Semantics Set

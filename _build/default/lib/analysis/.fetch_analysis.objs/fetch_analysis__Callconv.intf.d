@@ -1,0 +1,1 @@
+lib/analysis/callconv.mli: Fetch_x86 Loaded

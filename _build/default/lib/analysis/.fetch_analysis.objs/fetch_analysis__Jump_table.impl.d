@@ -1,0 +1,1 @@
+lib/analysis/jump_table.ml: Fetch_elf Fetch_x86 Insn Int32 List Option Reg String

@@ -1,0 +1,1 @@
+lib/analysis/jump_table.mli: Fetch_elf Fetch_x86

@@ -1,0 +1,1 @@
+lib/analysis/linear_sweep.ml: Fetch_elf Fetch_util Fetch_x86 List Loaded

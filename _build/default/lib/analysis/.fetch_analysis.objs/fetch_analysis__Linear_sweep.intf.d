@@ -1,0 +1,1 @@
+lib/analysis/linear_sweep.mli: Fetch_util Fetch_x86 Loaded

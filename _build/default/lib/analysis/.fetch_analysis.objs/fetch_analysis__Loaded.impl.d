@@ -1,0 +1,1 @@
+lib/analysis/loaded.ml: Fetch_dwarf Fetch_elf Fetch_x86 Hashtbl Image List String

@@ -1,0 +1,1 @@
+lib/analysis/loaded.mli: Fetch_dwarf Fetch_elf Fetch_x86 Hashtbl

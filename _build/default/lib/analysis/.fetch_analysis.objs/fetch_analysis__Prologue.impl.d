@@ -1,0 +1,1 @@
+lib/analysis/prologue.ml: Fetch_x86 Insn Linear_sweep List Loaded Reg

@@ -1,0 +1,1 @@
+lib/analysis/prologue.mli: Loaded

@@ -1,0 +1,1 @@
+lib/analysis/recursive.ml: Fetch_util Fetch_x86 Hashtbl Insn Jump_table List Loaded Queue Reg Semantics

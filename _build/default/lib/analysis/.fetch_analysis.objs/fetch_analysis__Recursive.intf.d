@@ -1,0 +1,1 @@
+lib/analysis/recursive.mli: Fetch_util Fetch_x86 Hashtbl Loaded

@@ -1,0 +1,1 @@
+lib/analysis/stack_height.ml: Fetch_x86 Hashtbl Insn Jump_table List Loaded Queue Semantics

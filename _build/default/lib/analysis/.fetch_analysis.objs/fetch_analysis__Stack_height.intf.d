@@ -1,0 +1,1 @@
+lib/analysis/stack_height.mli: Hashtbl Loaded

@@ -1,0 +1,121 @@
+(** Calling-convention validation (§IV-E): a candidate function start is
+    plausible only if no non-argument register is read before it is written.
+
+    The check walks the CFG from the candidate start path-sensitively with
+    bounded depth.  Arguments (rdi, rsi, rdx, rcx, r8, r9) and rsp start
+    initialized; a [push] is a save, not a use; a call defines rax.  Any
+    path that reads an uninitialized non-argument register invalidates the
+    candidate. *)
+
+open Fetch_x86
+
+let max_insns = 64
+let max_blocks = 12
+
+type verdict =
+  | Valid
+  | Invalid
+  | Unknown
+
+(** Diagnostic form: where and which register violated the rule. *)
+type violation = { at : int; reg : Reg.t option }
+
+module RS = Set.Make (Reg)
+
+let initial_set = RS.of_list Reg.args
+
+(* Walk one straight-line block; returns [Error violation] on violation or
+   [Ok (init, next_starts)] with successor addresses.  [noreturn] /
+   [cond_noreturn] stop the walk after calls known to never return
+   (otherwise the walk would run off the function's end into padding or
+   data).  [rdi] tracks the first argument for conditional-noreturn call
+   sites, mirroring the engine's backward-slice policy: only a provably
+   zero argument lets the call return. *)
+let rec walk_block loaded ~noreturn ~cond_noreturn ~fuel ~rdi init addr
+    acc_next =
+  if fuel <= 0 then Ok (init, acc_next)
+  else
+    match Loaded.insn_at loaded addr with
+    | None -> Error { at = addr; reg = None }
+    | Some (insn, len) -> (
+        let reads = Semantics.uses insn in
+        match
+          List.find_opt
+            (fun r -> (not (RS.mem r init)) && not (Reg.is_arg r))
+            reads
+        with
+        | Some r -> Error { at = addr; reg = Some r }
+        | None -> (
+            let init =
+              List.fold_left (fun s r -> RS.add r s) init (Semantics.defs insn)
+            in
+            let rdi =
+              match insn with
+              | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm 0) -> `Zero
+              | Insn.Arith (Insn.Xor, _, Insn.Reg Reg.Rdi, Insn.Reg Reg.Rdi) ->
+                  `Zero
+              | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm _) -> `Nonzero
+              | _ ->
+                  if List.mem Reg.Rdi (Semantics.defs insn) then `Unknown
+                  else rdi
+            in
+            match Semantics.flow insn with
+            | Semantics.Fall ->
+                walk_block loaded ~noreturn ~cond_noreturn ~fuel:(fuel - 1)
+                  ~rdi init (addr + len) acc_next
+            | Semantics.Ret | Semantics.Halt -> Ok (init, acc_next)
+            | Semantics.Jump (Semantics.Direct t) -> Ok (init, t :: acc_next)
+            | Semantics.Jump (Semantics.Indirect _) -> Ok (init, acc_next)
+            | Semantics.Cond t -> Ok (init, t :: (addr + len) :: acc_next)
+            | Semantics.Callf (Semantics.Direct t) when noreturn t ->
+                Ok (init, acc_next)
+            | Semantics.Callf (Semantics.Direct t)
+              when cond_noreturn t && rdi <> `Zero ->
+                Ok (init, acc_next)
+            | Semantics.Callf _ ->
+                (* the callee defines the return-value register *)
+                let init = RS.add Reg.Rax init in
+                walk_block loaded ~noreturn ~cond_noreturn ~fuel:(fuel - 1)
+                  ~rdi:`Unknown init (addr + len) acc_next))
+
+(** Validate [start] as a function entry, with a diagnostic on failure.
+    [noreturn] (optional) tells the walk which call targets never return. *)
+let validate_diag ?(noreturn = fun _ -> false)
+    ?(cond_noreturn = fun _ -> false) loaded start =
+  if not (Loaded.in_text loaded start) then Error { at = start; reg = None }
+  else begin
+    let visited = Hashtbl.create 8 in
+    let rec go blocks_left frontier =
+      match frontier with
+      | [] -> Ok ()
+      | (addr, init) :: rest ->
+          if blocks_left <= 0 then Ok () (* bounded: assume fine *)
+          else if Hashtbl.mem visited addr then go blocks_left rest
+          else begin
+            Hashtbl.replace visited addr ();
+            match
+              walk_block loaded ~noreturn ~cond_noreturn ~fuel:max_insns
+                ~rdi:`Unknown init addr []
+            with
+            | Error v -> Error v
+            | Ok (init', nexts) ->
+                let nexts =
+                  List.filter (Loaded.in_text loaded) nexts
+                  |> List.map (fun a -> (a, init'))
+                in
+                go (blocks_left - 1) (nexts @ rest)
+          end
+    in
+    go max_blocks [ (start, initial_set) ]
+  end
+
+(** Validate [start] as a function entry. *)
+let validate ?noreturn ?cond_noreturn loaded start =
+  match validate_diag ?noreturn ?cond_noreturn loaded start with
+  | Ok () -> Valid
+  | Error _ -> Invalid
+
+(** [meets_call_conv loaded addr] — the predicate Algorithm 1 calls
+    [MeetCallConv]. *)
+let meets_call_conv ?noreturn ?cond_noreturn loaded addr =
+  validate ?noreturn ?cond_noreturn loaded addr = Valid

@@ -1,0 +1,41 @@
+(** Calling-convention validation (§IV-E): a candidate function start is
+    plausible only if no non-argument register is read before it is
+    written.
+
+    The check walks the CFG from the candidate start with bounded depth.
+    Arguments (rdi, rsi, rdx, rcx, r8, r9) and rsp start initialized; a
+    [push] is a save, not a use; a call defines rax.  Any explored path
+    that reads an uninitialized non-argument register invalidates the
+    candidate; exhausting the exploration budget validates it
+    (conservative towards acceptance, as real functions must pass). *)
+
+type verdict = Valid | Invalid | Unknown
+
+(** Where and which register violated the rule ([reg = None] means an
+    undecodable instruction was reached). *)
+type violation = { at : int; reg : Fetch_x86.Reg.t option }
+
+(** Validate a candidate entry, with a diagnostic on failure.  [noreturn]
+    and [cond_noreturn] (optional) stop the walk after calls known not to
+    return, so it cannot run off a function's end into data. *)
+val validate_diag :
+  ?noreturn:(int -> bool) ->
+  ?cond_noreturn:(int -> bool) ->
+  Loaded.t ->
+  int ->
+  (unit, violation) result
+
+val validate :
+  ?noreturn:(int -> bool) ->
+  ?cond_noreturn:(int -> bool) ->
+  Loaded.t ->
+  int ->
+  verdict
+
+(** The predicate Algorithm 1 calls [MeetCallConv]. *)
+val meets_call_conv :
+  ?noreturn:(int -> bool) ->
+  ?cond_noreturn:(int -> bool) ->
+  Loaded.t ->
+  int ->
+  bool

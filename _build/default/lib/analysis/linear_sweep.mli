@@ -1,0 +1,20 @@
+(** Linear-sweep disassembly with one-byte resynchronization, plus the
+    gap enumeration used by the heuristic passes (angr's scan, prologue
+    matching, NUCLEUS). *)
+
+(** Decode [\[lo, hi)] linearly; on an undecodable byte, skip one byte
+    and retry.  Returns instructions in order and the skipped (junk)
+    byte addresses. *)
+val decode_range :
+  Loaded.t -> lo:int -> hi:int -> (int * int * Fetch_x86.Insn.t) list * int list
+
+(** Maximal sub-ranges of the executable sections not covered by
+    [covered] (an interval map of already-claimed bytes). *)
+val gaps : Loaded.t -> covered:unit Fetch_util.Interval_map.t -> (int * int) list
+
+(** Is the range all padding (NOPs / int3 / zero bytes)? *)
+val all_padding : Loaded.t -> lo:int -> hi:int -> bool
+
+(** Length of the leading padding run at [lo] (for angr's
+    alignment-function heuristic). *)
+val leading_padding : Loaded.t -> lo:int -> hi:int -> int

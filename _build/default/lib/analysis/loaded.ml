@@ -1,0 +1,79 @@
+(** A loaded binary: the ELF image plus everything every analysis needs —
+    decoded (and memoized) instructions, the parsed [.eh_frame], the CFI
+    height oracle, FDE starts and symbol starts. *)
+
+open Fetch_elf
+
+type t = {
+  image : Image.t;
+  exec : Image.section list;  (** executable sections, ascending *)
+  oracle : Fetch_dwarf.Height_oracle.t;
+  fdes : Fetch_dwarf.Eh_frame.fde list;
+  fde_starts : int list;  (** PC Begin of every FDE, ascending, deduped *)
+  symbol_starts : int list;  (** defined FUNC symbol addresses *)
+  cache : (int, (Fetch_x86.Insn.t * int) option) Hashtbl.t;
+}
+
+let load image =
+  let exec = Image.exec_sections image in
+  let cies =
+    match Fetch_dwarf.Eh_frame.of_image image with Ok c -> c | Error _ -> []
+  in
+  let fdes = Fetch_dwarf.Eh_frame.all_fdes cies in
+  let fde_starts =
+    List.map (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin) fdes
+    |> List.sort_uniq compare
+  in
+  let symbol_starts =
+    Image.func_symbols image
+    |> List.map (fun (s : Image.symbol) -> s.value)
+    |> List.sort_uniq compare
+  in
+  {
+    image;
+    exec;
+    oracle = Fetch_dwarf.Height_oracle.create cies;
+    fdes;
+    fde_starts;
+    symbol_starts;
+    cache = Hashtbl.create 4096;
+  }
+
+(** Decode (memoized) the instruction at virtual address [addr]. *)
+let insn_at t addr =
+  match Hashtbl.find_opt t.cache addr with
+  | Some r -> r
+  | None ->
+      let r =
+        let rec find = function
+          | [] -> None
+          | (s : Image.section) :: rest ->
+              if addr >= s.addr && addr < s.addr + String.length s.data then
+                Fetch_x86.Decode.decode ~pos:(addr - s.addr) ~addr s.data
+              else find rest
+        in
+        find t.exec
+      in
+      Hashtbl.replace t.cache addr r;
+      r
+
+let in_text t addr =
+  List.exists
+    (fun (s : Image.section) -> addr >= s.addr && addr < s.addr + String.length s.data)
+    t.exec
+
+(** Executable address ranges, ascending. *)
+let text_ranges t =
+  List.map
+    (fun (s : Image.section) -> (s.addr, s.addr + String.length s.data))
+    t.exec
+
+(** The FDE whose range contains [addr], if any. *)
+let fde_at t addr =
+  List.find_opt
+    (fun (f : Fetch_dwarf.Eh_frame.fde) ->
+      addr >= f.pc_begin && addr < f.pc_begin + f.pc_range)
+    t.fdes
+
+let fde_starting_at t addr =
+  List.exists (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin = addr) t.fdes

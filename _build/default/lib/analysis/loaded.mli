@@ -1,0 +1,30 @@
+(** A loaded binary: the ELF image plus everything every analysis needs —
+    decoded (and memoized) instructions, the parsed [.eh_frame], the CFI
+    height oracle, FDE starts and symbol starts. *)
+
+type t = {
+  image : Fetch_elf.Image.t;
+  exec : Fetch_elf.Image.section list;  (** executable sections, ascending *)
+  oracle : Fetch_dwarf.Height_oracle.t;
+  fdes : Fetch_dwarf.Eh_frame.fde list;
+  fde_starts : int list;  (** PC Begin of every FDE, ascending, deduped *)
+  symbol_starts : int list;  (** defined FUNC symbol addresses *)
+  cache : (int, (Fetch_x86.Insn.t * int) option) Hashtbl.t;
+}
+
+val load : Fetch_elf.Image.t -> t
+
+(** Decode (memoized) the instruction at a virtual address. *)
+val insn_at : t -> int -> (Fetch_x86.Insn.t * int) option
+
+(** Is the address inside an executable section? *)
+val in_text : t -> int -> bool
+
+(** Executable address ranges, ascending. *)
+val text_ranges : t -> (int * int) list
+
+(** The FDE whose range contains the address, if any. *)
+val fde_at : t -> int -> Fetch_dwarf.Eh_frame.fde option
+
+(** Does an FDE begin exactly at the address? *)
+val fde_starting_at : t -> int -> bool

@@ -1,0 +1,61 @@
+(** Function-prologue pattern matching ("Fsig" in Figure 5) — the classic
+    unsafe heuristic: scan unclaimed code for byte/instruction shapes that
+    commonly begin compiled functions. *)
+
+open Fetch_x86
+
+type strictness =
+  | Strict  (** Ghidra-style: full frame-setup sequences only *)
+  | Loose  (** angr-style: any plausible first instruction *)
+
+(* Does a prologue-shaped instruction sequence start at [addr]? *)
+let matches loaded ~strictness addr =
+  let i1 = Loaded.insn_at loaded addr in
+  match strictness with
+  | Strict -> (
+      match i1 with
+      | Some (Insn.Endbr64, l1) -> (
+          match Loaded.insn_at loaded (addr + l1) with
+          | Some ((Insn.Push _ | Insn.Arith (Insn.Sub, _, Insn.Reg Reg.Rsp, _)), _) ->
+              true
+          | _ -> false)
+      | Some (Insn.Push Reg.Rbp, l1) -> (
+          match Loaded.insn_at loaded (addr + l1) with
+          | Some (Insn.Mov (Insn.W64, Insn.Reg Reg.Rbp, Insn.Reg Reg.Rsp), _) ->
+              true
+          | _ -> false)
+      | _ -> false)
+  | Loose -> (
+      match i1 with
+      | Some (Insn.Endbr64, _) -> true
+      | Some (Insn.Push r, l1) when not (Reg.equal r Reg.Rsp) -> (
+          (* any push followed by something decodable *)
+          match Loaded.insn_at loaded (addr + l1) with
+          | Some _ -> true
+          | None -> false)
+      | Some (Insn.Arith (Insn.Sub, Insn.W64, Insn.Reg Reg.Rsp, Insn.Imm _), _) ->
+          true
+      | Some (Insn.Mov (Insn.W32, Insn.Reg _, Insn.Imm _), l1) -> (
+          (* mov reg, imm openings, common in small leaf functions *)
+          match Loaded.insn_at loaded (addr + l1) with
+          | Some _ -> true
+          | None -> false)
+      | _ -> false)
+
+(** Scan the given gaps for prologue matches; [every_byte] scans all byte
+    offsets (angr) rather than only gap starts after padding (Ghidra). *)
+let scan loaded ~strictness ~every_byte gaps =
+  List.concat_map
+    (fun (lo, hi) ->
+      if every_byte then
+        let rec go addr acc =
+          if addr >= hi then List.rev acc
+          else if matches loaded ~strictness addr then go (addr + 1) (addr :: acc)
+          else go (addr + 1) acc
+        in
+        go lo []
+      else
+        let pad = Linear_sweep.leading_padding loaded ~lo ~hi in
+        let start = lo + pad in
+        if start < hi && matches loaded ~strictness start then [ start ] else [])
+    gaps

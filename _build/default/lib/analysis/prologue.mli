@@ -1,0 +1,20 @@
+(** Function-prologue pattern matching ("Fsig" in Figure 5) — the classic
+    unsafe heuristic: scan unclaimed code for byte/instruction shapes
+    that commonly begin compiled functions. *)
+
+type strictness =
+  | Strict  (** Ghidra-style: full frame-setup sequences only *)
+  | Loose  (** angr/BYTEWEIGHT-style: any plausible first instruction *)
+
+(** Does a prologue-shaped instruction sequence start at the address? *)
+val matches : Loaded.t -> strictness:strictness -> int -> bool
+
+(** Scan the given gaps for matches; [every_byte] scans all byte offsets
+    (angr) rather than only each gap's first post-padding byte
+    (Ghidra). *)
+val scan :
+  Loaded.t ->
+  strictness:strictness ->
+  every_byte:bool ->
+  (int * int) list ->
+  int list

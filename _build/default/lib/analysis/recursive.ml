@@ -1,0 +1,345 @@
+(** Recursive-descent disassembly engine (the "safe recursive disassembly"
+    of §IV-C, and the substrate every baseline model reuses with different
+    knobs).
+
+    Starting from a seed set of function entries (FDE starts, symbols), the
+    engine follows intra-procedural control flow per function, adds targets
+    of direct calls as new function entries, resolves bounds-checked jump
+    tables (optionally), skips indirect calls, performs no tail-call
+    guessing — a direct jump to a known function entry ends the block and is
+    recorded as an outgoing jump — and iterates a non-returning-function
+    analysis to fixpoint so no block is placed after a call that cannot
+    return. *)
+
+open Fetch_x86
+
+type config = {
+  resolve_jump_tables : bool;
+  noreturn_aware : bool;
+      (** iterate the non-returning analysis; when off, calls always fall
+          through (the unsafe behaviour of simpler tools) *)
+  stop_at_known_starts : bool;
+      (** direct jumps to known function entries end the block instead of
+          being followed intra-procedurally *)
+  max_noreturn_iters : int;
+}
+
+let safe_config =
+  {
+    resolve_jump_tables = true;
+    noreturn_aware = true;
+    stop_at_known_starts = true;
+    max_noreturn_iters = 5;
+  }
+
+type func = {
+  entry : int;
+  mutable blocks : (int * int) list;  (** decoded [lo, hi) ranges *)
+  mutable calls : (int * int) list;  (** call site, direct target *)
+  mutable out_jumps : (int * Insn.t * int) list;
+      (** direct jumps leaving the function: site, insn, target *)
+  mutable all_jump_sites : (int * Insn.t * int) list;
+      (** every direct/conditional jump with its target (incl. intra) *)
+  mutable table_targets : (int * int list) list;  (** resolved jump tables *)
+  mutable unresolved_indirect_jump : bool;
+  mutable has_ret : bool;
+  mutable has_indirect_call : bool;
+  mutable decode_error : bool;
+}
+
+type result = {
+  funcs : (int, func) Hashtbl.t;
+  noreturn : (int, unit) Hashtbl.t;  (** entries that can never return *)
+  cond_noreturn : (int, unit) Hashtbl.t;  (** [error]-style entries *)
+  insn_spans : unit Fetch_util.Interval_map.t;
+      (** union of all decoded instruction extents *)
+}
+
+let new_func entry =
+  {
+    entry;
+    blocks = [];
+    calls = [];
+    out_jumps = [];
+    all_jump_sites = [];
+    table_targets = [];
+    unresolved_indirect_jump = false;
+    has_ret = false;
+    has_indirect_call = false;
+    decode_error = false;
+  }
+
+(* Identify [error]-style conditionally non-returning functions: the entry
+   tests the first argument, branches to the returning path on zero, and
+   the nonzero (fallthrough) path provably never returns — it runs
+   straight into an exit syscall or a trap. *)
+let detect_cond_noreturn loaded entry =
+  let rec path_never_returns addr fuel =
+    if fuel <= 0 then false
+    else
+      match Loaded.insn_at loaded addr with
+      | Some (Insn.Ud2, _) | Some (Insn.Hlt, _) -> true
+      | Some (Insn.Syscall, len) -> path_never_returns (addr + len) fuel
+      | Some (insn, len) -> (
+          match Semantics.flow insn with
+          | Semantics.Fall -> path_never_returns (addr + len) (fuel - 1)
+          | Semantics.Ret | Semantics.Jump _ | Semantics.Cond _
+          | Semantics.Callf _ ->
+              false
+          | Semantics.Halt -> true)
+      | None -> false
+  in
+  match Loaded.insn_at loaded entry with
+  | Some (Insn.Test (_, Reg.Rdi, Reg.Rdi), len) -> (
+      match Loaded.insn_at loaded (entry + len) with
+      | Some (Insn.Jcc (Insn.E, _), jlen) | Some (Insn.Jcc_short (Insn.E, _), jlen)
+        ->
+          path_never_returns (entry + len + jlen) 8
+      | _ -> false)
+  | _ -> false
+
+(* At a call site to a conditional-noreturn callee, decide whether the call
+   returns: the paper runs a backward slice of the first argument and treats
+   the call as returning only when the argument provably flows from zero. *)
+let call_error_returns (prior : (int * int * Insn.t) list) =
+  let rec scan = function
+    | [] -> false (* unknown: treat as non-returning *)
+    | (_, _, insn) :: rest -> (
+        match insn with
+        | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm 0) -> true
+        | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm _) -> false
+        | Insn.Arith (Insn.Xor, _, Insn.Reg Reg.Rdi, Insn.Reg Reg.Rdi) -> true
+        | Insn.Mov (_, Insn.Reg Reg.Rdi, _) -> false
+        | Insn.Lea (Reg.Rdi, _) -> false
+        | Insn.Pop Reg.Rdi -> false
+        | _ -> scan rest)
+  in
+  scan prior
+
+(* Decode one basic block starting at [addr]; returns the decoded
+   instructions (in order) and the block's control-flow ending. *)
+type block_end =
+  | End_ret
+  | End_halt
+  | End_jump of Insn.t * int
+  | End_cond of Insn.t * int * int  (** insn, taken target, fallthrough *)
+  | End_indirect of Insn.operand * (int * int * Insn.t) list
+      (** operand + reversed prior window for table resolution *)
+  | End_call_noreturn
+  | End_fallthrough of int  (** ran into a known block/function start *)
+  | End_error
+
+let rec decode_block loaded (cfg : config) ~noreturn ~cond_noreturn ~f
+    ~is_start ~block_known addr acc =
+  if addr <> f.entry && is_start addr && cfg.stop_at_known_starts then
+    (List.rev acc, End_fallthrough addr)
+  else if block_known addr && acc <> [] then (List.rev acc, End_fallthrough addr)
+  else
+    match Loaded.insn_at loaded addr with
+    | None -> (List.rev acc, End_error)
+    | Some (insn, len) -> (
+        let acc' = (addr, len, insn) :: acc in
+        match Semantics.flow insn with
+        | Semantics.Fall ->
+            decode_block loaded cfg ~noreturn ~cond_noreturn ~f ~is_start
+              ~block_known (addr + len) acc'
+        | Semantics.Ret ->
+            f.has_ret <- true;
+            (List.rev acc', End_ret)
+        | Semantics.Halt -> (List.rev acc', End_halt)
+        | Semantics.Jump (Semantics.Direct t) ->
+            (List.rev acc', End_jump (insn, t))
+        | Semantics.Jump (Semantics.Indirect op) ->
+            (List.rev acc', End_indirect (op, acc'))
+        | Semantics.Cond t -> (List.rev acc', End_cond (insn, t, addr + len))
+        | Semantics.Callf (Semantics.Direct t) ->
+            f.calls <- (addr, t) :: f.calls;
+            let returns =
+              if not cfg.noreturn_aware then true
+              else if Hashtbl.mem noreturn t then false
+              else if Hashtbl.mem cond_noreturn t then
+                call_error_returns acc (* prior, excluding the call itself *)
+              else true
+            in
+            if returns then
+              decode_block loaded cfg ~noreturn ~cond_noreturn ~f ~is_start
+                ~block_known (addr + len) acc'
+            else (List.rev acc', End_call_noreturn)
+        | Semantics.Callf (Semantics.Indirect _) ->
+            f.has_indirect_call <- true;
+            decode_block loaded cfg ~noreturn ~cond_noreturn ~f ~is_start
+              ~block_known (addr + len) acc')
+
+(* Disassemble one function from [entry], updating global state.  Pending
+   blocks carry the reversed instruction window of their fallthrough
+   predecessor so jump-table slicing can look across block boundaries (the
+   bounds check `cmp/ja` ends the block before the dispatch jump). *)
+let disasm_function loaded cfg ~noreturn ~cond_noreturn ~is_start ~spans
+    ~new_entries entry =
+  let f = new_func entry in
+  let visited = Hashtbl.create 16 in
+  let pending = Queue.create () in
+  Queue.add (entry, []) pending;
+  let block_known a = Hashtbl.mem visited a in
+  while not (Queue.is_empty pending) do
+    let b, inherited = Queue.pop pending in
+    if not (Hashtbl.mem visited b) then begin
+      Hashtbl.replace visited b ();
+      let insns, ending =
+        decode_block loaded cfg ~noreturn ~cond_noreturn ~f ~is_start
+          ~block_known b []
+      in
+      (match insns with
+      | [] -> ()
+      | (lo, _, _) :: _ ->
+          let last_addr, last_len, _ = List.nth insns (List.length insns - 1) in
+          let hi = last_addr + last_len in
+          f.blocks <- (lo, hi) :: f.blocks;
+          (* per-instruction spans: overlapping decodes of the same bytes
+             must never evict earlier coverage *)
+          List.iter
+            (fun (a, l, _) ->
+              if not (Fetch_util.Interval_map.overlaps spans ~lo:a ~hi:(a + l))
+              then Fetch_util.Interval_map.add spans ~lo:a ~hi:(a + l) ())
+            insns);
+      (* register discovered callees *)
+      List.iter (fun (_, t) -> new_entries t) f.calls;
+      let rev_insns = List.rev insns in
+      let window = rev_insns @ inherited in
+      let add_block ?(window = []) t =
+        if not (Hashtbl.mem visited t) then Queue.add (t, window) pending
+      in
+      match ending with
+      | End_ret | End_halt | End_call_noreturn -> ()
+      | End_error -> f.decode_error <- true
+      | End_fallthrough t ->
+          (* ran into an existing block of this function: fine; into another
+             function's entry: record nothing (no tail-call guessing) *)
+          if not (is_start t) || not cfg.stop_at_known_starts then
+            add_block ~window t
+      | End_jump (insn, t) ->
+          let site = match rev_insns with (a, _, _) :: _ -> a | [] -> b in
+          f.all_jump_sites <- (site, insn, t) :: f.all_jump_sites;
+          if cfg.stop_at_known_starts && is_start t && t <> entry then
+            f.out_jumps <- (site, insn, t) :: f.out_jumps
+          else if Loaded.in_text loaded t then add_block t
+          else f.out_jumps <- (site, insn, t) :: f.out_jumps
+      | End_cond (insn, t, fall) ->
+          let site = match rev_insns with (a, _, _) :: _ -> a | [] -> b in
+          f.all_jump_sites <- (site, insn, t) :: f.all_jump_sites;
+          (if cfg.stop_at_known_starts && is_start t && t <> entry then
+             f.out_jumps <- (site, insn, t) :: f.out_jumps
+           else if Loaded.in_text loaded t then add_block t);
+          (* the fallthrough block inherits the window across the branch *)
+          add_block ~window fall
+      | End_indirect (op, rev_window) -> (
+          if not cfg.resolve_jump_tables then
+            f.unresolved_indirect_jump <- true
+          else
+            let prior =
+              match rev_window @ inherited with
+              | _jmp :: prior -> prior
+              | [] -> []
+            in
+            match Jump_table.resolve loaded.Loaded.image ~prior op with
+            | Some { Jump_table.table_addr; targets } ->
+                f.table_targets <- (table_addr, targets) :: f.table_targets;
+                List.iter (fun t -> add_block t) (List.sort_uniq compare targets)
+            | None -> f.unresolved_indirect_jump <- true)
+    end
+  done;
+  f
+
+(* Can the function return?  Propagated over the tail-jump graph. *)
+let compute_returns funcs =
+  let returns = Hashtbl.create (Hashtbl.length funcs) in
+  let base f =
+    f.has_ret || f.unresolved_indirect_jump || f.decode_error
+  in
+  Hashtbl.iter (fun e f -> if base f then Hashtbl.replace returns e ()) funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun e f ->
+        if not (Hashtbl.mem returns e) then
+          let via_jump =
+            List.exists
+              (fun (_, _, t) ->
+                (not (Hashtbl.mem funcs t)) || Hashtbl.mem returns t)
+              f.out_jumps
+          in
+          if via_jump then begin
+            Hashtbl.replace returns e ();
+            changed := true
+          end)
+      funcs
+  done;
+  returns
+
+(** Run the engine from the given seed entries. *)
+let run ?(config = safe_config) loaded ~seeds =
+  let noreturn = Hashtbl.create 16 in
+  let cond_noreturn = Hashtbl.create 4 in
+  let iterate () =
+    let funcs = Hashtbl.create 256 in
+    let spans = Fetch_util.Interval_map.create () in
+    let queue = Queue.create () in
+    let known = Hashtbl.create 256 in
+    let new_entries t =
+      if (not (Hashtbl.mem known t)) && Loaded.in_text loaded t then begin
+        Hashtbl.replace known t ();
+        Queue.add t queue
+      end
+    in
+    List.iter new_entries seeds;
+    let is_start a = Hashtbl.mem known a in
+    while not (Queue.is_empty queue) do
+      let e = Queue.pop queue in
+      if not (Hashtbl.mem funcs e) then begin
+        let f =
+          disasm_function loaded config ~noreturn ~cond_noreturn ~is_start
+            ~spans ~new_entries e
+        in
+        Hashtbl.replace funcs e f
+      end
+    done;
+    (funcs, spans)
+  in
+  let rec fixpoint i (funcs, spans) =
+    if (not config.noreturn_aware) || i >= config.max_noreturn_iters then
+      (funcs, spans)
+    else begin
+      let returns = compute_returns funcs in
+      let changed = ref false in
+      Hashtbl.iter
+        (fun e _ ->
+          if not (Hashtbl.mem returns e) then
+            if detect_cond_noreturn loaded e then begin
+              (* cannot happen: cond-noreturn fns have a ret *) ()
+            end
+            else if not (Hashtbl.mem noreturn e) then begin
+              Hashtbl.replace noreturn e ();
+              changed := true
+            end)
+        funcs;
+      Hashtbl.iter
+        (fun e _ ->
+          if
+            Hashtbl.mem returns e
+            && (not (Hashtbl.mem cond_noreturn e))
+            && detect_cond_noreturn loaded e
+          then begin
+            Hashtbl.replace cond_noreturn e ();
+            changed := true
+          end)
+        funcs;
+      if !changed then fixpoint (i + 1) (iterate ()) else (funcs, spans)
+    end
+  in
+  let funcs, spans = fixpoint 0 (iterate ()) in
+  { funcs; noreturn; cond_noreturn; insn_spans = spans }
+
+(** Detected function starts, ascending. *)
+let starts result =
+  Hashtbl.fold (fun e _ acc -> e :: acc) result.funcs [] |> List.sort compare

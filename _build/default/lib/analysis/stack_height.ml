@@ -1,0 +1,137 @@
+(** Static stack-height analysis, modelling the analyses shipped by ANGR
+    and DYNINST that Table IV compares against the CFI oracle.
+
+    The walker propagates the stack height (bytes pushed since function
+    entry) across the CFG it can recover.  Model fidelity notes:
+
+    - Both tools decode function ranges partly linearly; we reproduce this
+      with [linear_fallthrough]: after an unconditional jump the walker also
+      continues at the next address with the current height.  When that
+      straight-line guess reaches a block before the semantically correct
+      path does, the block keeps the wrong height — the "side effects of
+      other errors" the paper blames for inaccuracy (§V-B).
+    - The models differ in jump-table power: the DYNINST-style analysis
+      resolves all three table shapes, the ANGR-style one misses the
+      register-load form ([mov r, \[table+idx*8\]; jmp r]); unresolved
+      dispatches leave case blocks unvisited (recall loss).
+    - Heights become unknown at instructions whose stack effect is not
+      statically trackable ([leave], [mov rsp, r]). *)
+
+open Fetch_x86
+
+type style = {
+  resolve_pic_tables : bool;
+  resolve_load_tables : bool;  (** the [mov r, \[table+idx*8\]; jmp r] form *)
+  linear_fallthrough : bool;
+  linear_after_indirect : bool;
+      (** keep decoding straight past an unresolved indirect jump *)
+  track_through_indirect_calls : bool;
+      (** assume an unknown callee preserves rsp; when false, tracking is
+          abandoned after indirect call sites *)
+}
+
+let angr_style =
+  {
+    resolve_pic_tables = true;
+    resolve_load_tables = false;
+    linear_fallthrough = true;
+    linear_after_indirect = false;
+    track_through_indirect_calls = true;
+  }
+
+let dyninst_style =
+  {
+    resolve_pic_tables = true;
+    resolve_load_tables = true;
+    linear_fallthrough = true;
+    linear_after_indirect = true;
+    track_through_indirect_calls = true;
+  }
+
+(** Heights at every address reached from [entry]; first write wins (the
+    arrival-order sensitivity is part of the model). *)
+let analyze loaded ~(style : style) entry =
+  let heights : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let visited_blocks = Hashtbl.create 32 in
+  let frontier = Queue.create () in
+  Queue.add (entry, 0) frontier;
+  let record addr h =
+    if not (Hashtbl.mem heights addr) then Hashtbl.replace heights addr h
+  in
+  let stop_linear addr =
+    (* both tools know FDE boundaries: the linear guess never crosses into
+       another FDE-covered function *)
+    Loaded.fde_starting_at loaded addr
+  in
+  let table_allowed op prior =
+    match Jump_table.resolve loaded.Loaded.image ~prior op with
+    | Some { Jump_table.targets; _ } -> (
+        (* classify the shape to apply the style's power *)
+        match op with
+        | Insn.Mem _ -> Some targets (* direct absolute form *)
+        | Insn.Reg _ ->
+            (* load form or PIC form; distinguish by scanning the window *)
+            let is_pic =
+              List.exists
+                (fun (_, _, i) ->
+                  match i with Insn.Movsxd _ -> true | _ -> false)
+                prior
+            in
+            if is_pic then if style.resolve_pic_tables then Some targets else None
+            else if style.resolve_load_tables then Some targets
+            else None
+        | Insn.Imm _ -> None)
+    | None -> None
+  in
+  while not (Queue.is_empty frontier) do
+    let addr0, h0 = Queue.pop frontier in
+    if not (Hashtbl.mem visited_blocks addr0) then begin
+      Hashtbl.replace visited_blocks addr0 ();
+      (* walk the straight line *)
+      let rec walk addr h window =
+        if not (Loaded.in_text loaded addr) then ()
+        else
+          match Loaded.insn_at loaded addr with
+          | None -> ()
+          | Some (insn, len) -> (
+              record addr h;
+              let window = (addr, len, insn) :: window in
+              let continue_with h' = walk (addr + len) h' window in
+              let next_height () =
+                match Semantics.sp_delta insn with
+                | Some d -> Some (h - d)
+                | None -> None
+              in
+              match Semantics.flow insn with
+              | Semantics.Callf (Semantics.Indirect _)
+                when not style.track_through_indirect_calls ->
+                  () (* unknown callee: tracking abandoned *)
+              | Semantics.Fall | Semantics.Callf _ -> (
+                  match next_height () with
+                  | Some h' -> continue_with h'
+                  | None -> () (* untrackable: abandon the path *))
+              | Semantics.Ret | Semantics.Halt -> ()
+              | Semantics.Jump (Semantics.Direct t) ->
+                  Queue.add (t, h) frontier;
+                  (* the linear guess continues immediately, so its (often
+                     wrong) heights win the first-write race — this is the
+                     arrival-order defect the model reproduces *)
+                  if style.linear_fallthrough && not (stop_linear (addr + len))
+                  then walk (addr + len) h window
+              | Semantics.Cond t ->
+                  Queue.add (t, h) frontier;
+                  continue_with h
+              | Semantics.Jump (Semantics.Indirect op) -> (
+                  match table_allowed op window with
+                  | Some targets ->
+                      List.iter (fun t -> Queue.add (t, h) frontier) targets
+                  | None ->
+                      if
+                        style.linear_after_indirect
+                        && not (stop_linear (addr + len))
+                      then walk (addr + len) h window))
+      in
+      walk addr0 h0 []
+    end
+  done;
+  heights

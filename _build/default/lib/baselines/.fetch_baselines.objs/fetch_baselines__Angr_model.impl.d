@@ -1,0 +1,1 @@
+lib/baselines/angr_model.ml: Fetch_analysis Heuristics List Loaded Prologue Recursive

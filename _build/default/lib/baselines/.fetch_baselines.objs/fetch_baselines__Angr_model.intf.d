@@ -1,0 +1,1 @@
+lib/baselines/angr_model.mli: Fetch_analysis

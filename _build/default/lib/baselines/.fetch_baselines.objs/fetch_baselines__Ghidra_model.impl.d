@@ -1,0 +1,1 @@
+lib/baselines/ghidra_model.ml: Fetch_analysis Hashtbl Heuristics List Loaded Prologue Recursive

@@ -1,0 +1,1 @@
+lib/baselines/ghidra_model.mli: Fetch_analysis

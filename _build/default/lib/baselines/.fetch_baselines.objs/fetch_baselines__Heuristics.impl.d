@@ -1,0 +1,1 @@
+lib/baselines/heuristics.ml: Fetch_analysis Fetch_util Fetch_x86 Hashtbl Insn Linear_sweep List Loaded Option Prologue Recursive

@@ -1,0 +1,1 @@
+lib/baselines/heuristics.mli: Fetch_analysis Loaded Prologue Recursive

@@ -1,0 +1,1 @@
+lib/baselines/pattern_tools.ml: Fetch_analysis Fetch_x86 Hashtbl Heuristics Linear_sweep List Loaded Prologue Recursive

@@ -1,0 +1,1 @@
+lib/baselines/pattern_tools.mli: Fetch_analysis

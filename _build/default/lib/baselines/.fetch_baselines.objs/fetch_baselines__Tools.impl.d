@@ -1,0 +1,1 @@
+lib/baselines/tools.ml: Angr_model Fetch_analysis Fetch_core Fetch_elf Ghidra_model Hashtbl List Pattern_tools String

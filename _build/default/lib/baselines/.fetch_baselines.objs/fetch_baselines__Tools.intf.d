@@ -1,0 +1,1 @@
+lib/baselines/tools.mli: Fetch_analysis

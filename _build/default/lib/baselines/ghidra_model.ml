@@ -1,0 +1,60 @@
+(** Model of GHIDRA's function-start strategy stack (§IV-C/D).
+
+    FDE starts + symbols → recursive disassembly → control-flow repairing
+    (default on; removes unreferenced starts after non-returning functions,
+    using its over-approximate noreturn knowledge) → thunk splitting
+    (default on) → prologue matching (strict patterns, gap starts) →
+    optional heuristic tail-call detection (off by default). *)
+
+open Fetch_analysis
+
+type config = {
+  recursive : bool;
+  cfr : bool;
+  thunks : bool;
+  fsig : bool;
+  tcall : bool;
+}
+
+let default = { recursive = true; cfr = true; thunks = true; fsig = true; tcall = false }
+
+(* Ghidra's noreturn view over-approximates: conditionally-noreturn
+   functions count as plain noreturn. *)
+let ghidra_noreturn (res : Recursive.result) e =
+  Hashtbl.mem res.noreturn e || Hashtbl.mem res.cond_noreturn e
+
+let detect ?(config = default) loaded =
+  let seeds =
+    loaded.Loaded.fde_starts @ loaded.Loaded.symbol_starts
+    |> List.sort_uniq compare
+  in
+  if not config.recursive then seeds
+  else begin
+    let res = Recursive.run loaded ~seeds in
+    let starts = Recursive.starts res in
+    let starts =
+      if config.cfr then
+        Heuristics.control_flow_repair loaded res
+          ~noreturn:(ghidra_noreturn res) starts
+      else starts
+    in
+    let starts =
+      if config.thunks then Heuristics.thunk_targets loaded res @ starts
+      else starts
+    in
+    let starts =
+      if config.fsig then
+        let found =
+          Heuristics.prologue_starts loaded res ~strictness:Prologue.Strict
+            ~every_byte:false
+        in
+        found @ starts
+      else starts
+    in
+    let starts =
+      if config.tcall then
+        Heuristics.tcall_starts_ghidra res ~threshold:48 @ starts
+      else starts
+    in
+    List.sort_uniq compare starts
+  end

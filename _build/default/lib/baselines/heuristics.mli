@@ -1,0 +1,53 @@
+(** The heuristic passes existing tools layer on top of recursive
+    disassembly (§II-B, §IV-C/D): control-flow repair, thunk splitting,
+    function merging, alignment scanning, prologue matching, heuristic
+    tail-call detection and linear gap scanning.
+
+    Each pass takes the committed engine result and returns starts to add
+    or remove; the tool models compose them per tool. *)
+
+open Fetch_analysis
+
+(** Unclaimed executable ranges given the engine's instruction spans. *)
+val gaps : Loaded.t -> Recursive.result -> (int * int) list
+
+(** Ghidra's control-flow repairing: drop a detected start that directly
+    follows (byte-adjacent) a non-returning function when no control flow
+    reaches it.  Over-approximate noreturn knowledge makes this delete
+    true starts (§IV-C). *)
+val control_flow_repair :
+  Loaded.t -> Recursive.result -> noreturn:(int -> bool) -> int list -> int list
+
+(** Ghidra's thunk heuristic: a function starting with a jump is a thunk;
+    its target becomes a function start — wrong for rotated-loop
+    entries. *)
+val thunk_targets : Loaded.t -> Recursive.result -> int list
+
+(** angr's function merging: adjacent functions connected by a sole jump
+    get merged — the starts returned here are *deleted* (§IV-C). *)
+val angr_merge_removals : Recursive.result -> int list
+
+(** angr's alignment heuristic: the first non-padding instruction of each
+    padding-led gap becomes a start. *)
+val alignment_starts : Loaded.t -> Recursive.result -> int list
+
+(** Prologue matching over the gaps ("Fsig"). *)
+val prologue_starts :
+  Loaded.t ->
+  Recursive.result ->
+  strictness:Prologue.strictness ->
+  every_byte:bool ->
+  int list
+
+(** angr-flavoured tail-call splitting: 16-byte-aligned intra-function
+    jump targets become starts. *)
+val tcall_starts_angr : Recursive.result -> int list
+
+(** Ghidra-flavoured tail-call splitting: any jump farther than
+    [threshold] bytes forward (or backwards past the entry) becomes a
+    start — far noisier. *)
+val tcall_starts_ghidra : Recursive.result -> threshold:int -> int list
+
+(** angr's linear gap scan: each maximal decodable run in a gap starts a
+    new function. *)
+val scan_starts : Loaded.t -> Recursive.result -> int list

@@ -1,0 +1,56 @@
+(** Registry of all function-start detectors compared in Table III / V. *)
+
+type t = {
+  name : string;
+  detect : Fetch_analysis.Loaded.t -> int list;
+  loads : Fetch_analysis.Loaded.t -> bool;
+      (** can the tool open this binary at all?  The paper reports ANGR
+          failing to load 9 of the 1,352 self-built binaries (§IV-C); a
+          tool that cannot load a binary detects nothing in it. *)
+}
+
+let always_loads _ = true
+
+let fetch =
+  {
+    name = "FETCH";
+    detect =
+      (fun loaded ->
+        (Fetch_core.Pipeline.run_loaded loaded).Fetch_core.Pipeline.starts);
+    loads = always_loads;
+  }
+
+(* Deterministic stand-in for angr's loader failures: roughly 1 binary in
+   150 (the paper's 9/1,352) trips it. *)
+let angr_loads (l : Fetch_analysis.Loaded.t) =
+  let text_len =
+    List.fold_left
+      (fun acc (s : Fetch_elf.Image.section) -> acc + String.length s.data)
+      0 l.exec
+  in
+  Hashtbl.hash (l.image.entry, text_len) mod 150 <> 0
+
+let ghidra =
+  { name = "GHIDRA"; detect = (fun l -> Ghidra_model.detect l); loads = always_loads }
+
+let angr =
+  { name = "ANGR"; detect = (fun l -> Angr_model.detect l); loads = angr_loads }
+
+let dyninst =
+  { name = "DYNINST"; detect = Pattern_tools.Dyninst.detect; loads = always_loads }
+
+let bap = { name = "BAP"; detect = Pattern_tools.Bap.detect; loads = always_loads }
+
+let radare2 =
+  { name = "RADARE2"; detect = Pattern_tools.Radare2.detect; loads = always_loads }
+
+let nucleus =
+  { name = "NUCLEUS"; detect = Pattern_tools.Nucleus.detect; loads = always_loads }
+
+let ida = { name = "IDA Pro"; detect = Pattern_tools.Ida.detect; loads = always_loads }
+
+let binja =
+  { name = "BINARY NINJA"; detect = Pattern_tools.Binja.detect; loads = always_loads }
+
+(** Table III order. *)
+let all = [ dyninst; bap; radare2; nucleus; ida; binja; ghidra; angr; fetch ]

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Callconv Fetch_analysis Fetch_elf Hashtbl List Loaded Recursive Refs Result Tailcall Xref

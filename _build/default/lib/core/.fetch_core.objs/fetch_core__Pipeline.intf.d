@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Fetch_analysis Fetch_elf Stdlib Tailcall

@@ -1,0 +1,1 @@
+lib/core/refs.ml: Fetch_analysis Fetch_elf Fetch_util Fetch_x86 Hashtbl Insn Int64 List Loaded Option Recursive String

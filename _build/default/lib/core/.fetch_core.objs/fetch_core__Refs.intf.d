@@ -1,0 +1,1 @@
+lib/core/refs.mli: Fetch_analysis

@@ -1,0 +1,1 @@
+lib/core/tailcall.ml: Callconv Fetch_analysis Fetch_dwarf Hashtbl List Loaded Recursive Refs

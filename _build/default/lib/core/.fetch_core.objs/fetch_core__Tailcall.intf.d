@@ -1,0 +1,1 @@
+lib/core/tailcall.mli: Fetch_analysis

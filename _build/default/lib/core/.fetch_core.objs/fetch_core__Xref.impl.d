@@ -1,0 +1,1 @@
+lib/core/xref.ml: Callconv Fetch_analysis Fetch_util Fetch_x86 Hashtbl List Loaded Recursive Refs Semantics

@@ -1,0 +1,1 @@
+lib/core/xref.mli: Fetch_analysis Fetch_util

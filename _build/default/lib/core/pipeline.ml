@@ -1,0 +1,121 @@
+(** The FETCH pipeline (§VI): FDE extraction → safe recursive disassembly →
+    function-pointer detection → FDE error fixing.
+
+    Each stage can be switched off so the evaluation can measure every
+    prefix of the pipeline (Figure 5's strategy stacks). *)
+
+open Fetch_analysis
+
+type config = {
+  use_symbols : bool;  (** seed from surviving symbols too *)
+  recursive : bool;  (** run safe recursive disassembly *)
+  xref : bool;  (** §IV-E pointer detection *)
+  fix_fde_errors : bool;  (** Algorithm 1 + broken-FDE calling-convention check *)
+  alg1_heights : Tailcall.height_source;
+      (** stack-height source for Algorithm 1 (CFI oracle in the paper;
+          a static analysis for the §V-B ablation) *)
+  engine : Recursive.config;
+}
+
+let default_config =
+  {
+    use_symbols = true;
+    recursive = true;
+    xref = true;
+    fix_fde_errors = true;
+    alg1_heights = Tailcall.Cfi_oracle;
+    engine = Recursive.safe_config;
+  }
+
+type result = {
+  starts : int list;  (** final detected function starts, ascending *)
+  fde_starts : int list;
+  rec_result : Recursive.result;
+  tailcall : Tailcall.outcome option;
+  invalid_fde_starts : int list;  (** FDE starts rejected as callconv-invalid *)
+  loaded : Loaded.t;
+}
+
+(** Run FETCH on a loaded binary. *)
+let run_loaded ?(config = default_config) loaded =
+  (* 1. FDE starts (+ symbols, normally absent in stripped binaries) *)
+  let seeds =
+    loaded.Loaded.fde_starts
+    @ (if config.use_symbols then loaded.Loaded.symbol_starts else [])
+    |> List.sort_uniq compare
+  in
+  (* 2-3. safe recursive disassembly, with pointer detection iterating *)
+  let res, seeds =
+    if config.recursive then
+      if config.xref then Xref.detect ~config:config.engine loaded ~seeds
+      else (Recursive.run ~config:config.engine loaded ~seeds, seeds)
+    else
+      (* degenerate engine run that only registers the seed entries *)
+      ( Recursive.run
+          ~config:
+            { config.engine with resolve_jump_tables = false; max_noreturn_iters = 0 }
+          loaded ~seeds,
+        seeds )
+  in
+  ignore seeds;
+  (* 4. fix FDE-introduced errors *)
+  if not config.fix_fde_errors then
+    {
+      starts = Recursive.starts res;
+      fde_starts = loaded.Loaded.fde_starts;
+      rec_result = res;
+      tailcall = None;
+      invalid_fde_starts = [];
+      loaded;
+    }
+  else begin
+    (* 4a. hand-broken FDEs (Fig. 6b): calling-convention check on every
+       start directly identified from an FDE.  Cold parts of non-contiguous
+       functions can also read callee-saved registers at their entry, but
+       they are always referenced by a jump from their hot part — an FDE
+       start that both violates the convention and is referenced by nothing
+       at all cannot be a real function or a function part. *)
+    let refs0 = Refs.collect loaded res in
+    let noreturn t = Hashtbl.mem res.Recursive.noreturn t in
+    let cond_noreturn t = Hashtbl.mem res.Recursive.cond_noreturn t in
+    let invalid =
+      List.filter
+        (fun s ->
+          Refs.refs_to refs0 s = []
+          && Callconv.validate ~noreturn ~cond_noreturn loaded s
+             = Callconv.Invalid)
+        loaded.Loaded.fde_starts
+    in
+    let res =
+      if invalid = [] then res
+      else begin
+        (* drop them and re-run detection without those seeds *)
+        let seeds' =
+          List.filter
+            (fun s -> not (List.mem s invalid))
+            (loaded.Loaded.fde_starts
+            @ if config.use_symbols then loaded.Loaded.symbol_starts else [])
+          |> List.sort_uniq compare
+        in
+        if config.xref then fst (Xref.detect ~config:config.engine loaded ~seeds:seeds')
+        else Recursive.run ~config:config.engine loaded ~seeds:seeds'
+      end
+    in
+    (* 4b. Algorithm 1 *)
+    let outcome = Tailcall.run ~heights:config.alg1_heights loaded res in
+    {
+      starts = outcome.kept_starts;
+      fde_starts = loaded.Loaded.fde_starts;
+      rec_result = res;
+      tailcall = Some outcome;
+      invalid_fde_starts = invalid;
+      loaded;
+    }
+  end
+
+(** Run FETCH on an ELF image. *)
+let run ?config image = run_loaded ?config (Loaded.load image)
+
+(** Run FETCH on raw ELF bytes. *)
+let run_bytes ?config raw =
+  Result.map (fun image -> run ?config image) (Fetch_elf.Decode.decode raw)

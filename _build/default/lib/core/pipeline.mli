@@ -1,0 +1,39 @@
+(** The FETCH pipeline (§VI): FDE extraction → safe recursive disassembly
+    → function-pointer detection → FDE error fixing.
+
+    Each stage can be switched off so the evaluation can measure every
+    prefix of the pipeline (Figure 5's strategy stacks). *)
+
+type config = {
+  use_symbols : bool;  (** seed from surviving symbols too *)
+  recursive : bool;  (** run safe recursive disassembly *)
+  xref : bool;  (** §IV-E pointer detection *)
+  fix_fde_errors : bool;
+      (** Algorithm 1 + the broken-FDE calling-convention check *)
+  alg1_heights : Tailcall.height_source;
+      (** stack-height source for Algorithm 1 (CFI oracle in the paper) *)
+  engine : Fetch_analysis.Recursive.config;
+}
+
+val default_config : config
+
+type result = {
+  starts : int list;  (** final detected function starts, ascending *)
+  fde_starts : int list;
+  rec_result : Fetch_analysis.Recursive.result;
+  tailcall : Tailcall.outcome option;  (** [None] when the fix stage is off *)
+  invalid_fde_starts : int list;
+      (** FDE starts rejected as unreferenced + calling-convention-invalid
+          (the hand-broken FDEs of Fig. 6b) *)
+  loaded : Fetch_analysis.Loaded.t;
+}
+
+(** Run FETCH on an already-loaded binary. *)
+val run_loaded : ?config:config -> Fetch_analysis.Loaded.t -> result
+
+(** Run FETCH on an ELF image. *)
+val run : ?config:config -> Fetch_elf.Image.t -> result
+
+(** Run FETCH on raw ELF bytes. *)
+val run_bytes :
+  ?config:config -> string -> (result, Fetch_elf.Decode.error) Stdlib.result

@@ -1,0 +1,149 @@
+(** Reference collection (§IV-E): the conservative super-set of potential
+    function pointers, and the reference census Algorithm 1 needs.
+
+    Pointer candidates come from two sources: every consecutive 8-byte
+    window in the data sections (and, optionally, non-disassembled code
+    regions), and every constant operand in the disassembled code
+    (immediates, absolute displacements, resolved RIP-relative targets). *)
+
+open Fetch_x86
+open Fetch_analysis
+
+type kind =
+  | Data_pointer of int  (** found at this data address *)
+  | Code_constant of int  (** constant operand of the instruction here *)
+  | Call_target of int  (** direct call site *)
+  | Jump_target of int * int  (** jump site, owning function entry *)
+
+type t = {
+  by_target : (int, kind list) Hashtbl.t;
+}
+
+let add t target kind =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.by_target target) in
+  Hashtbl.replace t.by_target target (kind :: prev)
+
+let refs_to t target =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_target target)
+
+(* Scan every consecutive 8-byte window of a section for text pointers. *)
+let scan_section_windows loaded t (s : Fetch_elf.Image.section) =
+  let n = String.length s.data in
+  for i = 0 to n - 8 do
+    let v = Int64.to_int (String.get_int64_le s.data i) in
+    if Loaded.in_text loaded v then add t v (Data_pointer (s.addr + i))
+  done
+
+(* Constant operands of one decoded instruction. *)
+let insn_constants ~addr ~len insn =
+  let consts = ref [] in
+  let push v = consts := v :: !consts in
+  let mem (m : Insn.mem) =
+    if m.rip_rel then push (addr + len + m.disp)
+    else if m.base = None && m.index = None then push m.disp
+    else if m.index <> None && m.base = None then push m.disp
+  in
+  let op = function
+    | Insn.Imm v -> push v
+    | Insn.Mem m -> mem m
+    | Insn.Reg _ -> ()
+  in
+  (match insn with
+  | Insn.Mov (_, a, b) ->
+      op a;
+      op b
+  | Insn.Movabs (_, v) -> push v
+  | Insn.Lea (_, m) -> mem m
+  | Insn.Arith (_, _, a, b) ->
+      op a;
+      op b
+  | Insn.Imul (_, s) -> op s
+  | Insn.Movsxd (_, m) -> mem m
+  | Insn.Movzx (_, _, o') | Insn.Movsx (_, _, o') | Insn.Cmov (_, _, o') ->
+      op o'
+  | Insn.Call_ind o | Insn.Jmp_ind o -> op o
+  | Insn.Push _ | Insn.Pop _ | Insn.Test _ | Insn.Shift _ | Insn.Neg _
+  | Insn.Inc _ | Insn.Dec _ | Insn.Setcc _ | Insn.Div _ | Insn.Idiv _
+  | Insn.Mul _ | Insn.Cqo | Insn.Cdq | Insn.Not _ | Insn.Xchg _
+  | Insn.Push_imm _ | Insn.Test_imm _ | Insn.Call _ | Insn.Jmp _
+  | Insn.Jmp_short _ | Insn.Jcc _ | Insn.Jcc_short _ | Insn.Ret
+  | Insn.Leave | Insn.Nop _ | Insn.Endbr64 | Insn.Ud2 | Insn.Int3
+  | Insn.Hlt | Insn.Syscall | Insn.Cpuid ->
+      ());
+  !consts
+
+(* Walk every decoded instruction of the recursive result. *)
+let scan_code loaded t (res : Recursive.result) =
+  Fetch_util.Interval_map.iter res.insn_spans (fun ~lo ~hi () ->
+      let rec go addr =
+        if addr < hi then
+          match Loaded.insn_at loaded addr with
+          | Some (insn, len) ->
+              List.iter
+                (fun v ->
+                  if Loaded.in_text loaded v then add t v (Code_constant addr))
+                (insn_constants ~addr ~len insn);
+              go (addr + len)
+          | None -> ()
+      in
+      go lo)
+
+let scan_calls_and_jumps t (res : Recursive.result) =
+  Hashtbl.iter
+    (fun entry (f : Recursive.func) ->
+      List.iter (fun (site, target) -> add t target (Call_target site)) f.calls;
+      List.iter
+        (fun (site, _, target) -> add t target (Jump_target (site, entry)))
+        f.all_jump_sites;
+      List.iter
+        (fun (_, targets) ->
+          List.iter (fun tg -> add t tg (Jump_target (entry, entry))) targets)
+        f.table_targets)
+    res.funcs
+
+(** Collect all references in the binary given the current disassembly. *)
+let collect loaded (res : Recursive.result) =
+  let t = { by_target = Hashtbl.create 1024 } in
+  List.iter
+    (fun (s : Fetch_elf.Image.section) ->
+      (* data sections only: unwinding metadata is not program data *)
+      let is_data =
+        s.flags land Fetch_elf.Image.shf_alloc <> 0
+        && s.flags land Fetch_elf.Image.shf_execinstr = 0
+        && not
+             (List.mem s.sec_name
+                [ ".eh_frame"; ".eh_frame_hdr"; ".gcc_except_table" ])
+      in
+      if is_data then scan_section_windows loaded t s)
+    loaded.Loaded.image.sections;
+  scan_code loaded t res;
+  scan_calls_and_jumps t res;
+  t
+
+(** Candidate pointers for §IV-E: data pointers and code constants (not
+    call/jump targets — those are already handled by recursion). *)
+let pointer_candidates t =
+  Hashtbl.fold
+    (fun target kinds acc ->
+      if
+        List.exists
+          (function
+            | Data_pointer _ | Code_constant _ -> true
+            | Call_target _ | Jump_target _ -> false)
+          kinds
+      then target :: acc
+      else acc)
+    t.by_target []
+  |> List.sort_uniq compare
+
+(** Is [target] referenced by anything other than jumps from [entry]?
+    (Criterion 3 of Algorithm 1.) *)
+let referenced_outside_jumps_of t ~entry target =
+  List.exists
+    (function
+      | Jump_target (_, owner) -> owner <> entry
+      | Data_pointer _ | Code_constant _ | Call_target _ -> true)
+    (refs_to t target)
+
+(** Is [target] referenced at all (HasRefTo)? *)
+let has_ref t target = refs_to t target <> []

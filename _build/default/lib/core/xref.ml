@@ -1,0 +1,153 @@
+(** Function-pointer detection and validation (§IV-E).
+
+    Every candidate pointer is validated by speculative conservative
+    disassembly checking the paper's four error classes:
+
+    (i)   invalid opcodes;
+    (ii)  running into the middle of previously disassembled instructions;
+    (iii) control transfers into the middle of previously detected
+          functions;
+    (iv)  calling-convention violations (non-argument register read before
+          initialization).
+
+    Survivors become new function starts; the pointer collection is then
+    refreshed from the enlarged disassembly and the process repeats. *)
+
+open Fetch_x86
+open Fetch_analysis
+
+let max_spec_insns = 200
+let max_spec_blocks = 24
+
+(* Instruction-boundary test against the committed disassembly. *)
+let mid_instruction (res : Recursive.result) loaded addr =
+  match Fetch_util.Interval_map.find res.insn_spans addr with
+  | None -> false
+  | Some (lo, _, ()) ->
+      (* walk the span's instruction boundaries *)
+      let rec walk a = a < addr && (match Loaded.insn_at loaded a with
+        | Some (_, len) -> walk (a + len)
+        | None -> true)
+      in
+      if addr = lo then false else walk lo
+
+(* Function-extent map: committed blocks of every detected function. *)
+let function_extents (res : Recursive.result) =
+  let m = Fetch_util.Interval_map.create () in
+  Hashtbl.iter
+    (fun entry (f : Recursive.func) ->
+      List.iter
+        (fun (lo, hi) ->
+          if hi > lo then Fetch_util.Interval_map.add_override m ~lo ~hi entry)
+        f.blocks)
+    res.funcs;
+  m
+
+type reject =
+  | Invalid_opcode
+  | Mid_instruction
+  | Transfer_into_function
+  | Bad_call_conv
+
+(** Validate [cand] as a function start against the committed results. *)
+let validate loaded (res : Recursive.result) ~extents cand =
+  if not (Loaded.in_text loaded cand) then Error Invalid_opcode
+  else if Hashtbl.mem res.funcs cand then Error Mid_instruction (* already known *)
+  else if mid_instruction res loaded cand then Error Mid_instruction
+  else if
+    (* a pointer into the body of a previously detected function is a
+       control transfer into its middle (error iii) — jump-table entries
+       land here, for example *)
+    match Fetch_util.Interval_map.find extents cand with
+    | Some (_, _, entry) -> entry <> cand
+    | None -> false
+  then Error Transfer_into_function
+  else begin
+    (* speculative conservative disassembly *)
+    let visited = Hashtbl.create 16 in
+    let exception Reject of reject in
+    let check_target t =
+      if Hashtbl.mem res.funcs t then ()
+      else begin
+        if mid_instruction res loaded t then raise (Reject Mid_instruction);
+        match Fetch_util.Interval_map.find extents t with
+        | Some (_, _, entry) when entry <> t ->
+            raise (Reject Transfer_into_function)
+        | Some _ | None -> ()
+      end
+    in
+    let rec walk_block fuel addr frontier =
+      if fuel <= 0 then frontier
+      else if Hashtbl.mem res.funcs addr then frontier
+      else
+        match Loaded.insn_at loaded addr with
+        | None -> raise (Reject Invalid_opcode)
+        | Some (insn, len) -> (
+            if mid_instruction res loaded addr then raise (Reject Mid_instruction);
+            match Semantics.flow insn with
+            | Semantics.Fall -> walk_block (fuel - 1) (addr + len) frontier
+            | Semantics.Ret | Semantics.Halt -> frontier
+            | Semantics.Jump (Semantics.Direct t) ->
+                check_target t;
+                if Loaded.in_text loaded t then t :: frontier else frontier
+            | Semantics.Cond t ->
+                check_target t;
+                walk_block (fuel - 1) (addr + len)
+                  (if Loaded.in_text loaded t then t :: frontier else frontier)
+            | Semantics.Jump (Semantics.Indirect _) -> frontier
+            | Semantics.Callf (Semantics.Direct t) ->
+                check_target t;
+                walk_block (fuel - 1) (addr + len) frontier
+            | Semantics.Callf (Semantics.Indirect _) ->
+                walk_block (fuel - 1) (addr + len) frontier)
+    in
+    try
+      let rec bfs blocks frontier =
+        match frontier with
+        | [] -> ()
+        | addr :: rest ->
+            if blocks <= 0 then ()
+            else if Hashtbl.mem visited addr then bfs blocks rest
+            else begin
+              Hashtbl.replace visited addr ();
+              let extra = walk_block max_spec_insns addr [] in
+              bfs (blocks - 1) (extra @ rest)
+            end
+      in
+      bfs max_spec_blocks [ cand ];
+      let noreturn t = Hashtbl.mem res.noreturn t in
+      if Callconv.validate ~noreturn ~cond_noreturn:(Hashtbl.mem res.cond_noreturn) loaded cand = Callconv.Invalid then
+        Error Bad_call_conv
+      else Ok ()
+    with Reject r -> Error r
+  end
+
+(** First acceptable candidate in ascending order, or [None]. *)
+let first_accepted loaded (res : Recursive.result) =
+  let refs = Refs.collect loaded res in
+  let extents = function_extents res in
+  let rec go = function
+    | [] -> None
+    | cand :: rest -> (
+        match validate loaded res ~extents cand with
+        | Ok () -> Some cand
+        | Error _ -> go rest)
+  in
+  go (Refs.pointer_candidates refs)
+
+(** Iterated detection (§IV-E): accept one legitimate pointer at a time and
+    immediately refresh the disassembly and the pointer collection with it,
+    so later candidates are judged against the updated function extents. *)
+let detect ?(config = Recursive.safe_config) loaded ~seeds =
+  let rec loop budget seeds res =
+    if budget <= 0 then (res, seeds)
+    else
+      match first_accepted loaded res with
+      | None -> (res, seeds)
+      | Some cand ->
+          let seeds' = List.sort_uniq compare (cand :: seeds) in
+          let res' = Recursive.run ~config loaded ~seeds:seeds' in
+          loop (budget - 1) seeds' res'
+  in
+  let res0 = Recursive.run ~config loaded ~seeds in
+  loop 64 seeds res0

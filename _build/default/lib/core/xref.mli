@@ -1,0 +1,34 @@
+(** Function-pointer detection and validation (§IV-E).
+
+    Every candidate pointer is validated by speculative conservative
+    disassembly checking the paper's four error classes; survivors are
+    accepted one at a time, each immediately refreshing the disassembly
+    and the pointer collection (so later candidates are judged against
+    the updated function extents, as the paper specifies). *)
+
+type reject =
+  | Invalid_opcode  (** error (i) *)
+  | Mid_instruction  (** error (ii) *)
+  | Transfer_into_function  (** error (iii) *)
+  | Bad_call_conv  (** error (iv) *)
+
+(** Interval map from committed block bytes to their owning entry. *)
+val function_extents :
+  Fetch_analysis.Recursive.result -> int Fetch_util.Interval_map.t
+
+(** Validate one candidate against the committed results. *)
+val validate :
+  Fetch_analysis.Loaded.t ->
+  Fetch_analysis.Recursive.result ->
+  extents:int Fetch_util.Interval_map.t ->
+  int ->
+  (unit, reject) result
+
+(** Iterated detection: run the engine from [seeds], accept legitimate
+    pointers one at a time until none remains; returns the final engine
+    result and the enlarged seed set. *)
+val detect :
+  ?config:Fetch_analysis.Recursive.config ->
+  Fetch_analysis.Loaded.t ->
+  seeds:int list ->
+  Fetch_analysis.Recursive.result * int list

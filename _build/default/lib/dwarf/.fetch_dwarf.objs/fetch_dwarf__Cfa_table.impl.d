@@ -1,0 +1,1 @@
+lib/dwarf/cfa_table.ml: Cfi Eh_frame List

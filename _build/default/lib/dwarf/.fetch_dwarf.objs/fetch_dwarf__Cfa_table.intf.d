@@ -1,0 +1,1 @@
+lib/dwarf/cfa_table.mli: Eh_frame

@@ -1,0 +1,1 @@
+lib/dwarf/cfi.ml: Byte_buf Byte_cursor Fetch_util List Printf String

@@ -1,0 +1,1 @@
+lib/dwarf/cfi.mli: Fetch_util

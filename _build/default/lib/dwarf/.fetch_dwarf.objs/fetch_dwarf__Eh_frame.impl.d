@@ -1,0 +1,1 @@
+lib/dwarf/eh_frame.ml: Byte_buf Byte_cursor Bytes Cfi Fetch_elf Fetch_util Hashtbl Int64 List Printf String

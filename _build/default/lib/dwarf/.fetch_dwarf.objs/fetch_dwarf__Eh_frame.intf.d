@@ -1,0 +1,1 @@
+lib/dwarf/eh_frame.mli: Cfi Fetch_elf

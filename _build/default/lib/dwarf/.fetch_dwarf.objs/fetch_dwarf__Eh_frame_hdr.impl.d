@@ -1,0 +1,1 @@
+lib/dwarf/eh_frame_hdr.ml: Array Byte_buf Byte_cursor Fetch_elf Fetch_util List Result

@@ -1,0 +1,1 @@
+lib/dwarf/eh_frame_hdr.mli: Fetch_elf

@@ -1,0 +1,1 @@
+lib/dwarf/height_oracle.ml: Cfa_table Eh_frame Fetch_util Interval_map List

@@ -1,0 +1,1 @@
+lib/dwarf/height_oracle.mli: Cfa_table Eh_frame

@@ -1,0 +1,1 @@
+lib/dwarf/lsda.ml: Byte_buf Byte_cursor Fetch_util List String

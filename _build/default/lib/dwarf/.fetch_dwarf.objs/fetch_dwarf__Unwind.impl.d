@@ -1,0 +1,1 @@
+lib/dwarf/unwind.ml: Cfa_table Height_oracle List Lsda

@@ -1,0 +1,1 @@
+lib/dwarf/unwind.mli: Height_oracle Lsda

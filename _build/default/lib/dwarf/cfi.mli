@@ -1,0 +1,30 @@
+(** DWARF Call Frame Instructions (the DW_CFA opcode family), the
+    unwinding-rule bytecode inside CIE/FDE records (§III-C of the
+    paper). *)
+
+type instr =
+  | Advance_loc of int  (** code offset delta, in code-alignment units *)
+  | Def_cfa of int * int  (** CFA := reg + offset *)
+  | Def_cfa_register of int
+  | Def_cfa_offset of int
+  | Offset of int * int  (** reg saved at CFA + factored_offset * data_align *)
+  | Restore of int
+  | Same_value of int
+  | Undefined of int
+  | Register of int * int  (** reg1 saved in reg2 *)
+  | Remember_state
+  | Restore_state
+  | Def_cfa_expression of string  (** raw DWARF expression bytes *)
+  | Expression of int * string  (** reg rule is a DWARF expression *)
+  | Nop
+
+(** Readable rendering in readelf style; alignment factors default to the
+    x86-64 CIE's (1, -8). *)
+val to_string : ?code_align:int -> ?data_align:int -> instr -> string
+
+(** Append the encoding of one instruction. *)
+val encode : Fetch_util.Byte_buf.t -> instr -> unit
+
+(** Decode instructions until the cursor is exhausted; raises [Failure]
+    on an unknown opcode. *)
+val decode_all : Fetch_util.Byte_cursor.t -> instr list

@@ -1,0 +1,271 @@
+(** The [.eh_frame] section: a list of CIEs, each carrying FDEs (§III-C).
+
+    Encoding follows the Linux Standard Base / GCC conventions: 32-bit
+    length fields, CIE version 1 with augmentation ["zR"] (plus ["P"] for
+    a personality routine and ["L"] for language-specific data areas in
+    C++-style objects), pcrel+sdata4 pointer encoding, records padded to
+    8 bytes with DW_CFA_nop, terminated by a zero-length entry. *)
+
+open Fetch_util
+
+type fde = {
+  pc_begin : int;  (** virtual address of the first covered byte *)
+  pc_range : int;  (** length of the covered region in bytes *)
+  lsda : int option;  (** language-specific data area (C++ landing pads) *)
+  instrs : Cfi.instr list;
+}
+
+type cie = {
+  code_align : int;
+  data_align : int;
+  ra_reg : int;  (** return-address column; 16 on x86-64 *)
+  personality : int option;  (** personality routine address *)
+  initial : Cfi.instr list;  (** initial unwinding rules *)
+  fdes : fde list;
+}
+
+let make_fde ?lsda ~pc_begin ~pc_range instrs = { pc_begin; pc_range; lsda; instrs }
+
+(** The CIE GCC emits for x86-64: CFA = rsp + 8, return address at CFA-8. *)
+let default_cie ?personality ?(fdes = []) () =
+  {
+    code_align = 1;
+    data_align = -8;
+    ra_reg = 16;
+    personality;
+    initial = [ Cfi.Def_cfa (7, 8); Cfi.Offset (16, 1) ];
+    fdes;
+  }
+
+let all_fdes cies = List.concat_map (fun c -> c.fdes) cies
+
+(* DW_EH_PE pointer encodings we support. *)
+let pe_pcrel_sdata4 = 0x1b
+
+(** Serialize the section as if loaded at [addr]; also returns, for every
+    FDE, its [pc_begin] and the virtual address of its record (what
+    [.eh_frame_hdr]'s search table stores). *)
+let encode_with_index ~addr cies =
+  let buf = Byte_buf.create ~capacity:4096 () in
+  let index = ref [] in
+  let encode_instrs instrs =
+    let b = Byte_buf.create () in
+    List.iter (Cfi.encode b) instrs;
+    b
+  in
+  (* Emit one record (CIE or FDE); [body] writes everything after the length
+     and id fields.  Records are padded to 8 bytes with DW_CFA_nop. *)
+  let record ~id body =
+    let len_at = Byte_buf.length buf in
+    Byte_buf.u32 buf 0;
+    (* placeholder *)
+    Byte_buf.u32 buf id;
+    body ();
+    (* pad so that total record size is a multiple of 8 *)
+    while (Byte_buf.length buf - len_at) mod 8 <> 0 do
+      Byte_buf.u8 buf 0x00
+    done;
+    Byte_buf.patch_u32 buf ~at:len_at (Byte_buf.length buf - len_at - 4)
+  in
+  List.iter
+    (fun cie ->
+      let with_lsda = List.exists (fun f -> f.lsda <> None) cie.fdes in
+      let cie_start = Byte_buf.length buf in
+      record ~id:0 (fun () ->
+          Byte_buf.u8 buf 1;
+          (* version *)
+          let aug =
+            "z"
+            ^ (if cie.personality <> None then "P" else "")
+            ^ (if with_lsda then "L" else "")
+            ^ "R"
+          in
+          Byte_buf.cstring buf aug;
+          Byte_buf.uleb128 buf cie.code_align;
+          Byte_buf.sleb128 buf cie.data_align;
+          Byte_buf.uleb128 buf cie.ra_reg;
+          (* augmentation data: P (enc + pointer), L (enc), R (enc) *)
+          let aug_len =
+            (if cie.personality <> None then 5 else 0)
+            + (if with_lsda then 1 else 0)
+            + 1
+          in
+          Byte_buf.uleb128 buf aug_len;
+          (match cie.personality with
+          | Some p ->
+              Byte_buf.u8 buf pe_pcrel_sdata4;
+              let field_addr = addr + Byte_buf.length buf in
+              Byte_buf.i32 buf (p - field_addr)
+          | None -> ());
+          if with_lsda then Byte_buf.u8 buf pe_pcrel_sdata4;
+          Byte_buf.u8 buf pe_pcrel_sdata4;
+          Byte_buf.bytes buf
+            (Bytes.of_string (Byte_buf.contents (encode_instrs cie.initial))));
+      List.iter
+        (fun fde ->
+          let len_at = Byte_buf.length buf in
+          index := (fde.pc_begin, addr + len_at) :: !index;
+          Byte_buf.u32 buf 0;
+          (* CIE pointer: distance from this field back to the CIE start *)
+          Byte_buf.u32 buf (Byte_buf.length buf - cie_start);
+          (* pc_begin, pcrel sdata4 relative to the field's own address *)
+          let field_addr = addr + Byte_buf.length buf in
+          Byte_buf.i32 buf (fde.pc_begin - field_addr);
+          Byte_buf.i32 buf fde.pc_range;
+          (* augmentation data: the LSDA pointer when the CIE declares L *)
+          if with_lsda then begin
+            Byte_buf.uleb128 buf 4;
+            let lsda_field = addr + Byte_buf.length buf in
+            match fde.lsda with
+            | Some l -> Byte_buf.i32 buf (l - lsda_field)
+            | None -> Byte_buf.i32 buf (0 - lsda_field) (* 0 = no LSDA *)
+          end
+          else Byte_buf.uleb128 buf 0;
+          Byte_buf.bytes buf
+            (Bytes.of_string (Byte_buf.contents (encode_instrs fde.instrs)));
+          while (Byte_buf.length buf - len_at) mod 8 <> 0 do
+            Byte_buf.u8 buf 0x00
+          done;
+          Byte_buf.patch_u32 buf ~at:len_at (Byte_buf.length buf - len_at - 4))
+        cie.fdes)
+    cies;
+  (* terminator *)
+  Byte_buf.u32 buf 0;
+  (Byte_buf.contents buf, List.rev !index)
+
+let encode ~addr cies = fst (encode_with_index ~addr cies)
+
+type raw_cie = {
+  rc_code_align : int;
+  rc_data_align : int;
+  rc_ra : int;
+  rc_enc : int;
+  rc_lsda_enc : int option;
+  rc_personality : int option;
+  rc_initial : Cfi.instr list;
+}
+
+let decode ~addr data =
+  let c = Byte_cursor.of_string data in
+  let cies : (int, raw_cie) Hashtbl.t = Hashtbl.create 8 in
+  (* Preserve CIE grouping in input order. *)
+  let order : int list ref = ref [] in
+  let grouped : (int, fde list) Hashtbl.t = Hashtbl.create 8 in
+  let read_encoded enc =
+    let field_addr = addr + Byte_cursor.pos c in
+    let v =
+      match enc land 0x0f with
+      | 0x0b (* sdata4 *) | 0x03 (* udata4 *) -> Byte_cursor.i32 c
+      | 0x0c | 0x04 | 0x00 -> Int64.to_int (Byte_cursor.i64 c)
+      | _ -> failwith "unsupported pointer encoding"
+    in
+    match enc land 0x70 with
+    | 0x10 (* pcrel *) -> v + field_addr
+    | 0x00 -> v
+    | _ -> failwith "unsupported pointer application"
+  in
+  try
+    let continue = ref true in
+    while !continue && Byte_cursor.remaining c >= 4 do
+      let rec_start = Byte_cursor.pos c in
+      let len = Byte_cursor.u32 c in
+      if len = 0 then continue := false
+      else if len = 0xffffffff then failwith "64-bit DWARF records unsupported"
+      else begin
+        let body_end = Byte_cursor.pos c + len in
+        let id_at = Byte_cursor.pos c in
+        let id = Byte_cursor.u32 c in
+        if id = 0 then begin
+          (* CIE *)
+          let version = Byte_cursor.u8 c in
+          if version <> 1 && version <> 3 then failwith "unsupported CIE version";
+          let aug = Byte_cursor.cstring c in
+          let code_align = Byte_cursor.uleb128 c in
+          let data_align = Byte_cursor.sleb128 c in
+          let ra = Byte_cursor.uleb128 c in
+          let enc = ref 0x00 in
+          let lsda_enc = ref None in
+          let personality = ref None in
+          if String.length aug > 0 && aug.[0] = 'z' then begin
+            let aug_len = Byte_cursor.uleb128 c in
+            let aug_end = Byte_cursor.pos c + aug_len in
+            String.iter
+              (function
+                | 'z' -> ()
+                | 'R' -> enc := Byte_cursor.u8 c
+                | 'P' ->
+                    let penc = Byte_cursor.u8 c in
+                    personality := Some (read_encoded penc)
+                | 'L' -> lsda_enc := Some (Byte_cursor.u8 c)
+                | ch -> failwith (Printf.sprintf "unknown augmentation %c" ch))
+              aug;
+            Byte_cursor.seek c aug_end
+          end;
+          let instr_bytes = Byte_cursor.string c (body_end - Byte_cursor.pos c) in
+          let initial = Cfi.decode_all (Byte_cursor.of_string instr_bytes) in
+          Hashtbl.replace cies rec_start
+            { rc_code_align = code_align; rc_data_align = data_align;
+              rc_ra = ra; rc_enc = !enc; rc_lsda_enc = !lsda_enc;
+              rc_personality = !personality; rc_initial = initial };
+          if not (List.mem rec_start !order) then order := rec_start :: !order;
+          if not (Hashtbl.mem grouped rec_start) then Hashtbl.replace grouped rec_start []
+        end
+        else begin
+          (* FDE: id is the distance back from the id field to its CIE. *)
+          let cie_off = id_at - id in
+          let raw =
+            match Hashtbl.find_opt cies cie_off with
+            | Some r -> r
+            | None -> failwith "FDE references unknown CIE"
+          in
+          let pc_begin = read_encoded raw.rc_enc in
+          (* pc_range is always an absolute size, same width as pc_begin *)
+          let pc_range =
+            match raw.rc_enc land 0x0f with
+            | 0x0b | 0x03 -> Byte_cursor.i32 c
+            | _ -> Int64.to_int (Byte_cursor.i64 c)
+          in
+          let aug_len = Byte_cursor.uleb128 c in
+          let aug_end = Byte_cursor.pos c + aug_len in
+          let lsda =
+            match raw.rc_lsda_enc with
+            | Some enc when aug_len > 0 ->
+                let v = read_encoded enc in
+                (* encoders write a pointer to 0 to mean "no LSDA" *)
+                if v = 0 then None else Some v
+            | _ -> None
+          in
+          Byte_cursor.seek c aug_end;
+          let instr_bytes = Byte_cursor.string c (body_end - Byte_cursor.pos c) in
+          let instrs = Cfi.decode_all (Byte_cursor.of_string instr_bytes) in
+          let prev = try Hashtbl.find grouped cie_off with Not_found -> [] in
+          Hashtbl.replace grouped cie_off
+            ({ pc_begin; pc_range; lsda; instrs } :: prev)
+        end;
+        Byte_cursor.seek c body_end
+      end
+    done;
+    let result =
+      List.rev_map
+        (fun off ->
+          let raw = Hashtbl.find cies off in
+          {
+            code_align = raw.rc_code_align;
+            data_align = raw.rc_data_align;
+            ra_reg = raw.rc_ra;
+            personality = raw.rc_personality;
+            initial = raw.rc_initial;
+            fdes = List.rev (Hashtbl.find grouped off);
+          })
+        !order
+    in
+    Ok result
+  with
+  | Failure msg -> Error msg
+  | Byte_cursor.Out_of_bounds _ -> Error "truncated .eh_frame"
+
+(** Decode the [.eh_frame] section of an ELF image, if present. *)
+let of_image (img : Fetch_elf.Image.t) =
+  match Fetch_elf.Image.section img ".eh_frame" with
+  | None -> Ok []
+  | Some s -> decode ~addr:s.addr s.data

@@ -1,0 +1,48 @@
+(** The [.eh_frame] section: a list of CIEs, each carrying FDEs (§III-C).
+
+    Encoding follows the Linux Standard Base / GCC conventions: 32-bit
+    length fields, CIE version 1 with augmentation ["zR"] (plus ["P"] for
+    a personality routine and ["L"] for language-specific data areas in
+    C++-style objects), pcrel+sdata4 pointer encoding, records padded to
+    8 bytes with DW_CFA_nop, terminated by a zero-length entry. *)
+
+type fde = {
+  pc_begin : int;  (** virtual address of the first covered byte *)
+  pc_range : int;  (** length of the covered region in bytes *)
+  lsda : int option;  (** language-specific data area (C++ landing pads) *)
+  instrs : Cfi.instr list;
+}
+
+type cie = {
+  code_align : int;
+  data_align : int;
+  ra_reg : int;  (** return-address column; 16 on x86-64 *)
+  personality : int option;  (** personality routine address *)
+  initial : Cfi.instr list;  (** initial unwinding rules *)
+  fdes : fde list;
+}
+
+val make_fde : ?lsda:int -> pc_begin:int -> pc_range:int -> Cfi.instr list -> fde
+
+(** The CIE GCC emits for x86-64: CFA = rsp + 8, return address at
+    CFA - 8. *)
+val default_cie : ?personality:int -> ?fdes:fde list -> unit -> cie
+
+(** All FDEs of all CIEs, in input order. *)
+val all_fdes : cie list -> fde list
+
+(** [encode ~addr cies] serializes the section as if loaded at virtual
+    address [addr] (needed for pcrel pointer encodings). *)
+val encode : addr:int -> cie list -> string
+
+(** Like {!encode}, and also returns each FDE's [pc_begin] paired with the
+    virtual address of its record — the contents of [.eh_frame_hdr]'s
+    binary-search table. *)
+val encode_with_index : addr:int -> cie list -> string * (int * int) list
+
+(** Inverse of {!encode}; also accepts common GCC variations (version 3,
+    personality/LSDA augmentations, absptr and 8-byte encodings). *)
+val decode : addr:int -> string -> (cie list, string) result
+
+(** Decode the [.eh_frame] section of an ELF image ([Ok []] if absent). *)
+val of_image : Fetch_elf.Image.t -> (cie list, string) result

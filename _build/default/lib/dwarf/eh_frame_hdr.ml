@@ -1,0 +1,88 @@
+(** The [.eh_frame_hdr] section: the sorted binary-search table the
+    runtime unwinder uses to find the FDE for a PC in O(log n) (GNU
+    [PT_GNU_EH_FRAME] segment contents).
+
+    Layout (all per the LSB): version byte 1; three DW_EH_PE encoding
+    bytes (eh_frame pointer, fde count, table entries); the pcrel pointer
+    to [.eh_frame]; the entry count; then [(initial_pc, fde_address)]
+    pairs, datarel-encoded (relative to the section start) and sorted by
+    [initial_pc]. *)
+
+open Fetch_util
+
+type t = {
+  addr : int;  (** virtual address of the section itself *)
+  eh_frame_ptr : int;
+  entries : (int * int) array;  (** (pc_begin, fde record address), sorted *)
+}
+
+let pe_pcrel_sdata4 = 0x1b
+let pe_udata4 = 0x03
+let pe_datarel_sdata4 = 0x3b
+
+(** [encode ~addr ~eh_frame_addr index] builds the section as loaded at
+    [addr]; [index] pairs each FDE's [pc_begin] with its record address
+    (from {!Eh_frame.encode_with_index}). *)
+let encode ~addr ~eh_frame_addr index =
+  let buf = Byte_buf.create () in
+  Byte_buf.u8 buf 1;
+  (* version *)
+  Byte_buf.u8 buf pe_pcrel_sdata4;
+  Byte_buf.u8 buf pe_udata4;
+  Byte_buf.u8 buf pe_datarel_sdata4;
+  let field_addr = addr + Byte_buf.length buf in
+  Byte_buf.i32 buf (eh_frame_addr - field_addr);
+  let entries = List.sort compare index in
+  Byte_buf.u32 buf (List.length entries);
+  List.iter
+    (fun (pc, fde_addr) ->
+      Byte_buf.i32 buf (pc - addr);
+      Byte_buf.i32 buf (fde_addr - addr))
+    entries;
+  Byte_buf.contents buf
+
+let decode ~addr data =
+  let c = Byte_cursor.of_string data in
+  try
+    let version = Byte_cursor.u8 c in
+    if version <> 1 then Error "unsupported .eh_frame_hdr version"
+    else begin
+      let ptr_enc = Byte_cursor.u8 c in
+      let count_enc = Byte_cursor.u8 c in
+      let table_enc = Byte_cursor.u8 c in
+      if ptr_enc <> pe_pcrel_sdata4 || count_enc <> pe_udata4
+         || table_enc <> pe_datarel_sdata4
+      then Error "unsupported .eh_frame_hdr encodings"
+      else begin
+        let field_addr = addr + Byte_cursor.pos c in
+        let eh_frame_ptr = Byte_cursor.i32 c + field_addr in
+        let count = Byte_cursor.u32 c in
+        let entries =
+          Array.init count (fun _ ->
+              let pc = Byte_cursor.i32 c + addr in
+              let fde = Byte_cursor.i32 c + addr in
+              (pc, fde))
+        in
+        Ok { addr; eh_frame_ptr; entries }
+      end
+    end
+  with Byte_cursor.Out_of_bounds _ -> Error "truncated .eh_frame_hdr"
+
+let of_image (img : Fetch_elf.Image.t) =
+  match Fetch_elf.Image.section img ".eh_frame_hdr" with
+  | None -> Ok None
+  | Some s -> Result.map (fun h -> Some h) (decode ~addr:s.addr s.data)
+
+(** Binary search: the FDE record address covering [pc] per the table
+    (i.e. the entry with the greatest [pc_begin <= pc]). *)
+let search t pc =
+  let n = Array.length t.entries in
+  if n = 0 || pc < fst t.entries.(0) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if fst t.entries.(mid) <= pc then lo := mid else hi := mid - 1
+    done;
+    Some (snd t.entries.(!lo))
+  end

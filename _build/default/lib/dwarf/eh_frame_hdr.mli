@@ -1,0 +1,23 @@
+(** The [.eh_frame_hdr] section: the sorted binary-search table the
+    runtime unwinder uses to find the FDE for a PC in O(log n) (GNU
+    [PT_GNU_EH_FRAME] segment contents). *)
+
+type t = {
+  addr : int;  (** virtual address of the section itself *)
+  eh_frame_ptr : int;
+  entries : (int * int) array;  (** (pc_begin, fde record address), sorted *)
+}
+
+(** [encode ~addr ~eh_frame_addr index] builds the section as loaded at
+    [addr]; [index] pairs each FDE's [pc_begin] with its record address
+    (from {!Eh_frame.encode_with_index}). *)
+val encode : addr:int -> eh_frame_addr:int -> (int * int) list -> string
+
+val decode : addr:int -> string -> (t, string) result
+
+(** Decode the image's [.eh_frame_hdr], if present. *)
+val of_image : Fetch_elf.Image.t -> (t option, string) result
+
+(** Binary search: the FDE record address covering [pc] (the entry with
+    the greatest [pc_begin <= pc]). *)
+val search : t -> int -> int option

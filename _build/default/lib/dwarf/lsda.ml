@@ -1,0 +1,80 @@
+(** Language-Specific Data Area (the [.gcc_except_table] records): the
+    per-function call-site tables the personality routine consults to find
+    the landing pad for a PC during phase 2 of unwinding (Figure 2's
+    "find the proper handler" step).
+
+    Encoded in the Itanium C++ ABI layout GCC uses: a landing-pad base
+    encoding (DW_EH_PE_omit = function start), a type-table encoding
+    (omitted here — no typed catches needed for function detection), and
+    a uleb128 call-site table.  All offsets are relative to the function
+    start. *)
+
+open Fetch_util
+
+type call_site = {
+  cs_start : int;  (** offset of the covered region's first byte *)
+  cs_len : int;
+  landing_pad : int;  (** offset of the landing pad; 0 = unwind through *)
+  action : int;  (** 0 = cleanup only; >0 indexes the action table *)
+}
+
+type t = { call_sites : call_site list }
+
+let pe_omit = 0xff
+let pe_uleb128 = 0x01
+
+let encode t =
+  let buf = Byte_buf.create () in
+  Byte_buf.u8 buf pe_omit;
+  (* landing-pad base = function start *)
+  Byte_buf.u8 buf pe_omit;
+  (* no type table *)
+  Byte_buf.u8 buf pe_uleb128;
+  (* call-site table encoding *)
+  let table = Byte_buf.create () in
+  List.iter
+    (fun cs ->
+      Byte_buf.uleb128 table cs.cs_start;
+      Byte_buf.uleb128 table cs.cs_len;
+      Byte_buf.uleb128 table cs.landing_pad;
+      Byte_buf.uleb128 table cs.action)
+    t.call_sites;
+  let body = Byte_buf.contents table in
+  Byte_buf.uleb128 buf (String.length body);
+  Byte_buf.string buf body;
+  Byte_buf.contents buf
+
+let decode data =
+  let c = Byte_cursor.of_string data in
+  try
+    let lp_enc = Byte_cursor.u8 c in
+    if lp_enc <> pe_omit then Error "unsupported landing-pad base encoding"
+    else begin
+      let ttype_enc = Byte_cursor.u8 c in
+      if ttype_enc <> pe_omit then Error "unsupported type-table encoding"
+      else begin
+        let cs_enc = Byte_cursor.u8 c in
+        if cs_enc <> pe_uleb128 then Error "unsupported call-site encoding"
+        else begin
+          let len = Byte_cursor.uleb128 c in
+          let stop = Byte_cursor.pos c + len in
+          let sites = ref [] in
+          while Byte_cursor.pos c < stop do
+            let cs_start = Byte_cursor.uleb128 c in
+            let cs_len = Byte_cursor.uleb128 c in
+            let landing_pad = Byte_cursor.uleb128 c in
+            let action = Byte_cursor.uleb128 c in
+            sites := { cs_start; cs_len; landing_pad; action } :: !sites
+          done;
+          Ok { call_sites = List.rev !sites }
+        end
+      end
+    end
+  with Byte_cursor.Out_of_bounds _ -> Error "truncated LSDA"
+
+(** The call site covering code offset [off] (relative to the function
+    start). *)
+let site_for t ~off =
+  List.find_opt
+    (fun cs -> off >= cs.cs_start && off < cs.cs_start + cs.cs_len)
+    t.call_sites

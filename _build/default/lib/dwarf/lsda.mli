@@ -1,0 +1,23 @@
+(** Language-Specific Data Area (the [.gcc_except_table] records): the
+    per-function call-site tables the personality routine consults to find
+    the landing pad for a PC during phase 2 of unwinding (Figure 2's
+    "find the proper handler" step). *)
+
+type call_site = {
+  cs_start : int;  (** offset of the covered region's first byte *)
+  cs_len : int;
+  landing_pad : int;  (** offset of the landing pad; 0 = unwind through *)
+  action : int;  (** 0 = cleanup only; >0 indexes the action table *)
+}
+
+type t = { call_sites : call_site list }
+
+(** Itanium-ABI layout with landing-pad base = function start and no type
+    table; offsets relative to the function start. *)
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+(** The call site covering a code offset (relative to the function
+    start). *)
+val site_for : t -> off:int -> call_site option

@@ -1,0 +1,154 @@
+(** Reference stack unwinder: the consumer-side semantics of [.eh_frame]
+    (what libgcc's [_Unwind_RaiseException] does, §III-B).
+
+    Used by the test suite to prove that CFI emitted by the synthetic
+    compiler is semantically correct: given a simulated machine state at an
+    arbitrary PC, the unwinder must recover the caller's PC/SP and every
+    callee-saved register (tasks T1, T2 and T3). *)
+
+type machine = {
+  pc : int;
+  regs : (int * int) list;  (** DWARF reg number -> value (rsp is reg 7) *)
+  read_u64 : int -> int option;  (** memory read at a virtual address *)
+}
+
+type frame = {
+  cfa : int;  (** canonical frame address of the interrupted frame *)
+  return_address : int;
+  caller_regs : (int * int) list;  (** register values in the caller *)
+}
+
+type error =
+  | No_fde of int  (** PC not covered by any FDE: task T1 failed *)
+  | Bad_memory of int
+  | Unsupported_rule of string
+
+let reg_value m r =
+  match List.assoc_opt r m.regs with Some v -> Some v | None -> None
+
+(** Unwind one frame.  Finds the FDE containing [m.pc] (T1), evaluates the
+    CFI rows at that offset to compute the CFA and return address (T2), and
+    applies each register rule to recover callee-saved registers (T3). *)
+let step (oracle : Height_oracle.t) (m : machine) : (frame, error) result =
+  match Height_oracle.entry_at oracle m.pc with
+  | None -> Error (No_fde m.pc)
+  | Some e -> (
+      let off = m.pc - e.fde.pc_begin in
+      match Cfa_table.row_at e.rows off with
+      | None -> Error (Unsupported_rule "no CFI row at pc")
+      | Some row -> (
+          let cfa =
+            match row.cfa with
+            | Cfa_table.Cfa_reg_offset (r, o) -> (
+                match reg_value m r with
+                | Some v -> Ok (v + o)
+                | None -> Error (Unsupported_rule "CFA base register unknown"))
+            | Cfa_table.Cfa_expr -> Error (Unsupported_rule "CFA expression")
+          in
+          match cfa with
+          | Error _ as err -> err
+          | Ok cfa -> (
+              let apply (r, rule) acc =
+                match acc with
+                | Error _ as err -> err
+                | Ok regs -> (
+                    match rule with
+                    | Cfa_table.Saved_at_cfa o -> (
+                        match m.read_u64 (cfa + o) with
+                        | Some v -> Ok ((r, v) :: regs)
+                        | None -> Error (Bad_memory (cfa + o)))
+                    | Cfa_table.Same_value -> (
+                        match reg_value m r with
+                        | Some v -> Ok ((r, v) :: regs)
+                        | None -> Ok regs)
+                    | Cfa_table.In_register src -> (
+                        match reg_value m src with
+                        | Some v -> Ok ((r, v) :: regs)
+                        | None -> Ok regs)
+                    | Cfa_table.Undefined -> Ok regs
+                    | Cfa_table.Rule_expr ->
+                        Error (Unsupported_rule "register expression"))
+              in
+              (* Registers without a rule keep their value; rsp becomes the
+                 CFA itself in the caller. *)
+              let kept =
+                List.filter (fun (r, _) -> not (List.mem_assoc r row.regs)) m.regs
+              in
+              match List.fold_right apply row.regs (Ok kept) with
+              | Error _ as err -> err
+              | Ok regs -> (
+                  let regs =
+                    (Cfa_table.dw_rsp, cfa)
+                    :: List.remove_assoc Cfa_table.dw_rsp regs
+                  in
+                  (* Return address: rule for the RA column, else CFA - 8. *)
+                  let ra_rule = List.assoc_opt 16 row.regs in
+                  match ra_rule with
+                  | Some (Cfa_table.Saved_at_cfa o) -> (
+                      match m.read_u64 (cfa + o) with
+                      | Some ra ->
+                          Ok { cfa; return_address = ra; caller_regs = regs }
+                      | None -> Error (Bad_memory (cfa + o)))
+                  | Some _ -> Error (Unsupported_rule "unusual RA rule")
+                  | None -> (
+                      match m.read_u64 (cfa - 8) with
+                      | Some ra ->
+                          Ok { cfa; return_address = ra; caller_regs = regs }
+                      | None -> Error (Bad_memory (cfa - 8)))))))
+
+(** Repeatedly unwind until [stop] says the handler frame is reached or an
+    error occurs; returns the visited frames, outermost last. *)
+let walk oracle m ~max_frames ~stop =
+  let rec go m acc n =
+    if n >= max_frames then Ok (List.rev acc)
+    else
+      match step oracle m with
+      | Error e -> Error (e, List.rev acc)
+      | Ok f ->
+          if stop f then Ok (List.rev (f :: acc))
+          else
+            go
+              { m with pc = f.return_address; regs = f.caller_regs }
+              (f :: acc) (n + 1)
+  in
+  go m [] 0
+
+(** Phase-2 of Figure 2's workflow: starting from a throw at [m.pc], walk
+    up the stack until a frame's LSDA carries a call site with a landing
+    pad covering that frame's PC; [lsda_of] fetches and parses the LSDA at
+    a given address (from [.gcc_except_table]).  Returns the frames
+    unwound (innermost first) and the landing pad's absolute address, or
+    the frames walked when no handler exists. *)
+let find_handler (oracle : Height_oracle.t) ~lsda_of (m : machine) ~max_frames
+    =
+  let landing_pad_for pc =
+    match Height_oracle.entry_at oracle pc with
+    | Some e -> (
+        match e.fde.lsda with
+        | Some lsda_addr -> (
+            match lsda_of lsda_addr with
+            | Some lsda -> (
+                match Lsda.site_for lsda ~off:(pc - e.fde.pc_begin) with
+                | Some site when site.Lsda.landing_pad <> 0 ->
+                    Some (e.fde.pc_begin + site.Lsda.landing_pad)
+                | Some _ | None -> None)
+            | None -> None)
+        | None -> None)
+    | None -> None
+  in
+  let rec go m acc n =
+    match landing_pad_for m.pc with
+    | Some lp -> Ok (List.rev acc, Some lp)
+    | None ->
+        if n >= max_frames then Ok (List.rev acc, None)
+        else (
+          match step oracle m with
+          | Error e -> Error (e, List.rev acc)
+          | Ok f ->
+              (* the caller's relevant PC is the call site, one byte before
+                 the return address *)
+              go
+                { m with pc = f.return_address - 1; regs = f.caller_regs }
+                (f :: acc) (n + 1))
+  in
+  go m [] 0

@@ -1,0 +1,50 @@
+(** Reference stack unwinder: the consumer-side semantics of [.eh_frame]
+    (what libgcc's [_Unwind_RaiseException] does, §III-B).
+
+    Used by the test suite and examples to prove that CFI emitted by the
+    synthetic compiler is semantically correct: given a simulated machine
+    state at an arbitrary PC, the unwinder must recover the caller's
+    PC/SP and every callee-saved register (tasks T1, T2 and T3). *)
+
+type machine = {
+  pc : int;
+  regs : (int * int) list;  (** DWARF reg number -> value (rsp is 7) *)
+  read_u64 : int -> int option;  (** memory read at a virtual address *)
+}
+
+type frame = {
+  cfa : int;  (** canonical frame address of the interrupted frame *)
+  return_address : int;
+  caller_regs : (int * int) list;  (** register values in the caller *)
+}
+
+type error =
+  | No_fde of int  (** PC not covered by any FDE: task T1 failed *)
+  | Bad_memory of int
+  | Unsupported_rule of string
+
+(** Unwind one frame: find the FDE containing [pc] (T1), compute the CFA
+    and return address (T2), apply each register rule (T3). *)
+val step : Height_oracle.t -> machine -> (frame, error) result
+
+(** Repeatedly unwind until [stop] accepts a frame or [max_frames] is
+    reached; returns the visited frames, innermost first. *)
+val walk :
+  Height_oracle.t ->
+  machine ->
+  max_frames:int ->
+  stop:(frame -> bool) ->
+  (frame list, error * frame list) result
+
+(** Phase-2 of Figure 2's workflow: starting from a throw at the machine's
+    PC, walk up the stack until a frame's LSDA carries a call site with a
+    landing pad covering that frame's PC; [lsda_of] fetches and parses the
+    LSDA at a given address.  Returns the frames unwound (innermost first)
+    and the landing pad's absolute address ([None] when no handler
+    exists within [max_frames]). *)
+val find_handler :
+  Height_oracle.t ->
+  lsda_of:(int -> Lsda.t option) ->
+  machine ->
+  max_frames:int ->
+  (frame list * int option, error * frame list) result

@@ -1,0 +1,1 @@
+lib/elf/decode.ml: Array Byte_cursor Fetch_util Image List Result String

@@ -1,0 +1,1 @@
+lib/elf/encode.ml: Byte_buf Fetch_util Image List String

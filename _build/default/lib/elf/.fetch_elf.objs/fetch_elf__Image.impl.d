@@ -1,0 +1,1 @@
+lib/elf/image.ml: Int64 List Option String

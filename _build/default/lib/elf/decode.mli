@@ -1,0 +1,10 @@
+(** ELF64 decoder: parse bytes produced by {!Encode} (or any well-formed
+    little-endian ELF64 file) back into an {!Image.t}.
+
+    Rejects non-ELF input, 32-bit or big-endian files, non-x86-64
+    machines, and structurally truncated files with a descriptive
+    error. *)
+
+type error = string
+
+val decode : string -> (Image.t, error) result

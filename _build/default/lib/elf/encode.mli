@@ -1,0 +1,11 @@
+(** ELF64 encoder: serialize an {!Image.t} to a well-formed executable
+    file.
+
+    Layout: ELF header, program headers (one PT_LOAD per allocated
+    section, file offsets congruent to virtual addresses modulo the page
+    size), section contents, then the section header table.  A
+    [.shstrtab] is synthesized; when the image carries symbols a
+    [.symtab]/[.strtab] pair is appended.  Raises [Invalid_argument] if
+    the layout cannot be honoured. *)
+
+val encode : Image.t -> string

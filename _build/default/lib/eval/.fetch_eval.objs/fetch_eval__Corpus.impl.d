@@ -1,0 +1,1 @@
+lib/eval/corpus.ml: Fetch_synth Fetch_util Gen Hashtbl Link List Printf Profile

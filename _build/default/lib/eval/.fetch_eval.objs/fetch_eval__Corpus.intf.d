@@ -1,0 +1,1 @@
+lib/eval/corpus.mli: Fetch_synth

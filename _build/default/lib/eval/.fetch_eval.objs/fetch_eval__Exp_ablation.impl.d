@@ -1,0 +1,1 @@
+lib/eval/exp_ablation.ml: Buffer Corpus Fetch_analysis Fetch_core Fetch_elf Fetch_synth Fetch_util Int List Metrics Set Truth

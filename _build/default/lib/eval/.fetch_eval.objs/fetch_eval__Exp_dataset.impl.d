@@ -1,0 +1,1 @@
+lib/eval/exp_dataset.ml: Buffer Corpus Fetch_dwarf Fetch_elf Fetch_synth Fetch_util Hashtbl Int Link List Option Printf Set Truth

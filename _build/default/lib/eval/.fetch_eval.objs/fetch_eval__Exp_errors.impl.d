@@ -1,0 +1,1 @@
+lib/eval/exp_errors.ml: Corpus Fetch_analysis Fetch_core Fetch_elf Fetch_rop Fetch_synth Int List Metrics Printf Set String Truth

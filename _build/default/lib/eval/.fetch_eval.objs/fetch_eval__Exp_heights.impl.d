@@ -1,0 +1,1 @@
+lib/eval/exp_heights.ml: Buffer Corpus Fetch_analysis Fetch_dwarf Fetch_elf Fetch_synth Fetch_util Fetch_x86 Hashtbl List Metrics Printf Profile Truth

@@ -1,0 +1,1 @@
+lib/eval/exp_heights.mli: Fetch_analysis Fetch_synth Hashtbl Metrics Profile Truth

@@ -1,0 +1,1 @@
+lib/eval/exp_pe.ml: Corpus Fetch_pe Fetch_synth List Printf String Truth

@@ -1,0 +1,1 @@
+lib/eval/exp_pe.mli:

@@ -1,0 +1,1 @@
+lib/eval/exp_strategies.ml: Angr_model Buffer Corpus Fetch_analysis Fetch_baselines Fetch_core Fetch_elf Fetch_util Ghidra_model List Metrics Printf

@@ -1,0 +1,1 @@
+lib/eval/exp_strategies.mli: Fetch_analysis Metrics

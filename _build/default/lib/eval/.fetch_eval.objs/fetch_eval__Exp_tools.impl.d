@@ -1,0 +1,1 @@
+lib/eval/exp_tools.ml: Buffer Corpus Fetch_analysis Fetch_baselines Fetch_elf Fetch_synth Fetch_util Hashtbl List Metrics Printf Profile Sys Tools

@@ -1,0 +1,1 @@
+lib/eval/exp_tools.mli: Fetch_synth Hashtbl Profile

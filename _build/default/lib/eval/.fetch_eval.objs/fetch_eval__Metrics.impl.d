@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Fetch_synth Int List Set Truth

@@ -1,0 +1,214 @@
+(** Corpus specifications mirroring the paper's two datasets.
+
+    Dataset 2 (Table II): 179 "programs" across 22 projects, each compiled
+    with both synthetic compilers at O2/O3/Os/Ofast.  Dataset 1 (Table I):
+    43 "wild" binaries, 11 of which carry symbols.  Everything is derived
+    deterministically from a master seed; [scale] shrinks the per-project
+    program counts for quick runs. *)
+
+open Fetch_synth
+
+type lang = C | Cxx | Mixed
+
+type project = {
+  pname : string;
+  ptype : string;
+  n_programs : int;
+  lang : lang;
+  funcs : int * int;  (** per-binary function count range *)
+  asm : Gen.spec -> Gen.spec;  (** per-project assembly-function mix *)
+}
+
+let no_asm spec = spec
+
+let light_asm spec =
+  { spec with Gen.n_asm_called = 1; n_asm_tailonly = 1; n_asm_pointer = 1 }
+
+let medium_asm spec =
+  {
+    spec with
+    Gen.n_asm_called = 1;
+    n_asm_tailonly = 1;
+    n_asm_pointer = 2;
+    n_asm_code_ptr = 1;
+    n_asm_unreachable = 1;
+  }
+
+let heavy_asm spec =
+  {
+    spec with
+    Gen.n_asm_called = 2;
+    n_asm_tailonly = 2;
+    n_asm_pointer = 3;
+    n_asm_code_ptr = 2;
+    n_asm_unreachable = 1;
+  }
+
+(* Table II rows. *)
+let projects =
+  [
+    { pname = "Coreutils-8.30"; ptype = "Utilities"; n_programs = 105; lang = C; funcs = (25, 60); asm = no_asm };
+    { pname = "Findutils-4.4"; ptype = "Utilities"; n_programs = 3; lang = C; funcs = (40, 80); asm = no_asm };
+    { pname = "Binutils-2.26"; ptype = "Utilities"; n_programs = 17; lang = Mixed; funcs = (60, 120); asm = no_asm };
+    { pname = "Openssl-1.1.0l"; ptype = "Client"; n_programs = 1; lang = C; funcs = (140, 220); asm = heavy_asm };
+    { pname = "D8-6.4"; ptype = "Client"; n_programs = 1; lang = Cxx; funcs = (100, 160); asm = no_asm };
+    { pname = "Busybox-1.31"; ptype = "Client"; n_programs = 1; lang = C; funcs = (80, 140); asm = light_asm };
+    { pname = "Protobuf-c-1"; ptype = "Client"; n_programs = 1; lang = Cxx; funcs = (40, 80); asm = no_asm };
+    { pname = "ZSH-5.7.1"; ptype = "Client"; n_programs = 1; lang = C; funcs = (60, 100); asm = no_asm };
+    { pname = "Openssh-8.0"; ptype = "Client"; n_programs = 7; lang = C; funcs = (40, 80); asm = no_asm };
+    { pname = "Mysql-5.7.27"; ptype = "Client"; n_programs = 1; lang = Cxx; funcs = (90, 150); asm = no_asm };
+    { pname = "Git-2.23"; ptype = "Client"; n_programs = 1; lang = C; funcs = (80, 130); asm = no_asm };
+    { pname = "filezilla-3.44.2"; ptype = "Client"; n_programs = 1; lang = Cxx; funcs = (70, 120); asm = no_asm };
+    { pname = "Lighttpd-1.4.54"; ptype = "Server"; n_programs = 1; lang = C; funcs = (50, 90); asm = no_asm };
+    { pname = "Mysqld-5.7.27"; ptype = "Server"; n_programs = 1; lang = Cxx; funcs = (110, 170); asm = no_asm };
+    { pname = "Nginx-1.15.0"; ptype = "Server"; n_programs = 1; lang = C; funcs = (70, 120); asm = light_asm };
+    { pname = "Glibc-2.27"; ptype = "Library"; n_programs = 1; lang = C; funcs = (160, 240); asm = medium_asm };
+    { pname = "libpcap-1.9.0"; ptype = "Library"; n_programs = 1; lang = C; funcs = (40, 70); asm = no_asm };
+    { pname = "libv8-6.4"; ptype = "Library"; n_programs = 1; lang = Cxx; funcs = (90, 140); asm = no_asm };
+    { pname = "libtiff-4.0.10"; ptype = "Library"; n_programs = 1; lang = C; funcs = (40, 70); asm = no_asm };
+    { pname = "libxm12-2.9.8"; ptype = "Library"; n_programs = 1; lang = C; funcs = (50, 90); asm = no_asm };
+    { pname = "libprotobuf-c-1"; ptype = "Library"; n_programs = 1; lang = Cxx; funcs = (40, 70); asm = no_asm };
+    { pname = "SPEC CPU2006"; ptype = "Benchmark"; n_programs = 30; lang = Mixed; funcs = (50, 110); asm = no_asm };
+  ]
+
+type binary = {
+  id : string;
+  project : project;
+  profile : Profile.t;
+  built : Link.built;
+}
+
+let master_seed = 0x5e7c0de
+
+(* One deterministic sub-seed per (project, program, compiler, opt). *)
+let bin_seed ~pname ~prog ~compiler ~opt =
+  Hashtbl.hash (master_seed, pname, prog, Profile.compiler_name compiler, Profile.opt_name opt)
+
+let spec_for rng (p : project) =
+  let lo, hi = p.funcs in
+  let base =
+    {
+      Gen.default_spec with
+      n_funcs = Fetch_util.Prng.range rng lo hi;
+      cxx = (match p.lang with Cxx -> true | Mixed -> Fetch_util.Prng.bool rng | C -> false);
+      strip = false;
+      (* symbols kept; experiments strip on demand *)
+    }
+  in
+  p.asm base
+
+(* The corpus-wide count of hand-broken FDEs (the paper found 3). *)
+let broken_fde_programs =
+  [ ("Glibc-2.27", 0); ("Openssl-1.1.0l", 0); ("Nginx-1.15.0", 0) ]
+
+(** Fold [f] over the self-built corpus.  [scale] in (0, 1] shrinks each
+    project's program count (at least one program each). *)
+let fold_selfbuilt ?(scale = 1.0) ?only ~init f =
+  let selected =
+    match only with
+    | None -> projects
+    | Some names -> List.filter (fun p -> List.mem p.pname names) projects
+  in
+  List.fold_left
+    (fun acc p ->
+      let n_prog = max 1 (int_of_float (float_of_int p.n_programs *. scale)) in
+      let rec progs acc i =
+        if i >= n_prog then acc
+        else
+          let acc =
+            List.fold_left
+              (fun acc compiler ->
+                List.fold_left
+                  (fun acc opt ->
+                    let seed = bin_seed ~pname:p.pname ~prog:i ~compiler ~opt in
+                    let rng = Fetch_util.Prng.create seed in
+                    let profile = Profile.make compiler opt in
+                    let spec = spec_for rng p in
+                    let spec =
+                      if
+                        List.mem_assoc p.pname broken_fde_programs
+                        && i = List.assoc p.pname broken_fde_programs
+                        && compiler = Profile.Synthgcc && opt = Profile.O2
+                      then { spec with Gen.n_broken_fde = 1 }
+                      else spec
+                    in
+                    let program = Gen.program rng profile spec in
+                    let built = Link.build ~profile ~rng program in
+                    let id =
+                      Printf.sprintf "%s/%d-%s" p.pname i (Profile.name profile)
+                    in
+                    f acc { id; project = p; profile; built })
+                  acc Profile.all_opts)
+              acc
+              [ Profile.Synthgcc; Profile.Synthllvm ]
+          in
+          progs acc (i + 1)
+      in
+      progs acc 0)
+    init selected
+
+let count_selfbuilt ?(scale = 1.0) () =
+  List.fold_left
+    (fun acc p -> acc + (max 1 (int_of_float (float_of_int p.n_programs *. scale)) * 8))
+    0 projects
+
+(* ---- Dataset 1: wild binaries (Table I). ---- *)
+
+type wild_meta = {
+  wname : string;
+  open_source : bool;
+  has_symbols : bool;
+  wlang : lang;
+}
+
+let wild_rows =
+  [
+    ("Atom-1.49.0", true, false, Cxx); ("Simplenote-1.4.13", true, false, Cxx);
+    ("OpenShot-2.4.4", true, false, C); ("seamonkey-2.49.5", true, false, Cxx);
+    ("mupdf-1.16.1", true, false, C); ("laverna-0.7.1", true, false, Cxx);
+    ("franz-5.4.0", true, false, Cxx); ("Nightingale-1.12.1", true, false, C);
+    ("palemoon-28.8.0", true, false, Cxx); ("evince-3.34.3", true, false, C);
+    ("amarok-2.9.0", true, false, C); ("deadbeef-1.8.2", true, false, C);
+    ("qBittorrent-4.2.5", true, false, Cxx); ("pdftex-3.14159265", true, false, C);
+    ("eclipse-4.11", true, false, C); ("VS Code-1.40.2", true, false, Cxx);
+    ("VirtualBox-5.2.34", true, true, Cxx); ("gv-3.7.4", true, true, C);
+    ("okular-1.3.3", true, true, Cxx); ("gcc-7.5", true, true, C);
+    ("wkhtmltopdf-0.12.4", true, true, C); ("firefox-78.0.2", true, true, Cxx);
+    ("qemu-system-2.11.1", true, true, C); ("ThunderBird-68.10.0", true, true, Cxx);
+    ("Smuxi-Server", true, true, C); ("TeamViewer-15.0.8397", false, false, Cxx);
+    ("skype-8.55.0.141", false, false, Cxx); ("trillian-6.1.0.5", false, false, Cxx);
+    ("opera-65.0.3467.69", false, false, Cxx); ("yandex-browser-19.12.3", false, false, Cxx);
+    ("SpiderOakONE-7.5.01", false, false, C); ("slack-4.2.0", false, false, Cxx);
+    ("rainlendar2-2.15.2", false, false, Cxx); ("sublime-3211", false, false, Cxx);
+    ("netease-cloud-music-1.2.1", false, false, Cxx); ("wps-11.1.0.8865", false, false, Cxx);
+    ("wpp-11.1.0.8865", false, false, Cxx); ("wpspdf-11.1.0.8865", false, false, Cxx);
+    ("wpsoffice-11.1.0.8865", false, false, Cxx); ("ida64-7.2", false, false, Cxx);
+    ("zoom-7.19.2020", false, false, Cxx); ("binaryninja-1.2", false, true, Cxx);
+    ("FoxitReader-4.4.0911", false, true, Cxx);
+  ]
+
+(** Generate the wild corpus: 43 binaries, symbols kept on the 11 flagged
+    rows.  FoxitReader carries symbol-only assembly functions so its
+    FDE-vs-symbol ratio dips below 100%, as in Table I. *)
+let wild () =
+  List.mapi
+    (fun i (wname, open_source, has_symbols, wlang) ->
+      let seed = Hashtbl.hash (master_seed, "wild", wname) in
+      let rng = Fetch_util.Prng.create seed in
+      let compiler =
+        if i mod 3 = 0 then Profile.Synthllvm else Profile.Synthgcc
+      in
+      let profile = Profile.make compiler Profile.O2 in
+      let spec =
+        {
+          Gen.default_spec with
+          n_funcs = Fetch_util.Prng.range rng 120 260;
+          cxx = (wlang = Cxx);
+          strip = not has_symbols;
+          n_asm_called = (if wname = "FoxitReader-4.4.0911" then 2 else 0);
+        }
+      in
+      let program = Gen.program rng profile spec in
+      let built = Link.build ~profile ~rng program in
+      ({ wname; open_source; has_symbols; wlang }, built))
+    wild_rows

@@ -1,0 +1,8 @@
+(** Dataset experiments: Table I (wild binaries), Table II (self-built
+    corpus) and Q1 (§IV-B, FDE coverage vs symbols and vs ground truth). *)
+
+(** Render Table I over the wild corpus. *)
+val table1 : unit -> string
+
+(** Render Table II and the Q1 summary over the self-built corpus. *)
+val table2_q1 : ?scale:float -> unit -> string

@@ -1,0 +1,27 @@
+(** FDE error experiments: §IV-E (pointer detection), §V-A (quantifying
+    FDE-introduced false positives and their ROP attack surface) and §V-C
+    (Algorithm 1 evaluation). *)
+
+type tally = {
+  mutable bins : int;
+  mutable fde_fp : int;
+  mutable fde_fp_noncontig : int;
+  mutable fde_fp_handwritten : int;
+  mutable fde_fp_bins : int;
+  mutable rop_gadgets : int;
+  mutable xref_added : int;
+  mutable xref_fp : int;
+  mutable missed_unreachable : int;
+  mutable missed_tailonly : int;
+  mutable fp_before_fix : int;
+  mutable fp_after_fix : int;
+  mutable new_fn_from_fix : int;
+  mutable full_acc_before : int;
+  mutable full_acc_after : int;
+  mutable full_cov_before : int;
+  mutable full_cov_after : int;
+  mutable skipped_incomplete : int;
+}
+
+val run : ?scale:float -> unit -> tally
+val render : tally -> string

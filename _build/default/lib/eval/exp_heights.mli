@@ -1,0 +1,19 @@
+(** Table IV: coverage and precision of the static stack-height analyses
+    (ANGR- and DYNINST-style) against the CFI baseline, at all code
+    locations ("Full") and at jump sites only ("Jump").  Only functions
+    whose CFI passes the §V-B completeness test enter the comparison. *)
+
+open Fetch_synth
+
+type style_cells = {
+  mutable full : Metrics.pre_rec;
+  mutable jump : Metrics.pre_rec;
+}
+
+(** Oracle heights at every true instruction boundary of one function:
+    (address, height, is-jump-site). *)
+val expected_heights :
+  Fetch_analysis.Loaded.t -> Truth.fn_truth -> (int * int * bool) list
+
+val run : ?scale:float -> unit -> (string * Profile.opt, style_cells) Hashtbl.t
+val render : (string * Profile.opt, style_cells) Hashtbl.t -> string

@@ -1,0 +1,15 @@
+(** §VII-B generality study: repackage a slice of the corpus as x64 PE
+    binaries and measure the exception directory's function coverage (the
+    paper's preliminary "at least 70%"). *)
+
+type tally = {
+  mutable bins : int;
+  mutable fns : int;
+  mutable covered : int;
+  mutable leaf_misses : int;
+  mutable other_misses : int;
+  mutable multi_part_records : int;
+}
+
+val run : ?scale:float -> unit -> tally
+val render : tally -> string

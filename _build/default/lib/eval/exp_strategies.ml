@@ -1,0 +1,162 @@
+(** Strategy-stack experiments: Q2, Q3 and Figure 5 — how many binaries
+    each combination of FDEs + safe/unsafe approaches detects with full
+    coverage and full accuracy. *)
+
+open Fetch_baselines
+
+type strategy = {
+  sname : string;
+  run : Fetch_analysis.Loaded.t -> int list;
+}
+
+let fde_only =
+  { sname = "FDE"; run = (fun l -> l.Fetch_analysis.Loaded.fde_starts) }
+
+let ghidra_stacks =
+  [
+    fde_only;
+    {
+      sname = "FDE+Rec+CFR";
+      run =
+        Ghidra_model.detect
+          ~config:{ recursive = true; cfr = true; thunks = true; fsig = false; tcall = false };
+    };
+    {
+      sname = "FDE+Rec";
+      run =
+        Ghidra_model.detect
+          ~config:{ recursive = true; cfr = false; thunks = true; fsig = false; tcall = false };
+    };
+    {
+      sname = "FDE+Rec+Fsig";
+      run =
+        Ghidra_model.detect
+          ~config:{ recursive = true; cfr = false; thunks = true; fsig = true; tcall = false };
+    };
+    {
+      sname = "FDE+Rec+Fsig+Tcall";
+      run =
+        Ghidra_model.detect
+          ~config:{ recursive = true; cfr = false; thunks = true; fsig = true; tcall = true };
+    };
+  ]
+
+let angr_stacks =
+  [
+    fde_only;
+    {
+      sname = "FDE+Rec+Fmerg";
+      run =
+        Angr_model.detect
+          ~config:
+            { recursive = true; merge = true; alignment = true; fsig = false;
+              tcall = false; scan = false };
+    };
+    {
+      sname = "FDE+Rec";
+      run =
+        Angr_model.detect
+          ~config:
+            { recursive = true; merge = false; alignment = true; fsig = false;
+              tcall = false; scan = false };
+    };
+    {
+      sname = "FDE+Rec+Fsig";
+      run =
+        Angr_model.detect
+          ~config:
+            { recursive = true; merge = false; alignment = true; fsig = true;
+              tcall = false; scan = false };
+    };
+    {
+      sname = "FDE+Rec+Fsig+Tcall";
+      run =
+        Angr_model.detect
+          ~config:
+            { recursive = true; merge = false; alignment = true; fsig = true;
+              tcall = true; scan = false };
+    };
+    {
+      sname = "FDE+Rec+Fsig+Tcall+Scan";
+      run =
+        Angr_model.detect
+          ~config:
+            { recursive = true; merge = false; alignment = true; fsig = true;
+              tcall = true; scan = true };
+    };
+  ]
+
+let fetch_pipeline ~xref ~fix l =
+  (Fetch_core.Pipeline.run_loaded
+     ~config:
+       { Fetch_core.Pipeline.default_config with xref; fix_fde_errors = fix }
+     l)
+    .Fetch_core.Pipeline.starts
+
+let fetch_stacks =
+  [
+    fde_only;
+    { sname = "FDE+Rec (safe)"; run = fetch_pipeline ~xref:false ~fix:false };
+    { sname = "FDE+Rec+Xref"; run = fetch_pipeline ~xref:true ~fix:false };
+    { sname = "FDE+Rec+Xref+Fix (FETCH)"; run = fetch_pipeline ~xref:true ~fix:true };
+  ]
+
+type stack_result = {
+  strategy : string;
+  totals : Metrics.totals;
+}
+
+(** Run all strategy stacks over the (stripped) self-built corpus. *)
+let run ?(scale = 1.0) () =
+  let groups =
+    [ ("GHIDRA", ghidra_stacks); ("ANGR", angr_stacks); ("FETCH", fetch_stacks) ]
+  in
+  let results =
+    List.map
+      (fun (g, stacks) ->
+        (g, List.map (fun s -> { strategy = s.sname; totals = Metrics.totals () }) stacks))
+      groups
+  in
+  Corpus.fold_selfbuilt ~scale ~init:() (fun () (bin : Corpus.binary) ->
+      let stripped = Fetch_elf.Image.strip bin.built.image in
+      let loaded = Fetch_analysis.Loaded.load stripped in
+      List.iter2
+        (fun (_, stacks) (_, rs) ->
+          List.iter2
+            (fun s r ->
+              let detected = s.run loaded in
+              Metrics.add r.totals (Metrics.score bin.built.truth detected))
+            stacks rs)
+        groups results);
+  results
+
+let render results =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 5 / Q2 / Q3: binaries with full coverage and full accuracy per strategy stack\n";
+  List.iter
+    (fun (group, rs) ->
+      Buffer.add_string buf (Printf.sprintf "\n  (%s)\n" group);
+      let rows =
+        List.map
+          (fun r ->
+            [
+              r.strategy;
+              string_of_int r.totals.Metrics.full_cov;
+              string_of_int r.totals.Metrics.full_acc;
+              string_of_int r.totals.Metrics.fp_total;
+              string_of_int r.totals.Metrics.fn_total;
+            ])
+          rs
+      in
+      Buffer.add_string buf
+        (Fetch_util.Text_table.render
+           ~header:[ "strategy"; "full-cov#"; "full-acc#"; "FP"; "FN" ]
+           rows))
+    results;
+  Buffer.add_string buf
+    "\nPaper shape: safe Rec closes nearly all FDE gaps with no new FPs;\n\
+     CFR lowers coverage; Fmerg lowers coverage; Fsig/Tcall/Scan add FPs\n\
+     out of proportion to the handful of starts they find; the FETCH\n\
+     stack alone reaches both near-full coverage and near-full accuracy.\n";
+  Buffer.contents buf

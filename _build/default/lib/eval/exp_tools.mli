@@ -1,0 +1,14 @@
+(** Table III (FP/FN per tool per optimization level) and Table V (mean
+    per-binary analysis time) over the stripped self-built corpus. *)
+
+open Fetch_synth
+
+type cell = {
+  mutable fp : int;
+  mutable fn : int;
+  mutable bins : int;
+  mutable seconds : float;
+}
+
+val run : ?scale:float -> unit -> (string * Profile.opt, cell) Hashtbl.t
+val render : (string * Profile.opt, cell) Hashtbl.t -> string

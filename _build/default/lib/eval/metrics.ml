@@ -1,0 +1,68 @@
+(** Detection metrics against ground truth: false positives / negatives,
+    full-coverage and full-accuracy counts (the units of Figure 5), and
+    small aggregation helpers. *)
+
+open Fetch_synth
+
+type t = {
+  n_true : int;
+  n_detected : int;
+  fp : int list;
+  fn : int list;
+}
+
+module IS = Set.Make (Int)
+
+let score (truth : Truth.t) detected =
+  let truth_set = IS.of_list (Truth.starts truth) in
+  let det_set = IS.of_list detected in
+  {
+    n_true = IS.cardinal truth_set;
+    n_detected = IS.cardinal det_set;
+    fp = IS.elements (IS.diff det_set truth_set);
+    fn = IS.elements (IS.diff truth_set det_set);
+  }
+
+let full_coverage m = m.fn = []
+let full_accuracy m = m.fp = []
+
+type totals = {
+  mutable bins : int;
+  mutable fns_total : int;
+  mutable fp_total : int;
+  mutable fn_total : int;
+  mutable full_cov : int;
+  mutable full_acc : int;
+}
+
+let totals () =
+  { bins = 0; fns_total = 0; fp_total = 0; fn_total = 0; full_cov = 0; full_acc = 0 }
+
+let add totals m =
+  totals.bins <- totals.bins + 1;
+  totals.fns_total <- totals.fns_total + m.n_true;
+  totals.fp_total <- totals.fp_total + List.length m.fp;
+  totals.fn_total <- totals.fn_total + List.length m.fn;
+  if full_coverage m then totals.full_cov <- totals.full_cov + 1;
+  if full_accuracy m then totals.full_acc <- totals.full_acc + 1
+
+(** Precision/recall for the stack-height comparison (Table IV): compare
+    analysis heights against the oracle at the given addresses. *)
+type pre_rec = { reported : int; correct : int; expected : int }
+
+let empty_pre_rec = { reported = 0; correct = 0; expected = 0 }
+
+let add_pre_rec a b =
+  {
+    reported = a.reported + b.reported;
+    correct = a.correct + b.correct;
+    expected = a.expected + b.expected;
+  }
+
+let precision pr =
+  if pr.reported = 0 then 100.0
+  else 100.0 *. float_of_int pr.correct /. float_of_int pr.reported
+
+let recall pr =
+  if pr.expected = 0 then 100.0
+  else 100.0 *. float_of_int pr.correct /. float_of_int pr.expected

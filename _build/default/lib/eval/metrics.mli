@@ -1,0 +1,38 @@
+(** Detection metrics against ground truth: false positives / negatives,
+    full-coverage and full-accuracy counts (the units of Figure 5), and
+    aggregation helpers. *)
+
+type t = {
+  n_true : int;
+  n_detected : int;
+  fp : int list;  (** detected starts that are not true starts, ascending *)
+  fn : int list;  (** true starts not detected, ascending *)
+}
+
+val score : Fetch_synth.Truth.t -> int list -> t
+val full_coverage : t -> bool
+val full_accuracy : t -> bool
+
+type totals = {
+  mutable bins : int;
+  mutable fns_total : int;
+  mutable fp_total : int;
+  mutable fn_total : int;
+  mutable full_cov : int;
+  mutable full_acc : int;
+}
+
+val totals : unit -> totals
+val add : totals -> t -> unit
+
+(** {1 Precision/recall for the Table IV comparison} *)
+
+type pre_rec = { reported : int; correct : int; expected : int }
+
+val empty_pre_rec : pre_rec
+val add_pre_rec : pre_rec -> pre_rec -> pre_rec
+
+(** Percent; empty denominators count as 100. *)
+val precision : pre_rec -> float
+
+val recall : pre_rec -> float

@@ -1,0 +1,1 @@
+lib/pe/decode.ml: Byte_cursor Fetch_util Image List Result String

@@ -1,0 +1,1 @@
+lib/pe/decode.mli: Image

@@ -1,0 +1,1 @@
+lib/pe/encode.ml: Byte_buf Bytes Fetch_util Image List String

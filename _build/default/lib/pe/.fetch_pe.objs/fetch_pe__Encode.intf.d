@@ -1,0 +1,1 @@
+lib/pe/encode.mli: Image

@@ -1,0 +1,1 @@
+lib/pe/pe_gen.ml: Byte_buf Fetch_elf Fetch_synth Fetch_util Fetch_x86 Image List Unwind_info

@@ -1,0 +1,1 @@
+lib/pe/pe_gen.mli: Fetch_synth Image Unwind_info

@@ -1,0 +1,1 @@
+lib/pe/unwind_info.ml: Byte_buf Byte_cursor Fetch_util List

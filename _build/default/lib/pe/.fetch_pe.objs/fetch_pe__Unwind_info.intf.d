@@ -1,0 +1,1 @@
+lib/pe/unwind_info.mli:

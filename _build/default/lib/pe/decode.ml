@@ -1,0 +1,94 @@
+(** PE32+ decoder: the inverse of {!Encode}, plus exception-directory
+    parsing. *)
+
+open Fetch_util
+
+let ( let* ) = Result.bind
+
+let guard cond msg = if cond then Ok () else Error msg
+
+let decode raw : (Image.t, string) result =
+  let len = String.length raw in
+  let* () = guard (len >= 0x40) "too short for a DOS header" in
+  let* () = guard (String.sub raw 0 2 = "MZ") "bad DOS magic" in
+  let c = Byte_cursor.of_string raw in
+  Byte_cursor.seek c 0x3c;
+  let e_lfanew = Byte_cursor.u32 c in
+  let* () = guard (e_lfanew + 24 <= len) "e_lfanew out of range" in
+  Byte_cursor.seek c e_lfanew;
+  let* () = guard (Byte_cursor.string c 4 = "PE\000\000") "bad PE signature" in
+  let machine = Byte_cursor.u16 c in
+  let* () = guard (machine = 0x8664) "not an x64 PE" in
+  let nsections = Byte_cursor.u16 c in
+  Byte_cursor.advance c 12;
+  let opt_size = Byte_cursor.u16 c in
+  let _characteristics = Byte_cursor.u16 c in
+  let opt_start = Byte_cursor.pos c in
+  let magic = Byte_cursor.u16 c in
+  let* () = guard (magic = 0x20b) "not PE32+" in
+  Byte_cursor.seek c (opt_start + 16);
+  let entry_rva = Byte_cursor.u32 c in
+  Byte_cursor.seek c (opt_start + 24);
+  let image_base = Byte_cursor.u64 c in
+  (* data directory 3 = exception directory *)
+  Byte_cursor.seek c (opt_start + 112 + (3 * 8));
+  let exc_rva = Byte_cursor.u32 c in
+  let exc_size = Byte_cursor.u32 c in
+  Byte_cursor.seek c (opt_start + opt_size);
+  let raw_sections =
+    List.init nsections (fun _ ->
+        let name_bytes = Byte_cursor.string c 8 in
+        let pname =
+          match String.index_opt name_bytes '\000' with
+          | Some i -> String.sub name_bytes 0 i
+          | None -> name_bytes
+        in
+        let vsize = Byte_cursor.u32 c in
+        let rva = Byte_cursor.u32 c in
+        let raw_size = Byte_cursor.u32 c in
+        let raw_off = Byte_cursor.u32 c in
+        Byte_cursor.advance c 12;
+        let characteristics = Byte_cursor.u32 c in
+        (pname, vsize, rva, raw_size, raw_off, characteristics))
+  in
+  try
+    let sections =
+      List.map
+        (fun (pname, vsize, rva, raw_size, raw_off, characteristics) ->
+          let n = min vsize raw_size in
+          if raw_off + n > len then failwith "section data out of range";
+          { Image.pname; rva; data = String.sub raw raw_off n; characteristics })
+        raw_sections
+    in
+    (* parse the exception directory *)
+    let pdata =
+      if exc_rva = 0 then []
+      else begin
+        let sec =
+          List.find_opt
+            (fun (s : Image.section) ->
+              exc_rva >= s.rva && exc_rva < s.rva + String.length s.data)
+            sections
+        in
+        match sec with
+        | None -> failwith "exception directory outside sections"
+        | Some s ->
+            let pc =
+              Byte_cursor.of_string ~pos:(exc_rva - s.rva) ~len:exc_size s.data
+            in
+            let entries = ref [] in
+            while Byte_cursor.remaining pc >= 12 do
+              let begin_rva = Byte_cursor.u32 pc in
+              let end_rva = Byte_cursor.u32 pc in
+              let unwind_rva = Byte_cursor.u32 pc in
+              if begin_rva <> 0 then
+                entries := { Image.begin_rva; end_rva; unwind_rva } :: !entries
+            done;
+            List.rev !entries
+      end
+    in
+    (* keep .pdata out of the plain section list's way: it stays listed *)
+    Ok { Image.image_base; entry_rva; sections; pdata }
+  with
+  | Failure m -> Error m
+  | Byte_cursor.Out_of_bounds _ -> Error "truncated PE structure"

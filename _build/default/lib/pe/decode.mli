@@ -1,0 +1,4 @@
+(** PE32+ decoder: the inverse of {!Encode}, including exception-directory
+    parsing.  Rejects non-PE input and non-x64 machines. *)
+
+val decode : string -> (Image.t, string) result

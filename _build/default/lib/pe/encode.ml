@@ -1,0 +1,178 @@
+(** PE32+ encoder: a well-formed minimal x64 PE executable — DOS stub, PE
+    signature, COFF header, optional header with the exception data
+    directory pointing at [.pdata], section table, raw section data. *)
+
+open Fetch_util
+
+let file_alignment = 0x200
+let section_alignment = 0x1000
+
+let align v a = if v mod a = 0 then v else v + (a - (v mod a))
+
+let encode (img : Image.t) =
+  let nsections = List.length img.sections in
+  (* Build .pdata bytes (12 bytes per RUNTIME_FUNCTION, sorted). *)
+  let pdata_bytes =
+    let b = Byte_buf.create () in
+    List.iter
+      (fun (rf : Image.runtime_function) ->
+        Byte_buf.u32 b rf.begin_rva;
+        Byte_buf.u32 b rf.end_rva;
+        Byte_buf.u32 b rf.unwind_rva)
+      (List.sort
+         (fun (a : Image.runtime_function) b -> compare a.begin_rva b.begin_rva)
+         img.pdata);
+    Byte_buf.contents b
+  in
+  let sections =
+    img.sections
+    @
+    if img.pdata = [] then []
+    else begin
+      let max_rva =
+        List.fold_left
+          (fun acc (s : Image.section) ->
+            max acc (s.rva + String.length s.data))
+          0x1000 img.sections
+      in
+      [
+        {
+          Image.pname = ".pdata";
+          rva = align max_rva section_alignment;
+          data = pdata_bytes;
+          characteristics = Image.scn_initialized_data lor Image.scn_mem_read;
+        };
+      ]
+    end
+  in
+  let nsections = nsections + if img.pdata = [] then 0 else 1 in
+  (* Header layout: DOS header (64) + PE sig (4) + COFF (20) + optional
+     header (240) + section table (40 each). *)
+  let headers_size = 64 + 4 + 20 + 240 + (40 * nsections) in
+  let headers_size_aligned = align headers_size file_alignment in
+  (* File offsets for raw data. *)
+  let placed =
+    let off = ref headers_size_aligned in
+    List.map
+      (fun (s : Image.section) ->
+        let o = !off in
+        off := align (!off + String.length s.data) file_alignment;
+        (s, o))
+      sections
+  in
+  let size_of_image =
+    align
+      (List.fold_left
+         (fun acc (s : Image.section) -> max acc (s.rva + String.length s.data))
+         section_alignment sections)
+      section_alignment
+  in
+  let buf = Byte_buf.create ~capacity:4096 () in
+  (* DOS header: "MZ", e_lfanew = 64. *)
+  Byte_buf.string buf "MZ";
+  Byte_buf.fill buf ~count:58 ~byte:0;
+  Byte_buf.u32 buf 64;
+  (* PE signature *)
+  Byte_buf.string buf "PE\000\000";
+  (* COFF header *)
+  Byte_buf.u16 buf 0x8664;
+  (* machine: x86-64 *)
+  Byte_buf.u16 buf nsections;
+  Byte_buf.u32 buf 0;
+  (* timestamp *)
+  Byte_buf.u32 buf 0;
+  (* symbol table ptr *)
+  Byte_buf.u32 buf 0;
+  (* symbol count *)
+  Byte_buf.u16 buf 240;
+  (* optional header size *)
+  Byte_buf.u16 buf 0x22;
+  (* characteristics: executable, large-address-aware *)
+  (* Optional header (PE32+) *)
+  let opt_start = Byte_buf.length buf in
+  Byte_buf.u16 buf 0x20b;
+  (* magic *)
+  Byte_buf.u8 buf 14;
+  Byte_buf.u8 buf 0;
+  (* linker version *)
+  Byte_buf.u32 buf 0;
+  Byte_buf.u32 buf 0;
+  Byte_buf.u32 buf 0;
+  (* code/data sizes *)
+  Byte_buf.u32 buf img.entry_rva;
+  Byte_buf.u32 buf 0x1000;
+  (* base of code *)
+  Byte_buf.u64 buf img.image_base;
+  Byte_buf.u32 buf section_alignment;
+  Byte_buf.u32 buf file_alignment;
+  Byte_buf.u16 buf 6;
+  Byte_buf.u16 buf 0;
+  (* OS version *)
+  Byte_buf.u16 buf 0;
+  Byte_buf.u16 buf 0;
+  (* image version *)
+  Byte_buf.u16 buf 6;
+  Byte_buf.u16 buf 0;
+  (* subsystem version *)
+  Byte_buf.u32 buf 0;
+  (* win32 version *)
+  Byte_buf.u32 buf size_of_image;
+  Byte_buf.u32 buf headers_size_aligned;
+  Byte_buf.u32 buf 0;
+  (* checksum *)
+  Byte_buf.u16 buf 3;
+  (* subsystem: console *)
+  Byte_buf.u16 buf 0x8160;
+  (* dll characteristics *)
+  Byte_buf.u64 buf 0x100000;
+  Byte_buf.u64 buf 0x1000;
+  Byte_buf.u64 buf 0x100000;
+  Byte_buf.u64 buf 0x1000;
+  (* stack/heap reserve+commit *)
+  Byte_buf.u32 buf 0;
+  (* loader flags *)
+  Byte_buf.u32 buf 16;
+  (* number of data directories *)
+  (* 16 data directories; directory 3 is the exception directory *)
+  for i = 0 to 15 do
+    if i = 3 && img.pdata <> [] then begin
+      let pdata_rva =
+        (List.find (fun (s : Image.section) -> s.pname = ".pdata") sections).rva
+      in
+      Byte_buf.u32 buf pdata_rva;
+      Byte_buf.u32 buf (String.length pdata_bytes)
+    end
+    else begin
+      Byte_buf.u32 buf 0;
+      Byte_buf.u32 buf 0
+    end
+  done;
+  assert (Byte_buf.length buf - opt_start = 240);
+  (* Section table *)
+  List.iter
+    (fun ((s : Image.section), off) ->
+      let name = Bytes.make 8 '\000' in
+      Bytes.blit_string s.pname 0 name 0 (min 8 (String.length s.pname));
+      Byte_buf.bytes buf name;
+      Byte_buf.u32 buf (String.length s.data);
+      (* virtual size *)
+      Byte_buf.u32 buf s.rva;
+      Byte_buf.u32 buf (align (String.length s.data) file_alignment);
+      Byte_buf.u32 buf off;
+      Byte_buf.u32 buf 0;
+      Byte_buf.u32 buf 0;
+      (* relocations *)
+      Byte_buf.u16 buf 0;
+      Byte_buf.u16 buf 0;
+      Byte_buf.u32 buf s.characteristics)
+    placed;
+  (* Raw data *)
+  List.iter
+    (fun ((s : Image.section), off) ->
+      let here = Byte_buf.length buf in
+      if here > off then invalid_arg "Pe.Encode: layout overlap";
+      Byte_buf.fill buf ~count:(off - here) ~byte:0;
+      Byte_buf.string buf s.data)
+    placed;
+  Byte_buf.pad_to buf ~align:file_alignment ~byte:0;
+  Byte_buf.contents buf

@@ -1,0 +1,6 @@
+(** PE32+ encoder: a well-formed minimal x64 PE executable — DOS stub, PE
+    signature, COFF header, optional header with the exception data
+    directory pointing at a synthesized [.pdata] section, section table,
+    raw section data. *)
+
+val encode : Image.t -> string

@@ -1,0 +1,39 @@
+(** Minimal PE32+ (x64 Windows) image model, for the §VII-B generality
+    study: Windows binaries have no [.eh_frame], but the x64 exception
+    ABI mandates a structurally similar source — the [.pdata] exception
+    directory of RUNTIME_FUNCTION records. *)
+
+(** {1 Section characteristics (COFF bits)} *)
+
+val scn_code : int
+val scn_initialized_data : int
+val scn_mem_execute : int
+val scn_mem_read : int
+val scn_mem_write : int
+
+type section = {
+  pname : string;  (** at most 8 bytes, as in the COFF section table *)
+  rva : int;
+  data : string;
+  characteristics : int;
+}
+
+(** One RUNTIME_FUNCTION record of the exception directory. *)
+type runtime_function = {
+  begin_rva : int;
+  end_rva : int;
+  unwind_rva : int;
+}
+
+type t = {
+  image_base : int;
+  entry_rva : int;
+  sections : section list;
+  pdata : runtime_function list;
+}
+
+val section : t -> string -> section option
+
+(** Function start virtual addresses claimed by the exception directory —
+    the PE analogue of FDE PC-Begin values. *)
+val pdata_starts : t -> int list

@@ -1,0 +1,106 @@
+(** UNWIND_INFO records (the [.xdata] contents): the Windows x64 analogue
+    of CFI — prologue size, frame register, and unwind codes describing
+    pushes and stack allocations. *)
+
+open Fetch_util
+
+type code =
+  | Push_nonvol of int  (** UWOP_PUSH_NONVOL: register number *)
+  | Alloc_small of int  (** 8–128 bytes, size = (info+1)*8 *)
+  | Alloc_large of int  (** arbitrary size *)
+  | Set_fpreg  (** establish the frame register *)
+
+type t = {
+  prolog_size : int;
+  frame_reg : int;  (** 0 = none; 5 = rbp *)
+  frame_offset : int;
+  codes : (int * code) list;  (** (prologue offset, operation), descending *)
+}
+
+let uwop_push_nonvol = 0
+let uwop_alloc_large = 1
+let uwop_alloc_small = 2
+let uwop_set_fpreg = 3
+
+let encode t =
+  let buf = Byte_buf.create () in
+  (* version 1, no flags *)
+  Byte_buf.u8 buf 0x01;
+  Byte_buf.u8 buf t.prolog_size;
+  let slots =
+    List.concat_map
+      (fun (off, c) ->
+        match c with
+        | Push_nonvol r -> [ (off, uwop_push_nonvol, r, []) ]
+        | Alloc_small n ->
+            if n mod 8 <> 0 || n < 8 || n > 128 then
+              invalid_arg "Unwind_info: alloc_small size";
+            [ (off, uwop_alloc_small, (n / 8) - 1, []) ]
+        | Alloc_large n ->
+            if n mod 8 <> 0 then invalid_arg "Unwind_info: alloc_large size";
+            [ (off, uwop_alloc_large, 0, [ n / 8 ]) ]
+        | Set_fpreg -> [ (off, uwop_set_fpreg, 0, []) ])
+      t.codes
+  in
+  let count =
+    List.fold_left (fun acc (_, _, _, extra) -> acc + 1 + List.length extra) 0 slots
+  in
+  Byte_buf.u8 buf count;
+  Byte_buf.u8 buf ((t.frame_offset lsl 4) lor (t.frame_reg land 0xf));
+  List.iter
+    (fun (off, op, info, extra) ->
+      Byte_buf.u8 buf off;
+      Byte_buf.u8 buf ((info lsl 4) lor op);
+      List.iter (Byte_buf.u16 buf) extra)
+    slots;
+  (* records are 4-aligned *)
+  Byte_buf.pad_to buf ~align:4 ~byte:0;
+  Byte_buf.contents buf
+
+let decode data =
+  let c = Byte_cursor.of_string data in
+  try
+    let vf = Byte_cursor.u8 c in
+    if vf land 0x7 <> 1 then Error "unsupported UNWIND_INFO version"
+    else begin
+      let prolog_size = Byte_cursor.u8 c in
+      let count = Byte_cursor.u8 c in
+      let fr = Byte_cursor.u8 c in
+      let frame_reg = fr land 0xf in
+      let frame_offset = fr lsr 4 in
+      let codes = ref [] in
+      let i = ref 0 in
+      while !i < count do
+        let off = Byte_cursor.u8 c in
+        let opinfo = Byte_cursor.u8 c in
+        let op = opinfo land 0xf in
+        let info = opinfo lsr 4 in
+        incr i;
+        if op = uwop_push_nonvol then codes := (off, Push_nonvol info) :: !codes
+        else if op = uwop_alloc_small then
+          codes := (off, Alloc_small ((info + 1) * 8)) :: !codes
+        else if op = uwop_alloc_large then begin
+          let n = Byte_cursor.u16 c in
+          incr i;
+          codes := (off, Alloc_large (n * 8)) :: !codes
+        end
+        else if op = uwop_set_fpreg then codes := (off, Set_fpreg) :: !codes
+        else raise Exit
+      done;
+      Ok { prolog_size; frame_reg; frame_offset; codes = List.rev !codes }
+    end
+  with
+  | Byte_cursor.Out_of_bounds _ -> Error "truncated UNWIND_INFO"
+  | Exit -> Error "unsupported unwind opcode"
+
+(** Total stack growth described by the codes (the analogue of the CFI
+    stack height after the prologue). *)
+let frame_size t =
+  List.fold_left
+    (fun acc (_, c) ->
+      acc
+      + match c with
+        | Push_nonvol _ -> 8
+        | Alloc_small n | Alloc_large n -> n
+        | Set_fpreg -> 0)
+    0 t.codes

@@ -1,0 +1,25 @@
+(** UNWIND_INFO records (the [.xdata] contents): the Windows x64 analogue
+    of CFI — prologue size, frame register, and unwind codes describing
+    pushes and stack allocations. *)
+
+type code =
+  | Push_nonvol of int  (** UWOP_PUSH_NONVOL: register number *)
+  | Alloc_small of int  (** 8–128 bytes *)
+  | Alloc_large of int
+  | Set_fpreg  (** establish the frame register *)
+
+type t = {
+  prolog_size : int;
+  frame_reg : int;  (** 0 = none; 5 = rbp *)
+  frame_offset : int;
+  codes : (int * code) list;  (** (prologue offset, operation) *)
+}
+
+(** Raises [Invalid_argument] on sizes outside each opcode's range. *)
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+(** Total stack growth described by the codes (the analogue of the CFI
+    stack height after the prologue). *)
+val frame_size : t -> int

@@ -1,0 +1,1 @@
+lib/rop/gadget.ml: Fetch_analysis Fetch_x86 Insn List Semantics

@@ -1,0 +1,1 @@
+lib/rop/gadget.mli: Fetch_analysis Fetch_x86

@@ -1,0 +1,61 @@
+(** ROP gadget scanner (the ROPgadget stand-in for the §V-A security
+    experiment): sequences of up to [depth] decodable instructions ending
+    in a return or an indirect branch, found at every byte offset. *)
+
+open Fetch_x86
+
+type kind = Ret_gadget | Jmp_gadget | Call_gadget
+
+type gadget = {
+  addr : int;
+  length : int;  (** bytes up to and including the final branch *)
+  insns : Insn.t list;
+  kind : kind;
+}
+
+(* Try to read a gadget starting exactly at [addr]. *)
+let at loaded ~depth addr =
+  let rec go addr acc n =
+    if n > depth then None
+    else
+      match Fetch_analysis.Loaded.insn_at loaded addr with
+      | None -> None
+      | Some (insn, len) -> (
+          match insn with
+          | Insn.Ret -> Some (List.rev (insn :: acc), addr + len, Ret_gadget)
+          | Insn.Jmp_ind _ -> Some (List.rev (insn :: acc), addr + len, Jmp_gadget)
+          | Insn.Call_ind _ -> Some (List.rev (insn :: acc), addr + len, Call_gadget)
+          | _ -> (
+              match Semantics.flow insn with
+              | Semantics.Fall -> go (addr + len) (insn :: acc) (n + 1)
+              | Semantics.Jump _ | Semantics.Cond _ | Semantics.Callf _
+              | Semantics.Ret | Semantics.Halt ->
+                  None))
+  in
+  match go addr [] 1 with
+  | Some (insns, stop, kind) when List.length insns > 1 ->
+      Some { addr; length = stop - addr; insns; kind }
+  | Some _ | None -> None
+
+(** All gadgets with start addresses inside [\[lo, hi)]. *)
+let in_range loaded ~depth ~lo ~hi =
+  let rec scan addr acc =
+    if addr >= hi then List.rev acc
+    else
+      match at loaded ~depth addr with
+      | Some g -> scan (addr + 1) (g :: acc)
+      | None -> scan (addr + 1) acc
+  in
+  scan lo []
+
+(** Gadgets reachable from the given block starts: the measure of extra
+    attack surface that FDE false positives hand to a CFI policy that
+    trusts all "function starts" (§V-A). *)
+let at_starts loaded ~depth ~block_len starts =
+  List.concat_map
+    (fun s -> in_range loaded ~depth ~lo:s ~hi:(s + block_len))
+    starts
+
+let count_unique gadgets =
+  List.sort_uniq compare (List.map (fun g -> (g.addr, g.length)) gadgets)
+  |> List.length

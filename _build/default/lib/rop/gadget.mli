@@ -1,0 +1,28 @@
+(** ROP gadget scanner (the ROPgadget stand-in for the §V-A security
+    experiment): sequences of up to [depth] decodable instructions ending
+    in a return or an indirect branch, found at every byte offset. *)
+
+type kind = Ret_gadget | Jmp_gadget | Call_gadget
+
+type gadget = {
+  addr : int;
+  length : int;  (** bytes up to and including the final branch *)
+  insns : Fetch_x86.Insn.t list;
+  kind : kind;
+}
+
+(** The gadget starting exactly at the address, if any (at least two
+    instructions, none of them control flow before the final branch). *)
+val at : Fetch_analysis.Loaded.t -> depth:int -> int -> gadget option
+
+(** All gadgets with start addresses inside [\[lo, hi)]. *)
+val in_range :
+  Fetch_analysis.Loaded.t -> depth:int -> lo:int -> hi:int -> gadget list
+
+(** Gadgets reachable from the given block starts: the attack surface a
+    trusting CFI policy inherits from false function starts (§V-A). *)
+val at_starts :
+  Fetch_analysis.Loaded.t -> depth:int -> block_len:int -> int list -> gadget list
+
+(** Number of distinct (address, length) gadgets. *)
+val count_unique : gadget list -> int

@@ -1,0 +1,1 @@
+lib/synth/codegen.ml: Array Asm Byte_buf Bytes Char Fetch_dwarf Fetch_util Fetch_x86 Insn Ir List Option Printf Prng Profile Reg

@@ -1,0 +1,1 @@
+lib/synth/gen.ml: Array Fetch_util Fetch_x86 Hashtbl Ir List Printf Prng Profile Set String

@@ -1,0 +1,1 @@
+lib/synth/gen.mli: Fetch_util Ir Profile

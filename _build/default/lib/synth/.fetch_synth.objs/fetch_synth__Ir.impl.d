@@ -1,0 +1,1 @@
+lib/synth/ir.ml: Array Fetch_x86 List

@@ -1,0 +1,1 @@
+lib/synth/ir.mli: Fetch_x86

@@ -1,0 +1,1 @@
+lib/synth/link.ml: Array Byte_buf Bytes Codegen Fetch_dwarf Fetch_elf Fetch_util Fetch_x86 Gen Hashtbl Int32 Int64 Ir List Prng String Truth

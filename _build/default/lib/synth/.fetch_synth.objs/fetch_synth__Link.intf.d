@@ -1,0 +1,1 @@
+lib/synth/link.mli: Fetch_elf Fetch_util Gen Ir Profile Truth

@@ -1,0 +1,1 @@
+lib/synth/profile.ml: Printf

@@ -1,0 +1,1 @@
+lib/synth/truth.mli: Hashtbl

@@ -1,0 +1,30 @@
+(** Random program generator.
+
+    Produces an {!Ir.program} whose construct mix follows a {!Profile.t}
+    and a binary {!spec}.  The spec pins the counts that the paper's
+    experiments measure directly: how many assembly functions lack FDEs
+    and how each of them is (or is not) referenced, whether the binary
+    keeps symbols, and whether it contains hand-broken CFI (Fig. 6b).
+
+    Includes a noreturn-inference + dead-code-elimination pass, as an
+    optimizing compiler performs within a translation unit, so no live
+    code is ever emitted after a call that provably cannot return. *)
+
+type spec = {
+  n_funcs : int;  (** regular compiler-generated functions *)
+  n_asm_called : int;  (** asm fns without FDE, reachable by direct call *)
+  n_asm_tailonly : int;  (** without FDE, reachable only via one tail call *)
+  n_asm_pointer : int;  (** without FDE, referenced from a data pointer *)
+  n_asm_code_ptr : int;  (** without FDE, address taken as a code constant *)
+  n_asm_unreachable : int;  (** without FDE, never referenced; each drags
+                                one equally-unreachable callee along *)
+  n_broken_fde : int;  (** Fig. 6b style hand-broken FDEs *)
+  cxx : bool;
+  strip : bool;
+}
+
+val default_spec : spec
+
+(** Generate a program; the same seed (via [rng]) yields the same program
+    byte-for-byte. *)
+val program : Fetch_util.Prng.t -> Profile.t -> spec -> Ir.program

@@ -1,0 +1,313 @@
+(** Final assembly and linking: turn a lowered program into an ELF image
+    with [.text], [.rodata], [.data], [.eh_frame] and (optionally) symbols,
+    together with the ground-truth manifest. *)
+
+open Fetch_util
+
+let text_base = 0x401000
+let rodata_base = 0x500000
+let data_base = 0x600000
+let eh_frame_hdr_base = 0x6ff000
+let eh_frame_base = 0x700000
+let except_table_base = 0x6f0000
+
+type built = {
+  image : Fetch_elf.Image.t;
+  raw : string;  (** the encoded ELF file *)
+  truth : Truth.t;
+  program : Ir.program;
+}
+
+(* Convert label-anchored CFI events into an FDE instruction list with
+   DW_CFA_advance_loc deltas. *)
+let instrs_of_events ~labels ~pc_begin events =
+  let addr_of l = Hashtbl.find labels l in
+  let _, rev =
+    List.fold_left
+      (fun (last, acc) (e : Codegen.cfi_event) ->
+        let a = addr_of e.at in
+        let acc =
+          if a > last then Fetch_dwarf.Cfi.Advance_loc (a - last) :: acc else acc
+        in
+        (max a last, List.rev_append e.cfi acc))
+      (pc_begin, []) events
+  in
+  List.rev rev
+
+let build_eh_frame ~labels ~personality ~lsda_of (p : Ir.program)
+    (outs : Codegen.fn_out list) =
+  let addr_of l = Hashtbl.find labels l in
+  (* Group functions into synthetic "object files", one CIE each. *)
+  let rec chunk n = function
+    | [] -> []
+    | l ->
+        let rec take k acc = function
+          | [] -> (List.rev acc, [])
+          | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let first, rest = take n [] l in
+        first :: chunk n rest
+  in
+  let with_fde = List.filter (fun (o : Codegen.fn_out) -> o.fn.emit_fde) outs in
+  let groups = chunk (max 1 p.object_size) with_fde in
+  List.map
+    (fun group ->
+      let fdes =
+        List.concat_map
+          (fun (o : Codegen.fn_out) ->
+            let pc_begin = addr_of o.fde_label in
+            let pc_end = addr_of o.end_label in
+            let main_fde =
+              if o.fn.broken_fde then
+                {
+                  Fetch_dwarf.Eh_frame.pc_begin;
+                  pc_range = pc_end - pc_begin;
+                  lsda = None;
+                  (* hand-written CFI expressing the frame opaquely *)
+                  instrs = [ Fetch_dwarf.Cfi.Def_cfa_expression "\x9c" ];
+                }
+              else
+                {
+                  Fetch_dwarf.Eh_frame.pc_begin;
+                  pc_range = pc_end - pc_begin;
+                  lsda = lsda_of o;
+                  instrs = instrs_of_events ~labels ~pc_begin o.events;
+                }
+            in
+            let cold_fdes =
+              match o.cold with
+              | None -> []
+              | Some (cs, ce) ->
+                  let cb = addr_of cs in
+                  [
+                    {
+                      Fetch_dwarf.Eh_frame.pc_begin = cb;
+                      pc_range = addr_of ce - cb;
+                      lsda = None;
+                      instrs =
+                        o.cold_initial
+                        @ instrs_of_events ~labels ~pc_begin:cb o.cold_events;
+                    };
+                  ]
+            in
+            main_fde :: cold_fdes)
+          group
+      in
+      Fetch_dwarf.Eh_frame.default_cie ?personality ~fdes ())
+    groups
+
+let build_truth ~labels (outs : Codegen.fn_out list)
+    ~(jump_tables : (int * string list) list) ~text_lo ~text_hi =
+  let addr_of l = Hashtbl.find labels l in
+  let fns =
+    List.map
+      (fun (o : Codegen.fn_out) ->
+        let start = addr_of o.start_label in
+        let size = addr_of o.end_label - start in
+        let parts =
+          (start, size)
+          ::
+          (match o.cold with
+          | Some (cs, ce) -> [ (addr_of cs, addr_of ce - addr_of cs) ]
+          | None -> [])
+        in
+        let prefixed p = String.length o.fn.name >= String.length p
+                         && String.sub o.fn.name 0 (String.length p) = p in
+        {
+          Truth.name = o.fn.name;
+          start;
+          size;
+          parts;
+          is_assembly = o.fn.is_assembly;
+          has_fde = o.fn.emit_fde;
+          noreturn = o.fn.noreturn;
+          tail_only = prefixed "asm_tail";
+          unreachable = prefixed "asm_dead";
+          leaf = (o.fn.frame = Ir.Frameless && o.fn.saves = []);
+        })
+      outs
+  in
+  let jump_tables =
+    List.map (fun (addr, cases) -> (addr, List.map addr_of cases)) jump_tables
+  in
+  { Truth.fns; jump_tables; text_lo; text_hi }
+
+(* Decoy contents appended to .data after the pointer slots: strings,
+   small integers, and byte patterns that look like pointers into the
+   middle of functions (a true start plus a small offset, landing
+   mid-instruction) — the junk that §IV-E's validation must reject. *)
+let decoy_data rng ~fn_starts =
+  let buf = Byte_buf.create () in
+  let starts = Array.of_list fn_starts in
+  for _ = 1 to 24 do
+    match Prng.int rng 3 with
+    | 0 when Array.length starts > 0 ->
+        let s = starts.(Prng.int rng (Array.length starts)) in
+        Byte_buf.u64 buf (s + 1 + Prng.int rng 3)
+    | 0 | 1 -> Byte_buf.u64 buf (Prng.range rng 1 0xffff)
+    | _ ->
+        Byte_buf.string buf "synthetic string #";
+        Byte_buf.u8 buf (0x30 + Prng.int rng 10);
+        Byte_buf.u8 buf 0
+  done;
+  Byte_buf.contents buf
+
+(** Compile, assemble and link [program] into an ELF image + ground truth. *)
+let build ~profile ~rng (program : Ir.program) =
+  let t = Codegen.lower_program ~rodata_base ~data_base ~profile ~rng program in
+  let items = Codegen.items t in
+  let asm = Fetch_x86.Asm.assemble ~base:text_base items in
+  let labels = asm.labels in
+  let addr_of l = Hashtbl.find labels l in
+  let text_lo = text_base and text_hi = text_base + String.length asm.code in
+  (* Patch jump tables now that case labels have addresses. *)
+  let rodata = Bytes.of_string (Byte_buf.contents t.rodata) in
+  List.iter
+    (fun (f : Codegen.table_fixup) ->
+      List.iteri
+        (fun i l ->
+          let a = addr_of l in
+          match f.tf_kind with
+          | Codegen.Absolute ->
+              Bytes.set_int64_le rodata (f.tf_offset + (8 * i)) (Int64.of_int a)
+          | Codegen.Pic ->
+              let table_addr = rodata_base + f.tf_offset in
+              Bytes.set_int32_le rodata
+                (f.tf_offset + (4 * i))
+                (Int32.of_int (a - table_addr)))
+        f.tf_cases)
+    t.fixups;
+  (* .data: pointer slots then decoys. *)
+  let data_buf = Byte_buf.create () in
+  for i = 0 to program.n_pointer_slots - 1 do
+    match List.assoc_opt i program.pointer_inits with
+    | Some fn -> Byte_buf.u64 data_buf (addr_of fn)
+    | None -> Byte_buf.u64 data_buf 0
+  done;
+  let outs = List.rev t.outs in
+  let fn_starts =
+    (* decoy mid-function pointers are derived from FDE-covered functions:
+       their extents are always disassembled, so validation rejects the
+       decoys deterministically *)
+    List.filter_map
+      (fun (o : Codegen.fn_out) ->
+        if o.fn.emit_fde && not o.fn.broken_fde then
+          Some (addr_of o.start_label)
+        else None)
+      outs
+  in
+  Byte_buf.string data_buf (decoy_data rng ~fn_starts);
+  (* C++ binaries carry a personality routine and LSDAs in
+     .gcc_except_table, like real g++ output. *)
+  let personality = Hashtbl.find_opt labels "__gxx_personality_v0" in
+  let except_buf = Byte_buf.create () in
+  let lsda_table = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Codegen.fn_out) ->
+      if o.try_sites <> [] && o.fn.emit_fde then begin
+        let fn_start = addr_of o.start_label in
+        let lsda =
+          {
+            Fetch_dwarf.Lsda.call_sites =
+              List.map
+                (fun (ls, le, lp) ->
+                  {
+                    Fetch_dwarf.Lsda.cs_start = addr_of ls - fn_start;
+                    cs_len = addr_of le - addr_of ls;
+                    landing_pad = addr_of lp - fn_start;
+                    action = 1;
+                  })
+                o.try_sites;
+          }
+        in
+        let lsda_addr = except_table_base + Byte_buf.length except_buf in
+        Byte_buf.string except_buf (Fetch_dwarf.Lsda.encode lsda);
+        Byte_buf.pad_to except_buf ~align:4 ~byte:0;
+        Hashtbl.replace lsda_table o.fn.name lsda_addr
+      end)
+    outs;
+  let lsda_of (o : Codegen.fn_out) = Hashtbl.find_opt lsda_table o.fn.name in
+  let cies = build_eh_frame ~labels ~personality ~lsda_of program outs in
+  let eh, fde_index =
+    Fetch_dwarf.Eh_frame.encode_with_index ~addr:eh_frame_base cies
+  in
+  let eh_hdr =
+    Fetch_dwarf.Eh_frame_hdr.encode ~addr:eh_frame_hdr_base
+      ~eh_frame_addr:eh_frame_base fde_index
+  in
+  let truth =
+    build_truth ~labels outs ~jump_tables:t.jump_tables ~text_lo ~text_hi
+  in
+  let symbols =
+    if program.strip_symbols then []
+    else
+      List.concat_map
+        (fun (o : Codegen.fn_out) ->
+          let start = addr_of o.start_label in
+          let size = addr_of o.end_label - start in
+          let main =
+            {
+              Fetch_elf.Image.sym_name = o.fn.name;
+              value = start;
+              size;
+              sym_kind = Fetch_elf.Image.Func;
+              bind = Fetch_elf.Image.Global;
+              defined = true;
+            }
+          in
+          let cold =
+            match o.cold with
+            | None -> []
+            | Some (cs, ce) ->
+                [
+                  {
+                    Fetch_elf.Image.sym_name = o.fn.name ^ ".cold";
+                    value = addr_of cs;
+                    size = addr_of ce - addr_of cs;
+                    sym_kind = Fetch_elf.Image.Func;
+                    bind = Fetch_elf.Image.Local;
+                    defined = true;
+                  };
+                ]
+          in
+          main :: cold)
+        outs
+  in
+  let open Fetch_elf.Image in
+  let section name kind flags addr data addralign =
+    { sec_name = name; kind; flags; addr; data; addralign; entsize = 0 }
+  in
+  let image =
+    {
+      entry = addr_of "_start";
+      sections =
+        [
+          section ".text" Progbits (shf_alloc lor shf_execinstr) text_base
+            asm.code 16;
+          section ".rodata" Progbits shf_alloc rodata_base
+            (Bytes.to_string rodata) 8;
+          section ".data" Progbits (shf_alloc lor shf_write) data_base
+            (Byte_buf.contents data_buf) 8;
+          section ".eh_frame" Progbits shf_alloc eh_frame_base eh 8;
+          section ".eh_frame_hdr" Progbits shf_alloc eh_frame_hdr_base eh_hdr 4;
+        ]
+        @ (if Byte_buf.length except_buf > 0 then
+             [
+               section ".gcc_except_table" Progbits shf_alloc
+                 except_table_base
+                 (Byte_buf.contents except_buf)
+                 4;
+             ]
+           else []);
+      symbols;
+    }
+  in
+  let raw = Fetch_elf.Encode.encode image in
+  { image; raw; truth; program }
+
+(** Convenience: generate a program from a spec and build it. *)
+let build_random ~profile ~seed (spec : Gen.spec) =
+  let rng = Prng.create seed in
+  let program = Gen.program rng profile spec in
+  build ~profile ~rng program

@@ -1,0 +1,101 @@
+(** Compiler/optimization profiles: the knobs that shape generated code.
+
+    Each profile sets the per-function probabilities of the constructs that
+    matter to function detection.  Values are calibrated so that corpus-wide
+    statistics track the paper's observations: hot/cold splitting grows with
+    optimization (Ofast > O3 > O2 > Os), tail calls appear at all levels but
+    more aggressively at O3/Ofast, Os avoids both size-increasing
+    transformations, and frame pointers are mostly omitted. *)
+
+type compiler = Synthgcc | Synthllvm
+
+type opt = O2 | O3 | Os | Ofast
+
+let compiler_name = function Synthgcc -> "gcc" | Synthllvm -> "llvm"
+
+let opt_name = function O2 -> "O2" | O3 -> "O3" | Os -> "Os" | Ofast -> "Of"
+
+let all_opts = [ O2; O3; Os; Ofast ]
+
+type t = {
+  compiler : compiler;
+  opt : opt;
+  p_cold_split : float;  (** probability a framed function is split *)
+  p_tail_call : float;  (** probability a function ends in a tail call *)
+  p_switch : float;  (** probability a function contains a jump table *)
+  p_rbp_frame : float;  (** frame-pointer functions (incomplete CFI) *)
+  p_frameless : float;
+  p_noreturn_call : float;  (** probability a call site targets a noreturn fn *)
+  p_entry_jump : float;  (** rotated-loop entries (start with jmp) *)
+  p_entry_nops : float;  (** hot-patchable entries (leading nops) *)
+  p_indirect_call : float;
+  p_reg_pointer_call : float;  (** lea/mov a code address then call reg *)
+  pic_tables : bool;  (** PIC-style (offset) jump tables vs absolute *)
+  body_scale : float;  (** multiplier on body statement counts *)
+  align : int;
+  endbr : bool;
+  p_orphan : float;
+      (** functions never referenced by direct calls (exported-API style):
+          trivial for FDE-based detection, invisible to call-graph-only
+          tools unless their prologues match *)
+  p_text_junk : float;
+      (** probability of a junk blob (literal-pool style non-code bytes)
+          after a function — the raw material for linear-scan and
+          pattern-matching false positives *)
+}
+
+let make compiler opt =
+  let base =
+    {
+      compiler;
+      opt;
+      p_cold_split = 0.0;
+      p_tail_call = 0.0;
+      p_switch = 0.06;
+      p_rbp_frame = 0.08;
+      p_frameless = 0.25;
+      p_noreturn_call = 0.04;
+      p_entry_jump = 0.03;
+      p_entry_nops = 0.01;
+      p_indirect_call = 0.05;
+      p_reg_pointer_call = 0.04;
+      pic_tables = (compiler = Synthllvm);
+      body_scale = 1.0;
+      align = 16;
+      endbr = (compiler = Synthgcc);
+      p_orphan = 0.12;
+      p_text_junk = 0.05;
+    }
+  in
+  match opt with
+  | O2 ->
+      { base with p_cold_split = 0.015; p_tail_call = 0.06; body_scale = 1.0 }
+  | O3 ->
+      {
+        base with
+        p_cold_split = 0.022;
+        p_tail_call = 0.08;
+        p_switch = 0.07;
+        body_scale = 1.25;
+      }
+  | Os ->
+      {
+        base with
+        p_cold_split = 0.002;
+        p_tail_call = 0.10;
+        (* -Os prefers tail calls (smaller code) but never splits *)
+        p_rbp_frame = 0.05;
+        body_scale = 0.7;
+        align = 1;
+        (* -Os drops function alignment *)
+      }
+  | Ofast ->
+      {
+        base with
+        p_cold_split = 0.028;
+        p_tail_call = 0.09;
+        p_switch = 0.07;
+        body_scale = 1.3;
+      }
+
+let name p = Printf.sprintf "%s-%s" (compiler_name p.compiler) (opt_name p.opt)

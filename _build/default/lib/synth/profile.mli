@@ -1,0 +1,44 @@
+(** Compiler/optimization profiles: the knobs that shape generated code.
+
+    Each profile sets the per-function probabilities of the constructs
+    that matter to function detection, calibrated so corpus-wide
+    statistics track the paper's observations (hot/cold splitting grows
+    with optimization, -Os avoids it and drops alignment, etc.). *)
+
+type compiler = Synthgcc | Synthllvm
+
+type opt = O2 | O3 | Os | Ofast
+
+val compiler_name : compiler -> string
+val opt_name : opt -> string
+
+(** O2, O3, Os, Ofast — the levels of the paper's corpus (§IV-A). *)
+val all_opts : opt list
+
+type t = {
+  compiler : compiler;
+  opt : opt;
+  p_cold_split : float;  (** probability a framed function is split *)
+  p_tail_call : float;  (** probability a function ends in a tail call *)
+  p_switch : float;  (** probability a statement is a jump-table switch *)
+  p_rbp_frame : float;  (** frame-pointer functions (incomplete CFI) *)
+  p_frameless : float;
+  p_noreturn_call : float;
+  p_entry_jump : float;  (** rotated-loop entries (start with jmp) *)
+  p_entry_nops : float;  (** hot-patchable entries (leading nops) *)
+  p_indirect_call : float;
+  p_reg_pointer_call : float;
+  pic_tables : bool;  (** PIC-style (offset) jump tables vs absolute *)
+  body_scale : float;  (** multiplier on body statement counts *)
+  align : int;
+  endbr : bool;
+  p_orphan : float;
+      (** functions never referenced by direct calls (exported-API style) *)
+  p_text_junk : float;
+      (** probability of a junk blob (literal-pool style) after a function *)
+}
+
+val make : compiler -> opt -> t
+
+(** e.g. ["gcc-O2"]. *)
+val name : t -> string

@@ -1,0 +1,43 @@
+(** Ground-truth manifest recorded by the synthetic compiler at generation
+    time — the analogue of the paper's compiler-interception framework
+    ([27]) used to judge every detection strategy. *)
+
+type fn_truth = {
+  name : string;
+  start : int;  (** the one true function start *)
+  size : int;  (** size of the primary (hot) part *)
+  parts : (int * int) list;  (** (addr, size) of every part, hot first *)
+  is_assembly : bool;
+  has_fde : bool;
+  noreturn : bool;
+  tail_only : bool;  (** reachable only via tail calls *)
+  unreachable : bool;  (** never referenced anywhere *)
+  leaf : bool;  (** no stack frame at all (no pushes, no rsp adjustment) *)
+}
+
+type t = {
+  fns : fn_truth list;
+  jump_tables : (int * int list) list;  (** table address, case targets *)
+  text_lo : int;
+  text_hi : int;
+}
+
+(** True function starts — the set every detector is scored against. *)
+let starts t = List.map (fun f -> f.start) t.fns
+
+(** Hash set of true starts for O(1) membership tests. *)
+let start_set t =
+  let h = Hashtbl.create (max 16 (List.length t.fns)) in
+  List.iter (fun f -> Hashtbl.replace h f.start ()) t.fns;
+  h
+
+(** Addresses that symbols (and FDEs) would additionally claim as starts:
+    the secondary parts of non-contiguous functions. *)
+let part_starts t =
+  List.concat_map
+    (fun f -> List.filteri (fun i _ -> i > 0) f.parts |> List.map fst)
+    t.fns
+
+let find_by_addr t addr = List.find_opt (fun f -> f.start = addr) t.fns
+
+let count_if p t = List.length (List.filter p t.fns)

@@ -1,0 +1,36 @@
+(** Ground-truth manifest recorded by the synthetic compiler at generation
+    time — the analogue of the paper's compiler-interception framework
+    ([27]) used to judge every detection strategy. *)
+
+type fn_truth = {
+  name : string;
+  start : int;  (** the one true function start *)
+  size : int;  (** size of the primary (hot) part *)
+  parts : (int * int) list;  (** (addr, size) of every part, hot first *)
+  is_assembly : bool;
+  has_fde : bool;
+  noreturn : bool;
+  tail_only : bool;  (** reachable only via tail calls *)
+  unreachable : bool;  (** never referenced anywhere *)
+  leaf : bool;  (** no stack frame at all (no pushes, no rsp adjustment) *)
+}
+
+type t = {
+  fns : fn_truth list;
+  jump_tables : (int * int list) list;  (** table address, case targets *)
+  text_lo : int;
+  text_hi : int;
+}
+
+(** True function starts — the set every detector is scored against. *)
+val starts : t -> int list
+
+(** Hash set of true starts for O(1) membership tests. *)
+val start_set : t -> (int, unit) Hashtbl.t
+
+(** Addresses that symbols (and FDEs) additionally claim as starts: the
+    secondary parts of non-contiguous functions. *)
+val part_starts : t -> int list
+
+val find_by_addr : t -> int -> fn_truth option
+val count_if : (fn_truth -> bool) -> t -> int

@@ -1,0 +1,1 @@
+lib/util/byte_cursor.ml: Char Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/util/byte_cursor.mli:

@@ -1,0 +1,120 @@
+(** Little-endian read cursor over an immutable string.
+
+    The decoder counterpart of {!Byte_buf}.  All reads advance the cursor and
+    raise {!Out_of_bounds} past the end, which decoders (notably the x86
+    disassembler and the eh_frame parser) catch to report truncated input. *)
+
+exception Out_of_bounds of { pos : int; want : int; len : int }
+
+type t = {
+  data : string;
+  off : int;  (** start of the window inside [data] *)
+  limit : int;  (** one past the last readable byte, relative to [data] *)
+  mutable pos : int;  (** absolute position inside [data] *)
+}
+
+let of_string ?(pos = 0) ?len data =
+  let limit =
+    match len with None -> String.length data | Some l -> pos + l
+  in
+  if pos < 0 || limit > String.length data || pos > limit then
+    invalid_arg "Byte_cursor.of_string";
+  { data; off = pos; limit; pos }
+
+let sub t ~pos ~len =
+  let abs = t.off + pos in
+  if abs < t.off || abs + len > t.limit then
+    raise (Out_of_bounds { pos; want = len; len = t.limit - t.off });
+  { data = t.data; off = abs; limit = abs + len; pos = abs }
+
+let pos t = t.pos - t.off
+let length t = t.limit - t.off
+let remaining t = t.limit - t.pos
+let eof t = t.pos >= t.limit
+
+let seek t p =
+  let abs = t.off + p in
+  if abs < t.off || abs > t.limit then
+    raise (Out_of_bounds { pos = p; want = 0; len = length t });
+  t.pos <- abs
+
+let advance t n = seek t (pos t + n)
+
+let check t n =
+  if t.pos + n > t.limit then
+    raise (Out_of_bounds { pos = pos t; want = n; len = length t })
+
+let u8 t =
+  check t 1;
+  let v = Char.code (String.unsafe_get t.data t.pos) in
+  t.pos <- t.pos + 1;
+  v
+
+let u16 t =
+  check t 2;
+  let v = String.get_uint16_le t.data t.pos in
+  t.pos <- t.pos + 2;
+  v
+
+let u32 t =
+  check t 4;
+  let v = Int32.to_int (String.get_int32_le t.data t.pos) land 0xffffffff in
+  t.pos <- t.pos + 4;
+  v
+
+let u64 t =
+  check t 8;
+  let v = Int64.to_int (String.get_int64_le t.data t.pos) in
+  t.pos <- t.pos + 8;
+  v
+
+let i8 t =
+  let v = u8 t in
+  if v >= 0x80 then v - 0x100 else v
+
+let i16 t =
+  let v = u16 t in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let i32 t =
+  let v = u32 t in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let i64 t =
+  check t 8;
+  let v = String.get_int64_le t.data t.pos in
+  t.pos <- t.pos + 8;
+  v
+
+let string t n =
+  check t n;
+  let s = String.sub t.data t.pos n in
+  t.pos <- t.pos + n;
+  s
+
+let cstring t =
+  let start = t.pos in
+  let rec find p = if p >= t.limit || t.data.[p] = '\000' then p else find (p + 1) in
+  let e = find start in
+  if e >= t.limit then raise (Out_of_bounds { pos = pos t; want = 1; len = length t });
+  t.pos <- e + 1;
+  String.sub t.data start (e - start)
+
+let uleb128 t =
+  let rec go shift acc =
+    let b = u8 t in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let sleb128 t =
+  let rec go shift acc =
+    let b = u8 t in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    let shift = shift + 7 in
+    if b land 0x80 <> 0 then go shift acc
+    else if shift < 63 && b land 0x40 <> 0 then acc lor (-1 lsl shift)
+    else acc
+  in
+  go 0 0

@@ -1,0 +1,51 @@
+(** Little-endian read cursor over an immutable string.
+
+    The decoder counterpart of {!Byte_buf}.  All reads advance the cursor
+    and raise {!Out_of_bounds} past the end, which decoders (notably the
+    x86 disassembler and the eh_frame parser) catch to report truncated
+    input. *)
+
+type t
+
+exception Out_of_bounds of { pos : int; want : int; len : int }
+
+(** [of_string ?pos ?len data] is a cursor over the window
+    [\[pos, pos+len)] of [data] (defaults: the whole string). *)
+val of_string : ?pos:int -> ?len:int -> string -> t
+
+(** [sub t ~pos ~len] is an independent cursor over a sub-window, with
+    positions relative to [t]'s window. *)
+val sub : t -> pos:int -> len:int -> t
+
+(** Current position, relative to the window start. *)
+val pos : t -> int
+
+(** Window length. *)
+val length : t -> int
+
+(** Bytes left to read. *)
+val remaining : t -> int
+
+val eof : t -> bool
+val seek : t -> int -> unit
+val advance : t -> int -> unit
+
+(** {1 Reads} — all little-endian, all advancing *)
+
+val u8 : t -> int
+val u16 : t -> int
+val u32 : t -> int
+val u64 : t -> int
+val i8 : t -> int
+val i16 : t -> int
+val i32 : t -> int
+val i64 : t -> int64
+
+(** [string t n] reads exactly [n] bytes. *)
+val string : t -> int -> string
+
+(** Reads up to (and consuming) a NUL terminator. *)
+val cstring : t -> string
+
+val uleb128 : t -> int
+val sleb128 : t -> int

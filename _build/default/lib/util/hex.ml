@@ -1,0 +1,22 @@
+(** Hex rendering helpers for CLI output and test failure messages. *)
+
+let of_string s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+(** Classic 16-bytes-per-line dump, addresses starting at [base]. *)
+let dump ?(base = 0) s =
+  let buf = Buffer.create (String.length s * 4) in
+  let n = String.length s in
+  let line_start = ref 0 in
+  while !line_start < n do
+    let upto = min n (!line_start + 16) in
+    Buffer.add_string buf (Printf.sprintf "%08x  " (base + !line_start));
+    for i = !line_start to upto - 1 do
+      Buffer.add_string buf (Printf.sprintf "%02x " (Char.code s.[i]))
+    done;
+    Buffer.add_char buf '\n';
+    line_start := upto
+  done;
+  Buffer.contents buf

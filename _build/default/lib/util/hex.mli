@@ -1,0 +1,7 @@
+(** Hex rendering helpers for CLI output and test failure messages. *)
+
+(** Lowercase hex of every byte, no separators. *)
+val of_string : string -> string
+
+(** Classic 16-bytes-per-line dump; addresses start at [base]. *)
+val dump : ?base:int -> string -> string

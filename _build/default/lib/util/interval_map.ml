@@ -1,0 +1,71 @@
+(** Map from disjoint half-open address intervals [\[lo, hi)] to values.
+
+    Backbone of the disassembly bookkeeping: instruction spans, function
+    bodies and section extents are all interval maps, and the conservative
+    validation passes of the paper ("control transfer into the middle of a
+    previously detected function / instruction") are [find] queries here. *)
+
+module Imap = Map.Make (Int)
+
+type 'a t = { mutable m : (int * 'a) Imap.t }
+(* key = lo, payload = (hi, value) *)
+
+let create () = { m = Imap.empty }
+let is_empty t = Imap.is_empty t.m
+let cardinal t = Imap.cardinal t.m
+
+(** [find t addr] is the binding whose interval contains [addr]. *)
+let find t addr =
+  match Imap.find_last_opt (fun lo -> lo <= addr) t.m with
+  | Some (lo, (hi, v)) when addr < hi -> Some (lo, hi, v)
+  | Some _ | None -> None
+
+let mem t addr = Option.is_some (find t addr)
+
+(** [starts_at t addr] is the value of the interval beginning exactly at
+    [addr], if any. *)
+let starts_at t addr =
+  match Imap.find_opt addr t.m with
+  | Some (hi, v) -> Some (hi, v)
+  | None -> None
+
+(** [overlaps t ~lo ~hi] is true when [\[lo, hi)] intersects any interval. *)
+let overlaps t ~lo ~hi =
+  if hi <= lo then false
+  else
+    match Imap.find_last_opt (fun k -> k < hi) t.m with
+    | Some (_, (h, _)) -> h > lo
+    | None -> false
+
+(** [add t ~lo ~hi v] binds [\[lo, hi)]; raises [Invalid_argument] on
+    overlap with an existing interval. *)
+let add t ~lo ~hi v =
+  if hi <= lo then invalid_arg "Interval_map.add: empty interval";
+  if overlaps t ~lo ~hi then invalid_arg "Interval_map.add: overlap";
+  t.m <- Imap.add lo (hi, v) t.m
+
+(** Like [add] but replaces anything the new interval overlaps. *)
+let add_override t ~lo ~hi v =
+  if hi <= lo then invalid_arg "Interval_map.add_override";
+  let rec clear () =
+    match Imap.find_last_opt (fun k -> k < hi) t.m with
+    | Some (k, (h, _)) when h > lo ->
+        t.m <- Imap.remove k t.m;
+        clear ()
+    | Some _ | None -> ()
+  in
+  clear ();
+  t.m <- Imap.add lo (hi, v) t.m
+
+let remove t lo = t.m <- Imap.remove lo t.m
+
+let iter t f = Imap.iter (fun lo (hi, v) -> f ~lo ~hi v) t.m
+let fold t f init = Imap.fold (fun lo (hi, v) acc -> f ~lo ~hi v acc) t.m init
+
+let to_list t = List.rev (fold t (fun ~lo ~hi v acc -> (lo, hi, v) :: acc) [])
+
+(** First interval starting at or after [addr]. *)
+let next_from t addr =
+  match Imap.find_first_opt (fun lo -> lo >= addr) t.m with
+  | Some (lo, (hi, v)) -> Some (lo, hi, v)
+  | None -> None

@@ -1,0 +1,44 @@
+(** Map from disjoint half-open address intervals [\[lo, hi)] to values.
+
+    Backbone of the disassembly bookkeeping: instruction spans, function
+    bodies and section extents are all interval maps, and the conservative
+    validation passes of the paper ("control transfer into the middle of a
+    previously disassembled instruction / detected function") are [find]
+    queries here. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+(** [find t addr] is [Some (lo, hi, v)] for the interval containing
+    [addr]. *)
+val find : 'a t -> int -> (int * int * 'a) option
+
+val mem : 'a t -> int -> bool
+
+(** Value of the interval beginning exactly at [addr], with its end. *)
+val starts_at : 'a t -> int -> (int * 'a) option
+
+(** Does [\[lo, hi)] intersect any stored interval? *)
+val overlaps : 'a t -> lo:int -> hi:int -> bool
+
+(** [add t ~lo ~hi v] binds [\[lo, hi)]; raises [Invalid_argument] on an
+    empty interval or an overlap. *)
+val add : 'a t -> lo:int -> hi:int -> 'a -> unit
+
+(** Like {!add} but evicts anything the new interval overlaps. *)
+val add_override : 'a t -> lo:int -> hi:int -> 'a -> unit
+
+(** Remove the interval starting at the given key, if any. *)
+val remove : 'a t -> int -> unit
+
+val iter : 'a t -> (lo:int -> hi:int -> 'a -> unit) -> unit
+val fold : 'a t -> (lo:int -> hi:int -> 'a -> 'b -> 'b) -> 'b -> 'b
+
+(** All intervals, ascending. *)
+val to_list : 'a t -> (int * int * 'a) list
+
+(** First interval starting at or after [addr]. *)
+val next_from : 'a t -> int -> (int * int * 'a) option

@@ -1,0 +1,71 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every corpus in the evaluation is generated from an explicit seed so that
+    experiments, tests and benchmarks are exactly reproducible run-to-run. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is uniform in [\[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  (* shift by 2 keeps the value within OCaml's 63-bit int range *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+(** [chance t p] is true with probability [p]. *)
+let chance t p = float t < p
+
+let bool t = chance t 0.5
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice";
+  arr.(int t (Array.length arr))
+
+let choice_list t l = choice t (Array.of_list l)
+
+(** Weighted choice: [weighted t [(w1, a); (w2, b)]] picks [a] with
+    probability [w1 / (w1 + w2)]. *)
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Prng.weighted";
+  let x = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Prng.weighted: empty"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0.0 pairs
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** Derive an independent stream, e.g. one per generated binary. *)
+let split t =
+  let s = next_int64 t in
+  { state = s }

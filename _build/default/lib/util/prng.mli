@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every corpus in the evaluation is generated from an explicit seed so
+    that experiments, tests and benchmarks are exactly reproducible
+    run-to-run. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]; [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val range : t -> int -> int -> int
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+val bool : t -> bool
+val choice : t -> 'a array -> 'a
+val choice_list : t -> 'a list -> 'a
+
+(** Weighted choice: [weighted t [(w1, a); (w2, b)]] picks [a] with
+    probability [w1 / (w1 + w2)]. *)
+val weighted : t -> (float * 'a) list -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Derive an independent stream, e.g. one per generated binary. *)
+val split : t -> t

@@ -1,0 +1,1 @@
+lib/x86/asm.ml: Encode Fetch_util Hashtbl Insn List Printf String

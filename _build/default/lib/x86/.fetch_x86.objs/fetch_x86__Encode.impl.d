@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Byte_buf Fetch_util Insn Int64 List Printf Reg

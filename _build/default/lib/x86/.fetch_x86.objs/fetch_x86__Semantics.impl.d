@@ -1,0 +1,1 @@
+lib/x86/semantics.ml: Insn List Reg

@@ -1,0 +1,90 @@
+(** Two-pass assembler: lays out a stream of instructions, labels, alignment
+    and raw bytes at a base virtual address, resolving symbolic targets.
+
+    The synthetic compiler assembles a whole [.text] section as one stream
+    with program-unique labels, then reads the label map back to build
+    symbol tables, FDEs and jump tables. *)
+
+type item =
+  | Label of string
+  | I of Insn.t
+  | Align of int  (** pad with canonical NOPs to the given power-of-two *)
+  | Align_with of int * int  (** pad to alignment with the given byte *)
+  | Raw of string  (** verbatim bytes (hand-written machine code) *)
+
+type result = {
+  base : int;
+  code : string;
+  labels : (string, int) Hashtbl.t;
+}
+
+let pad_amount pos align =
+  if align <= 1 then 0
+  else
+    let rem = pos mod align in
+    if rem = 0 then 0 else align - rem
+
+(* Emit [n] bytes of NOP padding as maximal canonical NOPs. *)
+let emit_nops buf n =
+  let rec go n =
+    if n > 0 then begin
+      let k = min n 9 in
+      Fetch_util.Byte_buf.string buf
+        (let b = Fetch_util.Byte_buf.create () in
+         Encode.emit b ~addr:0 ~resolve:(fun _ -> 0) (Insn.Nop k);
+         Fetch_util.Byte_buf.contents b);
+      go (n - k)
+    end
+  in
+  go n
+
+let item_size ~pos = function
+  | Label _ -> 0
+  | I insn -> Encode.size insn
+  | Align a | Align_with (a, _) -> pad_amount pos a
+  | Raw s -> String.length s
+
+let assemble ~base items =
+  (* Pass 1: assign addresses to labels. *)
+  let labels = Hashtbl.create 64 in
+  let pos = ref 0 in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label l ->
+          if Hashtbl.mem labels l then
+            invalid_arg (Printf.sprintf "Asm: duplicate label %s" l);
+          Hashtbl.add labels l (base + !pos)
+      | I _ | Align _ | Align_with _ | Raw _ -> ());
+      pos := !pos + item_size ~pos:!pos item)
+    items;
+  let resolve = function
+    | Insn.To_addr a -> a
+    | Insn.To_label l -> (
+        match Hashtbl.find_opt labels l with
+        | Some a -> a
+        | None -> invalid_arg (Printf.sprintf "Asm: undefined label %s" l))
+  in
+  (* Pass 2: emit. *)
+  let buf = Fetch_util.Byte_buf.create ~capacity:(!pos) () in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | I insn ->
+          Encode.emit buf ~addr:(base + Fetch_util.Byte_buf.length buf) ~resolve insn
+      | Align a -> emit_nops buf (pad_amount (Fetch_util.Byte_buf.length buf) a)
+      | Align_with (a, byte) ->
+          Fetch_util.Byte_buf.fill buf
+            ~count:(pad_amount (Fetch_util.Byte_buf.length buf) a)
+            ~byte
+      | Raw s -> Fetch_util.Byte_buf.string buf s)
+    items;
+  let code = Fetch_util.Byte_buf.contents buf in
+  assert (String.length code = !pos);
+  { base; code; labels }
+
+let label_addr r name =
+  match Hashtbl.find_opt r.labels name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Asm.label_addr: %s" name)

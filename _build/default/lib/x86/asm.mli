@@ -1,0 +1,27 @@
+(** Two-pass assembler: lays out a stream of instructions, labels,
+    alignment and raw bytes at a base virtual address, resolving symbolic
+    targets.
+
+    The synthetic compiler assembles a whole [.text] section as one
+    stream with program-unique labels, then reads the label map back to
+    build symbol tables, FDEs and jump tables. *)
+
+type item =
+  | Label of string
+  | I of Insn.t
+  | Align of int  (** pad with canonical NOPs to the given power-of-two *)
+  | Align_with of int * int  (** pad to alignment with the given byte *)
+  | Raw of string  (** verbatim bytes (hand-written machine code, junk) *)
+
+type result = {
+  base : int;
+  code : string;
+  labels : (string, int) Hashtbl.t;
+}
+
+(** [assemble ~base items] lays the stream out at virtual address [base].
+    Raises [Invalid_argument] on duplicate or undefined labels. *)
+val assemble : base:int -> item list -> result
+
+(** Address of a label; raises [Invalid_argument] if undefined. *)
+val label_addr : result -> string -> int

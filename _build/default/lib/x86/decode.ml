@@ -1,0 +1,330 @@
+(** x86-64 instruction decoder (disassembler).
+
+    [decode data ~pos ~addr] decodes one instruction starting at byte offset
+    [pos], where that byte lives at virtual address [addr]; returns the
+    instruction and its encoded length, or [None] when the bytes do not form
+    an instruction in the supported subset.  Control-flow targets come back
+    as absolute [To_addr] values.
+
+    The subset is a superset of what {!Encode} emits; bytes outside it are
+    treated as invalid, which is the "invalid opcode" error used by the
+    paper's conservative pointer-validation pass (§IV-E). *)
+
+open Insn
+
+type state = { data : string; mutable pos : int; limit : int }
+
+exception Bad
+
+let byte s =
+  if s.pos >= s.limit then raise Bad;
+  let v = Char.code (String.unsafe_get s.data s.pos) in
+  s.pos <- s.pos + 1;
+  v
+
+let peek s = if s.pos >= s.limit then raise Bad else Char.code s.data.[s.pos]
+
+let i8 s =
+  let v = byte s in
+  if v >= 0x80 then v - 0x100 else v
+
+let i32 s =
+  let b0 = byte s in
+  let b1 = byte s in
+  let b2 = byte s in
+  let b3 = byte s in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let i64 s =
+  let lo = i32 s land 0xffffffff in
+  let hi = i32 s in
+  lo lor (hi lsl 32)
+
+type rex = { w : bool; r : bool; x : bool; b : bool }
+
+let no_rex = { w = false; r = false; x = false; b = false }
+
+let reg_of ~ext n = Reg.of_number (n lor if ext then 8 else 0)
+
+(* Decode ModRM (+ SIB + disp).  Returns the reg field value (3 bits,
+   extended by REX.R) and the r/m operand. *)
+let modrm s rex =
+  let m = byte s in
+  let md = m lsr 6 in
+  let regf = ((m lsr 3) land 7) lor if rex.r then 8 else 0 in
+  let rm = m land 7 in
+  if md = 3 then (regf, Reg (reg_of ~ext:rex.b rm))
+  else if md = 0 && rm = 5 then begin
+    (* RIP-relative *)
+    let disp = i32 s in
+    (regf, Mem { base = None; index = None; disp; rip_rel = true; rip_sym = None })
+  end
+  else begin
+    let base, index =
+      if rm = 4 then begin
+        let sb = byte s in
+        let scale = 1 lsl (sb lsr 6) in
+        let idx = (sb lsr 3) land 7 in
+        let bse = sb land 7 in
+        let index =
+          if idx = 4 && not rex.x then None
+          else Some (reg_of ~ext:rex.x idx, scale)
+        in
+        let base =
+          if bse = 5 && md = 0 then None else Some (reg_of ~ext:rex.b bse)
+        in
+        (base, index)
+      end
+      else (Some (reg_of ~ext:rex.b rm), None)
+    in
+    let disp =
+      match md with
+      | 0 -> if base = None then i32 s else 0
+      | 1 -> i8 s
+      | 2 -> i32 s
+      | _ -> assert false
+    in
+    (regf, Mem { base; index; disp; rip_rel = false; rip_sym = None })
+  end
+
+let as_mem = function Mem m -> m | Reg _ | Imm _ -> raise Bad
+
+let width rex = if rex.w then W64 else W32
+
+(* NOP forms: 0F 1F /0 with any addressing mode. *)
+let decode_long_nop s rex start_pos =
+  let regf, rm = modrm s rex in
+  if regf land 7 <> 0 then raise Bad;
+  (match rm with Mem _ -> () | Reg _ | Imm _ -> raise Bad);
+  Nop (s.pos - start_pos)
+
+let decode_0f s rex prefix66 prefixf3 start_pos addr =
+  let op = byte s in
+  match op with
+  | 0x05 -> Syscall
+  | 0x0b -> Ud2
+  | 0xa2 -> Cpuid
+  | 0x1e when prefixf3 ->
+      (* F3 0F 1E FA = endbr64 *)
+      if byte s = 0xfa then Endbr64 else raise Bad
+  | 0x1f ->
+      ignore prefix66;
+      decode_long_nop s rex start_pos
+  | 0xaf ->
+      let regf, rm = modrm s rex in
+      if not rex.w then raise Bad;
+      let d = Reg.of_number regf in
+      (match rm with
+      | Reg r -> Imul (d, Reg r)
+      | Mem m -> Imul (d, Mem m)
+      | Imm _ -> raise Bad)
+  | 0xb6 | 0xb7 | 0xbe | 0xbf ->
+      let regf, rm = modrm s rex in
+      let d = Reg.of_number regf in
+      let sz = if op land 1 = 0 then `B8 else `B16 in
+      let src = match rm with Reg r -> Reg r | Mem m -> Mem m | Imm _ -> raise Bad in
+      if op < 0xbe then Movzx (d, sz, src) else Movsx (d, sz, src)
+  | op when op >= 0x90 && op <= 0x9f ->
+      let _regf, rm = modrm s rex in
+      (match rm with
+      | Reg r -> Setcc (cond_of_code (op land 0xf), r)
+      | Mem _ | Imm _ -> raise Bad)
+  | op when op >= 0x40 && op <= 0x4f ->
+      let regf, rm = modrm s rex in
+      let d = Reg.of_number regf in
+      let src = match rm with Reg r -> Reg r | Mem m -> Mem m | Imm _ -> raise Bad in
+      Cmov (cond_of_code (op land 0xf), d, src)
+  | op when op >= 0x80 && op <= 0x8f ->
+      let rel = i32 s in
+      Jcc (cond_of_code (op land 0xf), To_addr (addr + (s.pos - start_pos) + rel))
+  | _ -> raise Bad
+
+let decode_one s rex prefix66 prefixf3 start_pos addr =
+  let op = byte s in
+  match op with
+  | _ when op >= 0x50 && op <= 0x57 -> Push (reg_of ~ext:rex.b (op land 7))
+  | _ when op >= 0x58 && op <= 0x5f -> Pop (reg_of ~ext:rex.b (op land 7))
+  | 0x0f -> decode_0f s rex prefix66 prefixf3 start_pos addr
+  | 0x89 ->
+      let regf, rm = modrm s rex in
+      let src = Reg.of_number regf in
+      (match rm with
+      | Reg d -> Mov (width rex, Reg d, Reg src)
+      | Mem m -> Mov (width rex, Mem m, Reg src)
+      | Imm _ -> raise Bad)
+  | 0x8b ->
+      let regf, rm = modrm s rex in
+      let dst = Reg.of_number regf in
+      (match rm with
+      | Reg r -> Mov (width rex, Reg dst, Reg r)
+      | Mem m -> Mov (width rex, Reg dst, Mem m)
+      | Imm _ -> raise Bad)
+  | 0x8d ->
+      let regf, rm = modrm s rex in
+      if not rex.w then raise Bad;
+      Lea (Reg.of_number regf, as_mem rm)
+  | 0x63 ->
+      let regf, rm = modrm s rex in
+      if not rex.w then raise Bad;
+      Movsxd (Reg.of_number regf, as_mem rm)
+  | _ when op >= 0xb8 && op <= 0xbf ->
+      let r = reg_of ~ext:rex.b (op land 7) in
+      if rex.w then Movabs (r, i64 s) else Mov (W32, Reg r, Imm (i32 s))
+  | 0xc7 ->
+      let regf, rm = modrm s rex in
+      if regf land 7 <> 0 then raise Bad;
+      let v = i32 s in
+      (match rm with
+      | Reg d -> Mov (width rex, Reg d, Imm v)
+      | Mem m -> Mov (width rex, Mem m, Imm v)
+      | Imm _ -> raise Bad)
+  | 0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 ->
+      let kind =
+        match op with
+        | 0x01 -> Add | 0x09 -> Or | 0x21 -> And | 0x29 -> Sub
+        | 0x31 -> Xor | _ -> Cmp
+      in
+      let regf, rm = modrm s rex in
+      let src = Reg.of_number regf in
+      (match rm with
+      | Reg d -> Arith (kind, width rex, Reg d, Reg src)
+      | Mem m -> Arith (kind, width rex, Mem m, Reg src)
+      | Imm _ -> raise Bad)
+  | 0x03 | 0x0b | 0x23 | 0x2b | 0x33 | 0x3b ->
+      let kind =
+        match op with
+        | 0x03 -> Add | 0x0b -> Or | 0x23 -> And | 0x2b -> Sub
+        | 0x33 -> Xor | _ -> Cmp
+      in
+      let regf, rm = modrm s rex in
+      let dst = Reg.of_number regf in
+      (match rm with
+      | Reg r -> Arith (kind, width rex, Reg dst, Reg r)
+      | Mem m -> Arith (kind, width rex, Reg dst, Mem m)
+      | Imm _ -> raise Bad)
+  | 0x81 | 0x83 ->
+      let regf, rm = modrm s rex in
+      let kind =
+        match regf land 7 with
+        | 0 -> Add | 1 -> Or | 4 -> And | 5 -> Sub | 6 -> Xor | 7 -> Cmp
+        | _ -> raise Bad
+      in
+      let v = if op = 0x83 then i8 s else i32 s in
+      (match rm with
+      | Reg d -> Arith (kind, width rex, Reg d, Imm v)
+      | Mem m -> Arith (kind, width rex, Mem m, Imm v)
+      | Imm _ -> raise Bad)
+  | 0x85 ->
+      let regf, rm = modrm s rex in
+      (match rm with
+      | Reg a -> Test (width rex, a, Reg.of_number regf)
+      | Mem _ | Imm _ -> raise Bad)
+  | 0xc1 ->
+      let regf, rm = modrm s rex in
+      if not rex.w then raise Bad;
+      let kind =
+        match regf land 7 with 4 -> `Shl | 5 -> `Shr | 7 -> `Sar | _ -> raise Bad
+      in
+      let n = byte s in
+      (match rm with
+      | Reg r -> Shift (kind, r, n)
+      | Mem _ | Imm _ -> raise Bad)
+  | 0xf7 ->
+      let regf, rm = modrm s rex in
+      (match (regf land 7, rm) with
+      | 0, Reg r ->
+          let v = i32 s in
+          Test_imm (width rex, r, v)
+      | 2, Reg r -> Not (width rex, r)
+      | 3, Reg r -> Neg (width rex, r)
+      | 4, Reg r -> Mul (width rex, r)
+      | 6, Reg r -> Div (width rex, r)
+      | 7, Reg r -> Idiv (width rex, r)
+      | _ -> raise Bad)
+  | 0xff ->
+      let regf, rm = modrm s rex in
+      (match (regf land 7, rm) with
+      | 0, Reg r -> if rex.w then Inc r else raise Bad
+      | 1, Reg r -> if rex.w then Dec r else raise Bad
+      | 2, (Reg _ as o) | 2, (Mem _ as o) -> Call_ind o
+      | 4, (Reg _ as o) | 4, (Mem _ as o) -> Jmp_ind o
+      | _ -> raise Bad)
+  | 0xe8 ->
+      let rel = i32 s in
+      Call (To_addr (addr + (s.pos - start_pos) + rel))
+  | 0xe9 ->
+      let rel = i32 s in
+      Jmp (To_addr (addr + (s.pos - start_pos) + rel))
+  | 0xeb ->
+      let rel = i8 s in
+      Jmp_short (To_addr (addr + (s.pos - start_pos) + rel))
+  | _ when op >= 0x70 && op <= 0x7f ->
+      let rel = i8 s in
+      Jcc_short (cond_of_code (op land 0xf), To_addr (addr + (s.pos - start_pos) + rel))
+  | 0x87 ->
+      let regf, rm = modrm s rex in
+      if not rex.w then raise Bad;
+      (match rm with
+      | Reg a -> Xchg (a, Reg.of_number regf)
+      | Mem _ | Imm _ -> raise Bad)
+  | 0x99 -> if rex.w then Cqo else Cdq
+  | 0x68 -> Push_imm (i32 s)
+  | 0x6a -> Push_imm (i8 s)
+  | 0xc3 -> Ret
+  | 0xc9 -> Leave
+  | 0x90 -> if prefix66 then Nop 2 else Nop 1
+  | 0xcc -> Int3
+  | 0xf4 -> Hlt
+  | _ -> raise Bad
+
+let decode ?(pos = 0) ?len ~addr data =
+  let limit = match len with None -> String.length data | Some l -> pos + l in
+  if pos < 0 || pos >= limit || limit > String.length data then None
+  else
+    let s = { data; pos; limit } in
+    try
+      (* Legacy prefixes we accept: 66 (only for NOP forms), F3 (endbr64 /
+         rep-ret).  A REX byte must come last, just before the opcode. *)
+      let prefix66 = ref false in
+      let prefixf3 = ref false in
+      let continue = ref true in
+      while !continue do
+        match peek s with
+        | 0x66 ->
+            if !prefix66 then raise Bad;
+            prefix66 := true;
+            ignore (byte s)
+        | 0xf3 ->
+            if !prefixf3 then raise Bad;
+            prefixf3 := true;
+            ignore (byte s)
+        | _ -> continue := false
+      done;
+      let rex =
+        let b = peek s in
+        if b >= 0x40 && b <= 0x4f then begin
+          ignore (byte s);
+          { w = b land 8 <> 0; r = b land 4 <> 0; x = b land 2 <> 0; b = b land 1 <> 0 }
+        end
+        else no_rex
+      in
+      if !prefixf3 && peek s = 0xc3 then begin
+        (* rep ret *)
+        ignore (byte s);
+        Some (Ret, s.pos - pos)
+      end
+      else begin
+        let insn = decode_one s rex !prefix66 !prefixf3 pos addr in
+        (* 66-prefixed forms other than NOPs are outside the subset. *)
+        (match insn with
+        | Nop _ -> ()
+        | _ when !prefix66 -> raise Bad
+        | _ -> ());
+        (match insn with
+        | Endbr64 | Ret -> ()
+        | _ when !prefixf3 -> raise Bad
+        | _ -> ());
+        Some (insn, s.pos - pos)
+      end
+    with Bad -> None

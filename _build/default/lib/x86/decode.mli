@@ -1,0 +1,14 @@
+(** x86-64 instruction decoder (disassembler).
+
+    The supported subset is a superset of what {!Encode} emits; bytes
+    outside it are treated as invalid, which is the "invalid opcode"
+    error used by the paper's conservative pointer-validation pass
+    (§IV-E). *)
+
+(** [decode data ~pos ~addr] decodes one instruction starting at byte
+    offset [pos] (default 0) within [data] (bounded by [len] when given),
+    where that byte lives at virtual address [addr].  Returns the
+    instruction and its encoded length, or [None] when the bytes do not
+    form an instruction in the supported subset.  Control-flow targets
+    come back as absolute [To_addr] values. *)
+val decode : ?pos:int -> ?len:int -> addr:int -> string -> (Insn.t * int) option

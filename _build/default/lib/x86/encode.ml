@@ -1,0 +1,299 @@
+(** x86-64 instruction encoder.
+
+    [emit buf ~addr ~resolve insn] appends the machine encoding of [insn],
+    which is assumed to start at virtual address [addr]; [resolve] maps
+    symbolic control-flow targets to absolute addresses (the assembler in
+    {!Asm} provides it).  Encodings follow what GCC/Clang emit for the same
+    instruction forms, so the decoder and prologue pattern library see
+    realistic bytes. *)
+
+open Fetch_util
+open Insn
+
+(* REX bit components and ModRM/SIB/displacement tail for an r/m operand
+   with register-field value [regf]. *)
+type rm_parts = {
+  rex_r : bool;
+  rex_x : bool;
+  rex_b : bool;
+  tail : int list;  (** modrm, optional sib, displacement bytes *)
+}
+
+let disp8_ok d = d >= -128 && d <= 127
+
+let bytes_of_i32 v =
+  [ v land 0xff; (v asr 8) land 0xff; (v asr 16) land 0xff; (v asr 24) land 0xff ]
+
+let modrm md reg rm = ((md land 3) lsl 6) lor ((reg land 7) lsl 3) lor (rm land 7)
+
+let sib scale index base =
+  let s = match scale with 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> invalid_arg "sib scale" in
+  (s lsl 6) lor ((index land 7) lsl 3) lor (base land 7)
+
+(* reg-direct r/m operand *)
+let rm_reg ~regf r =
+  {
+    rex_r = regf > 7;
+    rex_x = false;
+    rex_b = Reg.number r > 7;
+    tail = [ modrm 3 regf (Reg.number r) ];
+  }
+
+let rm_mem ~regf (m : mem) =
+  let rex_r = regf > 7 in
+  if m.rip_rel then
+    { rex_r; rex_x = false; rex_b = false;
+      tail = modrm 0 regf 5 :: bytes_of_i32 m.disp }
+  else
+    match (m.base, m.index) with
+    | None, None ->
+        (* absolute disp32: SIB with no base, no index *)
+        { rex_r; rex_x = false; rex_b = false;
+          tail = (modrm 0 regf 4 :: sib 1 4 5 :: bytes_of_i32 m.disp) }
+    | None, Some (idx, scale) ->
+        if Reg.equal idx Reg.Rsp then invalid_arg "rsp cannot index";
+        { rex_r; rex_x = Reg.number idx > 7; rex_b = false;
+          tail = (modrm 0 regf 4 :: sib scale (Reg.number idx) 5 :: bytes_of_i32 m.disp) }
+    | Some base, index ->
+        let bn = Reg.number base in
+        let need_sib = index <> None || bn land 7 = 4 in
+        let rex_x, sib_bytes =
+          if need_sib then
+            match index with
+            | Some (idx, scale) ->
+                if Reg.equal idx Reg.Rsp then invalid_arg "rsp cannot index";
+                (Reg.number idx > 7, [ sib scale (Reg.number idx) bn ])
+            | None -> (false, [ sib 1 4 bn ])
+          else (false, [])
+        in
+        let rm_field = if need_sib then 4 else bn in
+        (* mod 00 with base rbp/r13 means disp32-no-base, so force disp8. *)
+        let md, disp_bytes =
+          if m.disp = 0 && bn land 7 <> 5 then (0, [])
+          else if disp8_ok m.disp then (1, [ m.disp land 0xff ])
+          else (2, bytes_of_i32 m.disp)
+        in
+        { rex_r; rex_x; rex_b = bn > 7;
+          tail = (modrm md regf rm_field :: sib_bytes) @ disp_bytes }
+
+(* Emit optional REX, opcode bytes, then the r/m tail. *)
+let put buf ~w ~parts opcodes =
+  let rex =
+    0x40
+    lor (if w then 8 else 0)
+    lor (if parts.rex_r then 4 else 0)
+    lor (if parts.rex_x then 2 else 0)
+    lor if parts.rex_b then 1 else 0
+  in
+  if rex <> 0x40 then Byte_buf.u8 buf rex;
+  List.iter (Byte_buf.u8 buf) opcodes;
+  List.iter (Byte_buf.u8 buf) parts.tail
+
+
+let arith_store = function
+  | Add -> 0x01 | Or -> 0x09 | And -> 0x21 | Sub -> 0x29 | Xor -> 0x31 | Cmp -> 0x39
+
+let arith_load = function
+  | Add -> 0x03 | Or -> 0x0b | And -> 0x23 | Sub -> 0x2b | Xor -> 0x33 | Cmp -> 0x3b
+
+let arith_ext = function
+  | Add -> 0 | Or -> 1 | And -> 4 | Sub -> 5 | Xor -> 6 | Cmp -> 7
+
+let is_w = function W64 -> true | W32 -> false
+
+let imm32_ok v = v >= -0x80000000 && v <= 0x7fffffff
+
+let nop_bytes = function
+  | 1 -> [ 0x90 ]
+  | 2 -> [ 0x66; 0x90 ]
+  | 3 -> [ 0x0f; 0x1f; 0x00 ]
+  | 4 -> [ 0x0f; 0x1f; 0x40; 0x00 ]
+  | 5 -> [ 0x0f; 0x1f; 0x44; 0x00; 0x00 ]
+  | 6 -> [ 0x66; 0x0f; 0x1f; 0x44; 0x00; 0x00 ]
+  | 7 -> [ 0x0f; 0x1f; 0x80; 0x00; 0x00; 0x00; 0x00 ]
+  | 8 -> [ 0x0f; 0x1f; 0x84; 0x00; 0x00; 0x00; 0x00; 0x00 ]
+  | 9 -> [ 0x66; 0x0f; 0x1f; 0x84; 0x00; 0x00; 0x00; 0x00; 0x00 ]
+  | n -> invalid_arg (Printf.sprintf "Encode: nop%d" n)
+
+(* Relative control transfers: opcode size + 4 for rel32, + 1 for rel8. *)
+let emit_rel buf ~addr ~resolve opcodes ~rel8 target =
+  List.iter (Byte_buf.u8 buf) opcodes;
+  let isize = List.length opcodes + if rel8 then 1 else 4 in
+  let dest = resolve target in
+  let rel = dest - (addr + isize) in
+  if rel8 then begin
+    if not (disp8_ok rel) then invalid_arg "Encode: rel8 overflow";
+    Byte_buf.u8 buf (rel land 0xff)
+  end
+  else Byte_buf.i32 buf rel
+
+let rec emit buf ~addr ~resolve (insn : Insn.t) =
+  match Insn.rip_sym_of insn with
+  | Some tg ->
+      (* Resolve a symbolic RIP-relative operand: the displacement depends
+         on the instruction's end address, whose size is independent of the
+         displacement value (always disp32). *)
+      let strip = Insn.map_mem (fun m -> { m with rip_sym = None }) insn in
+      let scratch = Byte_buf.create ~capacity:16 () in
+      emit scratch ~addr:0 ~resolve:(fun _ -> 0) strip;
+      let isize = Byte_buf.length scratch in
+      let dest = resolve tg in
+      let disp = dest - (addr + isize) in
+      emit buf ~addr ~resolve
+        (Insn.map_mem
+           (fun m -> if m.rip_rel then { m with disp; rip_sym = None } else m)
+           insn)
+  | None -> (
+  match insn with
+  | Push r ->
+      if Reg.number r > 7 then Byte_buf.u8 buf 0x41;
+      Byte_buf.u8 buf (0x50 lor (Reg.number r land 7))
+  | Pop r ->
+      if Reg.number r > 7 then Byte_buf.u8 buf 0x41;
+      Byte_buf.u8 buf (0x58 lor (Reg.number r land 7))
+  | Mov (w, Reg d, Reg s) ->
+      put buf ~w:(is_w w) ~parts:(rm_reg ~regf:(Reg.number s) d) [ 0x89 ]
+  | Mov (w, Reg d, Imm v) ->
+      if not (imm32_ok v) then invalid_arg "Encode: mov imm32 overflow";
+      if is_w w then begin
+        put buf ~w:true ~parts:(rm_reg ~regf:0 d) [ 0xc7 ];
+        Byte_buf.i32 buf v
+      end
+      else begin
+        (* B8+r id, the compact 32-bit form *)
+        if Reg.number d > 7 then Byte_buf.u8 buf 0x41;
+        Byte_buf.u8 buf (0xb8 lor (Reg.number d land 7));
+        Byte_buf.i32 buf v
+      end
+  | Mov (w, Reg d, Mem m) ->
+      put buf ~w:(is_w w) ~parts:(rm_mem ~regf:(Reg.number d) m) [ 0x8b ]
+  | Mov (w, Mem m, Reg s) ->
+      put buf ~w:(is_w w) ~parts:(rm_mem ~regf:(Reg.number s) m) [ 0x89 ]
+  | Mov (w, Mem m, Imm v) ->
+      if not (imm32_ok v) then invalid_arg "Encode: mov imm32 overflow";
+      put buf ~w:(is_w w) ~parts:(rm_mem ~regf:0 m) [ 0xc7 ];
+      Byte_buf.i32 buf v
+  | Mov _ -> invalid_arg "Encode: unsupported mov form"
+  | Movabs (r, v) ->
+      let rex = 0x48 lor if Reg.number r > 7 then 1 else 0 in
+      Byte_buf.u8 buf rex;
+      Byte_buf.u8 buf (0xb8 lor (Reg.number r land 7));
+      Byte_buf.i64 buf (Int64.of_int v)
+  | Lea (r, m) -> put buf ~w:true ~parts:(rm_mem ~regf:(Reg.number r) m) [ 0x8d ]
+  | Arith (op, w, Reg d, Reg s) ->
+      put buf ~w:(is_w w) ~parts:(rm_reg ~regf:(Reg.number s) d) [ arith_store op ]
+  | Arith (op, w, Reg d, Imm v) ->
+      if disp8_ok v then begin
+        put buf ~w:(is_w w) ~parts:(rm_reg ~regf:(arith_ext op) d) [ 0x83 ];
+        Byte_buf.u8 buf (v land 0xff)
+      end
+      else begin
+        if not (imm32_ok v) then invalid_arg "Encode: arith imm overflow";
+        put buf ~w:(is_w w) ~parts:(rm_reg ~regf:(arith_ext op) d) [ 0x81 ];
+        Byte_buf.i32 buf v
+      end
+  | Arith (op, w, Reg d, Mem m) ->
+      put buf ~w:(is_w w) ~parts:(rm_mem ~regf:(Reg.number d) m) [ arith_load op ]
+  | Arith (op, w, Mem m, Reg s) ->
+      put buf ~w:(is_w w) ~parts:(rm_mem ~regf:(Reg.number s) m) [ arith_store op ]
+  | Arith (op, w, Mem m, Imm v) ->
+      if disp8_ok v then begin
+        put buf ~w:(is_w w) ~parts:(rm_mem ~regf:(arith_ext op) m) [ 0x83 ];
+        Byte_buf.u8 buf (v land 0xff)
+      end
+      else begin
+        if not (imm32_ok v) then invalid_arg "Encode: arith imm overflow";
+        put buf ~w:(is_w w) ~parts:(rm_mem ~regf:(arith_ext op) m) [ 0x81 ];
+        Byte_buf.i32 buf v
+      end
+  | Arith _ -> invalid_arg "Encode: unsupported arith form"
+  | Test (w, a, b) ->
+      put buf ~w:(is_w w) ~parts:(rm_reg ~regf:(Reg.number b) a) [ 0x85 ]
+  | Imul (d, Reg s) ->
+      put buf ~w:true ~parts:(rm_reg ~regf:(Reg.number d) s) [ 0x0f; 0xaf ]
+  | Imul (d, Mem m) ->
+      put buf ~w:true ~parts:(rm_mem ~regf:(Reg.number d) m) [ 0x0f; 0xaf ]
+  | Imul _ -> invalid_arg "Encode: unsupported imul form"
+  | Shift (k, r, n) ->
+      let ext = match k with `Shl -> 4 | `Shr -> 5 | `Sar -> 7 in
+      put buf ~w:true ~parts:(rm_reg ~regf:ext r) [ 0xc1 ];
+      Byte_buf.u8 buf (n land 0x3f)
+  | Neg (w, r) -> put buf ~w:(is_w w) ~parts:(rm_reg ~regf:3 r) [ 0xf7 ]
+  | Inc r -> put buf ~w:true ~parts:(rm_reg ~regf:0 r) [ 0xff ]
+  | Dec r -> put buf ~w:true ~parts:(rm_reg ~regf:1 r) [ 0xff ]
+  | Movsxd (r, m) -> put buf ~w:true ~parts:(rm_mem ~regf:(Reg.number r) m) [ 0x63 ]
+  | Movzx (d, sz, src) | Movsx (d, sz, src) ->
+      let base = match insn with Movzx _ -> 0xb6 | _ -> 0xbe in
+      let opcode = match sz with `B8 -> base | `B16 -> base + 1 in
+      let parts =
+        match src with
+        | Reg r -> rm_reg ~regf:(Reg.number d) r
+        | Mem m -> rm_mem ~regf:(Reg.number d) m
+        | Imm _ -> invalid_arg "Encode: movzx/movsx imm"
+      in
+      put buf ~w:true ~parts [ 0x0f; opcode ]
+  | Setcc (c, r) ->
+      let n = Reg.number r in
+      if n >= 8 then Byte_buf.u8 buf 0x41
+      else if n >= 4 then Byte_buf.u8 buf 0x40;
+      Byte_buf.u8 buf 0x0f;
+      Byte_buf.u8 buf (0x90 lor cond_code c);
+      Byte_buf.u8 buf (modrm 3 0 (n land 7))
+  | Cmov (c, d, src) ->
+      let parts =
+        match src with
+        | Reg r -> rm_reg ~regf:(Reg.number d) r
+        | Mem m -> rm_mem ~regf:(Reg.number d) m
+        | Imm _ -> invalid_arg "Encode: cmov imm"
+      in
+      put buf ~w:true ~parts [ 0x0f; 0x40 lor cond_code c ]
+  | Div (w, r) -> put buf ~w:(is_w w) ~parts:(rm_reg ~regf:6 r) [ 0xf7 ]
+  | Idiv (w, r) -> put buf ~w:(is_w w) ~parts:(rm_reg ~regf:7 r) [ 0xf7 ]
+  | Mul (w, r) -> put buf ~w:(is_w w) ~parts:(rm_reg ~regf:4 r) [ 0xf7 ]
+  | Cqo ->
+      Byte_buf.u8 buf 0x48;
+      Byte_buf.u8 buf 0x99
+  | Cdq -> Byte_buf.u8 buf 0x99
+  | Not (w, r) -> put buf ~w:(is_w w) ~parts:(rm_reg ~regf:2 r) [ 0xf7 ]
+  | Xchg (a, b) -> put buf ~w:true ~parts:(rm_reg ~regf:(Reg.number b) a) [ 0x87 ]
+  | Push_imm v ->
+      if disp8_ok v then begin
+        Byte_buf.u8 buf 0x6a;
+        Byte_buf.u8 buf (v land 0xff)
+      end
+      else begin
+        if not (imm32_ok v) then invalid_arg "Encode: push imm overflow";
+        Byte_buf.u8 buf 0x68;
+        Byte_buf.i32 buf v
+      end
+  | Test_imm (w, r, v) ->
+      if not (imm32_ok v) then invalid_arg "Encode: test imm overflow";
+      put buf ~w:(is_w w) ~parts:(rm_reg ~regf:0 r) [ 0xf7 ];
+      Byte_buf.i32 buf v
+  | Call tg -> emit_rel buf ~addr ~resolve [ 0xe8 ] ~rel8:false tg
+  | Call_ind (Reg r) -> put buf ~w:false ~parts:(rm_reg ~regf:2 r) [ 0xff ]
+  | Call_ind (Mem m) -> put buf ~w:false ~parts:(rm_mem ~regf:2 m) [ 0xff ]
+  | Call_ind _ -> invalid_arg "Encode: call imm"
+  | Jmp tg -> emit_rel buf ~addr ~resolve [ 0xe9 ] ~rel8:false tg
+  | Jmp_short tg -> emit_rel buf ~addr ~resolve [ 0xeb ] ~rel8:true tg
+  | Jmp_ind (Reg r) -> put buf ~w:false ~parts:(rm_reg ~regf:4 r) [ 0xff ]
+  | Jmp_ind (Mem m) -> put buf ~w:false ~parts:(rm_mem ~regf:4 m) [ 0xff ]
+  | Jmp_ind _ -> invalid_arg "Encode: jmp imm"
+  | Jcc (c, tg) -> emit_rel buf ~addr ~resolve [ 0x0f; 0x80 lor cond_code c ] ~rel8:false tg
+  | Jcc_short (c, tg) -> emit_rel buf ~addr ~resolve [ 0x70 lor cond_code c ] ~rel8:true tg
+  | Ret -> Byte_buf.u8 buf 0xc3
+  | Leave -> Byte_buf.u8 buf 0xc9
+  | Nop n -> List.iter (Byte_buf.u8 buf) (nop_bytes n)
+  | Endbr64 -> List.iter (Byte_buf.u8 buf) [ 0xf3; 0x0f; 0x1e; 0xfa ]
+  | Ud2 -> List.iter (Byte_buf.u8 buf) [ 0x0f; 0x0b ]
+  | Int3 -> Byte_buf.u8 buf 0xcc
+  | Hlt -> Byte_buf.u8 buf 0xf4
+  | Syscall -> List.iter (Byte_buf.u8 buf) [ 0x0f; 0x05 ]
+  | Cpuid -> List.iter (Byte_buf.u8 buf) [ 0x0f; 0xa2 ])
+
+(** Encoded size of [insn].  Sizes do not depend on target resolution, so a
+    dummy resolver suffices. *)
+let size insn =
+  let buf = Byte_buf.create ~capacity:16 () in
+  emit buf ~addr:0 ~resolve:(fun _ -> 0) insn;
+  Byte_buf.length buf

@@ -1,0 +1,21 @@
+(** x86-64 instruction encoder.
+
+    Encodings follow what GCC/Clang emit for the same instruction forms,
+    so the decoder and prologue pattern library see realistic bytes.
+    Raises [Invalid_argument] on operand combinations outside the
+    supported subset (e.g. immediate overflow, mem-to-mem moves). *)
+
+(** [emit buf ~addr ~resolve insn] appends the machine encoding of
+    [insn], which is assumed to start at virtual address [addr];
+    [resolve] maps symbolic control-flow / RIP-relative targets to
+    absolute addresses (the assembler provides it). *)
+val emit :
+  Fetch_util.Byte_buf.t ->
+  addr:int ->
+  resolve:(Insn.target -> int) ->
+  Insn.t ->
+  unit
+
+(** Encoded size of an instruction.  Sizes do not depend on target
+    resolution. *)
+val size : Insn.t -> int

@@ -1,0 +1,272 @@
+(** x86-64 instruction AST.
+
+    The subset covers everything the synthetic compiler emits plus the
+    encodings real compilers commonly produce for those constructs, so the
+    decoder can round-trip generated code and reject arbitrary data with a
+    realistic probability.  Operation width is 64 or 32 bits (8/16-bit
+    operations are not needed by any analysis in the paper). *)
+
+type width = W32 | W64
+
+(** Control-flow or data target, symbolic until the assembler lays code
+    out. *)
+type target = To_label of string | To_addr of int
+
+(** Memory operand: [\[base + index*scale + disp\]], or RIP-relative.  A
+    RIP-relative operand may carry a symbolic target ([rip_sym]); the
+    encoder then computes the displacement from the resolved address. *)
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;  (** (register, scale in {1,2,4,8}) *)
+  disp : int;
+  rip_rel : bool;  (** when set, [base]/[index] must be [None] *)
+  rip_sym : target option;  (** symbolic RIP-relative destination *)
+}
+
+let mem ?base ?index ?(disp = 0) () =
+  { base; index; disp; rip_rel = false; rip_sym = None }
+
+let rip_rel disp = { base = None; index = None; disp; rip_rel = true; rip_sym = None }
+
+let rip_sym t = { base = None; index = None; disp = 0; rip_rel = true; rip_sym = Some t }
+
+type operand = Reg of Reg.t | Imm of int | Mem of mem
+
+type cond = E | Ne | L | Le | G | Ge | B | Be | A | Ae | S | Ns | O | No | P | Np
+
+type arith = Add | Sub | And | Or | Xor | Cmp
+
+type t =
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Mov of width * operand * operand  (** dst, src *)
+  | Movabs of Reg.t * int  (** 64-bit immediate load *)
+  | Lea of Reg.t * mem
+  | Arith of arith * width * operand * operand  (** dst, src *)
+  | Test of width * Reg.t * Reg.t
+  | Imul of Reg.t * operand
+  | Shift of [ `Shl | `Shr | `Sar ] * Reg.t * int
+  | Neg of width * Reg.t
+  | Inc of Reg.t
+  | Dec of Reg.t
+  | Movsxd of Reg.t * mem  (** sign-extending 32→64 load (jump tables) *)
+  | Movzx of Reg.t * [ `B8 | `B16 ] * operand
+      (** zero-extending load from an 8/16-bit register or memory *)
+  | Movsx of Reg.t * [ `B8 | `B16 ] * operand  (** sign-extending variant *)
+  | Setcc of cond * Reg.t  (** write condition flag into the low byte *)
+  | Cmov of cond * Reg.t * operand  (** conditional move (64-bit) *)
+  | Div of width * Reg.t  (** unsigned divide rdx:rax by the register *)
+  | Idiv of width * Reg.t
+  | Mul of width * Reg.t
+  | Cqo  (** sign-extend rax into rdx:rax (cdq for 32-bit) *)
+  | Cdq
+  | Not of width * Reg.t
+  | Xchg of Reg.t * Reg.t
+  | Push_imm of int
+  | Test_imm of width * Reg.t * int
+  | Call of target
+  | Call_ind of operand
+  | Jmp of target
+  | Jmp_short of target  (** rel8 encoding *)
+  | Jmp_ind of operand
+  | Jcc of cond * target
+  | Jcc_short of cond * target
+  | Ret
+  | Leave
+  | Nop of int  (** canonical multi-byte NOP of the given length, 1–9 *)
+  | Endbr64
+  | Ud2
+  | Int3
+  | Hlt
+  | Syscall
+  | Cpuid
+
+let cond_name = function
+  | E -> "e"
+  | Ne -> "ne"
+  | L -> "l"
+  | Le -> "le"
+  | G -> "g"
+  | Ge -> "ge"
+  | B -> "b"
+  | Be -> "be"
+  | A -> "a"
+  | Ae -> "ae"
+  | S -> "s"
+  | Ns -> "ns"
+  | O -> "o"
+  | No -> "no"
+  | P -> "p"
+  | Np -> "np"
+
+(* Condition code (tttn) for 0F 8x / 7x opcodes. *)
+let cond_code = function
+  | O -> 0x0
+  | No -> 0x1
+  | B -> 0x2
+  | Ae -> 0x3
+  | E -> 0x4
+  | Ne -> 0x5
+  | Be -> 0x6
+  | A -> 0x7
+  | S -> 0x8
+  | Ns -> 0x9
+  | P -> 0xa
+  | Np -> 0xb
+  | L -> 0xc
+  | Ge -> 0xd
+  | Le -> 0xe
+  | G -> 0xf
+
+let cond_of_code = function
+  | 0x0 -> O
+  | 0x1 -> No
+  | 0x2 -> B
+  | 0x3 -> Ae
+  | 0x4 -> E
+  | 0x5 -> Ne
+  | 0x6 -> Be
+  | 0x7 -> A
+  | 0x8 -> S
+  | 0x9 -> Ns
+  | 0xa -> P
+  | 0xb -> Np
+  | 0xc -> L
+  | 0xd -> Ge
+  | 0xe -> Le
+  | 0xf -> G
+  | _ -> invalid_arg "Insn.cond_of_code"
+
+let arith_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Cmp -> "cmp"
+
+let reg_name w r = match w with W64 -> Reg.name64 r | W32 -> Reg.name32 r
+
+let signed_hex v =
+  if v < 0 then Printf.sprintf "-0x%x" (-v) else Printf.sprintf "+0x%x" v
+
+let mem_to_string m =
+  if m.rip_rel then Printf.sprintf "[rip%s]" (signed_hex m.disp)
+  else
+    let buf = Buffer.create 16 in
+    Buffer.add_char buf '[';
+    (match m.base with
+    | Some b -> Buffer.add_string buf (Reg.name64 b)
+    | None -> ());
+    (match m.index with
+    | Some (r, s) ->
+        if m.base <> None then Buffer.add_char buf '+';
+        Buffer.add_string buf (Printf.sprintf "%s*%d" (Reg.name64 r) s)
+    | None -> ());
+    if m.disp <> 0 || (m.base = None && m.index = None) then
+      Buffer.add_string buf
+        (if m.base = None && m.index = None then Printf.sprintf "%#x" m.disp
+         else signed_hex m.disp);
+    Buffer.add_char buf ']';
+    Buffer.contents buf
+
+let operand_to_string w = function
+  | Reg r -> reg_name w r
+  | Imm i -> Printf.sprintf "%#x" i
+  | Mem m -> mem_to_string m
+
+let target_to_string = function
+  | To_label l -> l
+  | To_addr a -> Printf.sprintf "%#x" a
+
+let to_string t =
+  match t with
+  | Push r -> "push " ^ Reg.name64 r
+  | Pop r -> "pop " ^ Reg.name64 r
+  | Mov (w, d, s) ->
+      Printf.sprintf "mov %s, %s" (operand_to_string w d) (operand_to_string w s)
+  | Movabs (r, i) -> Printf.sprintf "movabs %s, %#x" (Reg.name64 r) i
+  | Lea (r, m) -> Printf.sprintf "lea %s, %s" (Reg.name64 r) (mem_to_string m)
+  | Arith (op, w, d, s) ->
+      Printf.sprintf "%s %s, %s" (arith_name op) (operand_to_string w d)
+        (operand_to_string w s)
+  | Test (w, a, b) -> Printf.sprintf "test %s, %s" (reg_name w a) (reg_name w b)
+  | Imul (r, s) -> Printf.sprintf "imul %s, %s" (Reg.name64 r) (operand_to_string W64 s)
+  | Shift (k, r, n) ->
+      let s = match k with `Shl -> "shl" | `Shr -> "shr" | `Sar -> "sar" in
+      Printf.sprintf "%s %s, %d" s (Reg.name64 r) n
+  | Neg (w, r) -> "neg " ^ reg_name w r
+  | Inc r -> "inc " ^ Reg.name64 r
+  | Dec r -> "dec " ^ Reg.name64 r
+  | Movsxd (r, m) -> Printf.sprintf "movsxd %s, %s" (Reg.name64 r) (mem_to_string m)
+  | Movzx (r, sz, src) ->
+      Printf.sprintf "movzx %s, %s%s" (Reg.name64 r)
+        (match sz with `B8 -> "byte " | `B16 -> "word ")
+        (operand_to_string W64 src)
+  | Movsx (r, sz, src) ->
+      Printf.sprintf "movsx %s, %s%s" (Reg.name64 r)
+        (match sz with `B8 -> "byte " | `B16 -> "word ")
+        (operand_to_string W64 src)
+  | Setcc (c, r) -> Printf.sprintf "set%s %sb" (cond_name c) (Reg.name64 r)
+  | Cmov (c, d, s) ->
+      Printf.sprintf "cmov%s %s, %s" (cond_name c) (Reg.name64 d)
+        (operand_to_string W64 s)
+  | Div (w, r) -> "div " ^ reg_name w r
+  | Idiv (w, r) -> "idiv " ^ reg_name w r
+  | Mul (w, r) -> "mul " ^ reg_name w r
+  | Cqo -> "cqo"
+  | Cdq -> "cdq"
+  | Not (w, r) -> "not " ^ reg_name w r
+  | Xchg (a, b) -> Printf.sprintf "xchg %s, %s" (Reg.name64 a) (Reg.name64 b)
+  | Push_imm v -> Printf.sprintf "push %#x" v
+  | Test_imm (w, r, v) -> Printf.sprintf "test %s, %#x" (reg_name w r) v
+  | Call tg -> "call " ^ target_to_string tg
+  | Call_ind o -> "call " ^ operand_to_string W64 o
+  | Jmp tg -> "jmp " ^ target_to_string tg
+  | Jmp_short tg -> "jmp short " ^ target_to_string tg
+  | Jmp_ind o -> "jmp " ^ operand_to_string W64 o
+  | Jcc (c, tg) -> Printf.sprintf "j%s %s" (cond_name c) (target_to_string tg)
+  | Jcc_short (c, tg) ->
+      Printf.sprintf "j%s short %s" (cond_name c) (target_to_string tg)
+  | Ret -> "ret"
+  | Leave -> "leave"
+  | Nop n -> if n = 1 then "nop" else Printf.sprintf "nop%d" n
+  | Endbr64 -> "endbr64"
+  | Ud2 -> "ud2"
+  | Int3 -> "int3"
+  | Hlt -> "hlt"
+  | Syscall -> "syscall"
+  | Cpuid -> "cpuid"
+
+(** Apply [f] to every memory operand of the instruction. *)
+let map_mem f t =
+  let op = function Mem m -> Mem (f m) | (Reg _ | Imm _) as o -> o in
+  match t with
+  | Mov (w, d, s) -> Mov (w, op d, op s)
+  | Lea (r, m) -> Lea (r, f m)
+  | Arith (k, w, d, s) -> Arith (k, w, op d, op s)
+  | Imul (r, s) -> Imul (r, op s)
+  | Movsxd (r, m) -> Movsxd (r, f m)
+  | Movzx (r, sz, o) -> Movzx (r, sz, op o)
+  | Movsx (r, sz, o) -> Movsx (r, sz, op o)
+  | Cmov (c, d, o) -> Cmov (c, d, op o)
+  | Call_ind o -> Call_ind (op o)
+  | Jmp_ind o -> Jmp_ind (op o)
+  | Push _ | Pop _ | Movabs _ | Test _ | Shift _ | Neg _ | Inc _ | Dec _
+  | Setcc _ | Div _ | Idiv _ | Mul _ | Cqo | Cdq | Not _ | Xchg _
+  | Push_imm _ | Test_imm _
+  | Call _ | Jmp _ | Jmp_short _ | Jcc _ | Jcc_short _ | Ret | Leave | Nop _
+  | Endbr64 | Ud2 | Int3 | Hlt | Syscall | Cpuid ->
+      t
+
+(** The symbolic RIP-relative target of the instruction, if any (at most
+    one memory operand can be RIP-relative). *)
+let rip_sym_of t =
+  let found = ref None in
+  ignore
+    (map_mem
+       (fun m ->
+         (match m.rip_sym with Some tg -> found := Some tg | None -> ());
+         m)
+       t);
+  !found

@@ -1,0 +1,138 @@
+(** Per-instruction semantic summaries used by the analyses: control flow,
+    stack-pointer effect, and register use/def sets. *)
+
+open Insn
+
+(** A control-flow destination after decoding: direct targets are absolute
+    addresses, indirect ones carry the operand for jump-table analysis. *)
+type dest = Direct of int | Indirect of operand
+
+type flow =
+  | Fall  (** execution continues at the next instruction only *)
+  | Jump of dest
+  | Cond of int  (** taken target; also falls through *)
+  | Callf of dest
+  | Ret
+  | Halt  (** ud2 / hlt / int3: execution cannot continue *)
+
+let addr_of_target = function
+  | To_addr a -> a
+  | To_label _ -> invalid_arg "Semantics: unresolved label"
+
+(** [flow insn] classifies a decoded instruction (targets must be
+    [To_addr], as the decoder produces). *)
+let flow = function
+  | Jmp t | Jmp_short t -> Jump (Direct (addr_of_target t))
+  | Jmp_ind o -> Jump (Indirect o)
+  | Jcc (_, t) | Jcc_short (_, t) -> Cond (addr_of_target t)
+  | Call t -> Callf (Direct (addr_of_target t))
+  | Call_ind o -> Callf (Indirect o)
+  | Ret -> Ret
+  | Ud2 | Hlt | Int3 -> Halt
+  | Push _ | Pop _ | Mov _ | Movabs _ | Lea _ | Arith _ | Test _ | Imul _
+  | Shift _ | Neg _ | Inc _ | Dec _ | Movsxd _ | Movzx _ | Movsx _ | Setcc _
+  | Cmov _ | Div _ | Idiv _ | Mul _ | Cqo | Cdq | Not _ | Xchg _ | Push_imm _
+  | Test_imm _ | Leave | Nop _ | Endbr64 | Syscall | Cpuid ->
+      Fall
+
+(** Effect on [rsp], in bytes ([Some d] means rsp += d); [None] when the
+    instruction writes rsp in a way static analysis cannot track without
+    more context ([leave], [mov rsp, ...]). *)
+let sp_delta = function
+  | Push _ | Push_imm _ -> Some (-8)
+  | Xchg (a, b) when Reg.equal a Reg.Rsp || Reg.equal b Reg.Rsp -> None
+  | Pop Reg.Rsp -> None
+  | Pop _ -> Some 8
+  | Arith (Sub, W64, Reg Reg.Rsp, Imm v) -> Some (-v)
+  | Arith (Add, W64, Reg Reg.Rsp, Imm v) -> Some v
+  | Arith ((Add | Sub | And | Or | Xor), _, Reg Reg.Rsp, _) -> None
+  | Mov (_, Reg Reg.Rsp, _) -> None
+  | Lea (Reg.Rsp, _) -> None
+  | Movabs (Reg.Rsp, _) -> None
+  | Leave -> None
+  | Ret -> Some 8
+  | Call _ | Call_ind _ -> Some 0
+      (* net effect seen by the caller after the callee returns *)
+  | Mov _ | Movabs _ | Lea _ | Arith _ | Test _ | Imul _ | Shift _ | Neg _
+  | Inc _ | Dec _ | Movsxd _ | Movzx _ | Movsx _ | Setcc _ | Cmov _ | Div _
+  | Idiv _ | Mul _ | Cqo | Cdq | Not _ | Xchg _ | Test_imm _ | Jmp _
+  | Jmp_short _ | Jmp_ind _ | Jcc _ | Jcc_short _ | Nop _ | Endbr64 | Ud2
+  | Int3 | Hlt | Syscall | Cpuid ->
+      Some 0
+
+let mem_regs (m : mem) =
+  (match m.base with Some b -> [ b ] | None -> [])
+  @ match m.index with Some (r, _) -> [ r ] | None -> []
+
+let operand_reads = function
+  | Reg r -> [ r ]
+  | Imm _ -> []
+  | Mem m -> mem_regs m
+
+(** Registers read by the instruction, for the calling-convention check of
+    §IV-E.  [push reg] is treated as a save, not a use (otherwise every
+    [push rbp] prologue would violate the rule); reads of [rsp] are never
+    reported. *)
+let uses insn =
+  let raw =
+    match insn with
+    | Push _ -> []
+    | Pop _ -> []
+    | Mov (_, Reg _, src) -> operand_reads src
+    | Mov (_, Mem m, src) -> mem_regs m @ operand_reads src
+    | Mov (_, Imm _, _) -> []
+    | Movabs _ -> []
+    | Lea (_, m) -> mem_regs m
+    | Arith (Xor, _, Reg d, Reg s) when Reg.equal d s -> [] (* zeroing idiom *)
+    | Arith (_, _, Reg d, src) -> d :: operand_reads src
+    | Arith (_, _, Mem m, src) -> mem_regs m @ operand_reads src
+    | Arith (_, _, Imm _, _) -> []
+    | Test (_, a, b) -> [ a; b ]
+    | Imul (d, src) -> d :: operand_reads src
+    | Shift (_, r, _) -> [ r ]
+    | Neg (_, r) -> [ r ]
+    | Inc r | Dec r -> [ r ]
+    | Movsxd (_, m) -> mem_regs m
+    | Movzx (_, _, src) | Movsx (_, _, src) -> operand_reads src
+    | Setcc _ -> []
+    | Cmov (_, d, src) -> d :: operand_reads src
+    | Div (_, r) | Idiv (_, r) -> [ Reg.Rax; Reg.Rdx; r ]
+    | Mul (_, r) -> [ Reg.Rax; r ]
+    | Cqo | Cdq -> [ Reg.Rax ]
+    | Not (_, r) -> [ r ]
+    | Xchg (a, b) -> [ a; b ]
+    | Push_imm _ -> []
+    | Test_imm (_, r, _) -> [ r ]
+    | Call_ind o | Jmp_ind o -> operand_reads o
+    | Call _ | Jmp _ | Jmp_short _ | Jcc _ | Jcc_short _ -> []
+    | Ret | Leave | Nop _ | Endbr64 | Ud2 | Int3 | Hlt | Cpuid -> []
+    | Syscall -> [ Reg.Rax ]
+  in
+  List.filter (fun r -> not (Reg.equal r Reg.Rsp)) raw
+
+(** Registers fully (re)defined by the instruction. *)
+let defs = function
+  | Pop r -> [ r ]
+  | Mov (W64, Reg d, _) | Movabs (d, _) | Lea (d, _) | Movsxd (d, _) -> [ d ]
+  | Mov (W32, Reg d, _) -> [ d ] (* 32-bit writes zero the upper half *)
+  | Arith (Xor, _, Reg d, Reg s) when Reg.equal d s -> [ d ]
+  | Arith (Cmp, _, _, _) | Test _ -> []
+  | Arith (_, _, Reg d, _) -> [ d ]
+  | Imul (d, _) -> [ d ]
+  | Shift (_, r, _) -> [ r ]
+  | Neg (_, r) -> [ r ]
+  | Inc r | Dec r -> [ r ]
+  | Movzx (d, _, _) | Movsx (d, _, _) | Cmov (_, d, _) -> [ d ]
+  | Div (_, _) | Idiv (_, _) | Mul (_, _) -> [ Reg.Rax; Reg.Rdx ]
+  | Cqo | Cdq -> [ Reg.Rdx ]
+  | Not (_, r) -> [ r ]
+  | Xchg (a, b) -> [ a; b ]
+  | Setcc _ -> [] (* writes only the low byte: not a full definition *)
+  | Push_imm _ | Test_imm _ -> []
+  | Leave -> [ Reg.Rbp ]
+  | Syscall -> [ Reg.Rax; Reg.Rcx; Reg.R11 ]
+  | Cpuid -> [ Reg.Rax; Reg.Rbx; Reg.Rcx; Reg.Rdx ]
+  | Push _ | Mov (_, (Mem _ | Imm _), _) | Arith (_, _, (Mem _ | Imm _), _)
+  | Call _ | Call_ind _ | Jmp _ | Jmp_short _ | Jmp_ind _ | Jcc _
+  | Jcc_short _ | Ret | Nop _ | Endbr64 | Ud2 | Int3 | Hlt ->
+      []

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analysis Test_baselines Test_core Test_dwarf Test_elf Test_eval Test_pe Test_rop Test_synth Test_util Test_x86

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Asm Callconv Fetch_analysis Fetch_dwarf Fetch_elf Fetch_util Fetch_x86 Hashtbl Insn Linear_sweep List Loaded Prologue Recursive Reg Stack_height String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Angr_model Fetch_analysis Fetch_baselines Fetch_elf Fetch_synth Gen Ghidra_model Hashtbl Heuristics Link List Option Pattern_tools Profile Tools Truth

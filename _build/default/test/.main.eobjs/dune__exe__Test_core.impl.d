@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fetch_analysis Fetch_core Fetch_dwarf Fetch_synth Gen Hashtbl Lazy Link List Option Pipeline Printf Profile QCheck QCheck_alcotest Refs String Truth

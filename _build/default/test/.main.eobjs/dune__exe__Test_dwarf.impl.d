@@ -1,0 +1,1 @@
+test/test_dwarf.ml: Alcotest Array Cfa_table Cfi Eh_frame Eh_frame_hdr Fetch_dwarf Fetch_util Hashtbl Height_oracle List QCheck QCheck_alcotest String Unwind

@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytes Decode Encode Fetch_elf Image List Option Result String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Corpus Exp_heights Exp_strategies Fetch_analysis Fetch_dwarf Fetch_elf Fetch_eval Fetch_synth Hashtbl Int List Metrics Set String

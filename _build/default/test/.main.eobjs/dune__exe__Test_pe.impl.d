@@ -1,0 +1,1 @@
+test/test_pe.ml: Alcotest Decode Encode Fetch_pe Fetch_synth Image List Option Pe_gen QCheck QCheck_alcotest Result String Unwind_info

@@ -1,0 +1,1 @@
+test/test_rop.ml: Alcotest Asm Fetch_analysis Fetch_elf Fetch_rop Fetch_x86 Insn List Reg

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Fetch_analysis Fetch_dwarf Fetch_elf Fetch_synth Fetch_util Fetch_x86 Gen Hashtbl Int32 Lazy Link List Option Printf Profile Result String Truth

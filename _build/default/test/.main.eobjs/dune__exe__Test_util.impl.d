@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Byte_buf Byte_cursor Fetch_util Interval_map List Prng QCheck QCheck_alcotest String Text_table

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Asm Decode Encode Fetch_util Fetch_x86 Insn List Printf QCheck QCheck_alcotest Reg Semantics String

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "fetch"
+    [
+      ("util", Test_util.suite);
+      ("elf", Test_elf.suite);
+      ("x86", Test_x86.suite);
+      ("dwarf", Test_dwarf.suite);
+      ("synth", Test_synth.suite);
+      ("analysis", Test_analysis.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("rop", Test_rop.suite);
+      ("eval", Test_eval.suite);
+      ("pe", Test_pe.suite);
+    ]

@@ -1,0 +1,408 @@
+(* Tests for fetch.analysis: recursive engine details, jump-table slicing,
+   calling-convention validation, stack-height analysis, linear sweep and
+   prologue matching. *)
+
+open Fetch_analysis
+open Fetch_x86
+module I = Insn
+
+let check = Alcotest.check
+
+(* Hand-assemble a tiny image: text at 0x1000, optional rodata at 0x5000,
+   optional eh_frame. *)
+let image_of ?(rodata = "") ?(cies = []) items =
+  let asm = Asm.assemble ~base:0x1000 items in
+  let open Fetch_elf.Image in
+  let sections =
+    [
+      {
+        sec_name = ".text";
+        kind = Progbits;
+        flags = shf_alloc lor shf_execinstr;
+        addr = 0x1000;
+        data = asm.code;
+        addralign = 16;
+        entsize = 0;
+      };
+    ]
+    @ (if rodata = "" then []
+       else
+         [
+           {
+             sec_name = ".rodata";
+             kind = Progbits;
+             flags = shf_alloc;
+             addr = 0x5000;
+             data = rodata;
+             addralign = 8;
+             entsize = 0;
+           };
+         ])
+    @
+    if cies = [] then []
+    else
+      [
+        {
+          sec_name = ".eh_frame";
+          kind = Progbits;
+          flags = shf_alloc;
+          addr = 0x7000;
+          data = Fetch_dwarf.Eh_frame.encode ~addr:0x7000 cies;
+          addralign = 8;
+          entsize = 0;
+        };
+      ]
+  in
+  ({ entry = 0x1000; sections; symbols = [] }, asm)
+
+let label asm l = Asm.label_addr asm l
+
+(* --- recursive engine --- *)
+
+let test_rec_follows_calls () =
+  let img, asm =
+    image_of
+      [
+        Asm.Label "a";
+        Asm.I (I.Call (I.To_label "b"));
+        Asm.I I.Ret;
+        Asm.Align 16;
+        Asm.Label "b";
+        Asm.I I.Ret;
+      ]
+  in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  check (Alcotest.list Alcotest.int) "both functions"
+    [ label asm "a"; label asm "b" ]
+    (Recursive.starts res)
+
+let test_rec_stops_at_noreturn_call () =
+  (* a calls dead (which halts); bytes after the call are junk *)
+  let img, asm =
+    image_of
+      [
+        Asm.Label "a";
+        Asm.I (I.Call (I.To_label "dead"));
+        Asm.Raw "\xff\xff\xff\xff";
+        Asm.Align 16;
+        Asm.Label "dead";
+        Asm.I I.Ud2;
+      ]
+  in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  let a = Hashtbl.find res.funcs (label asm "a") in
+  check Alcotest.bool "no decode error (stopped at call)" false a.decode_error;
+  check Alcotest.bool "dead is noreturn" true
+    (Hashtbl.mem res.noreturn (label asm "dead"))
+
+let test_rec_no_tail_guessing () =
+  (* a ends with jmp b where b is a known start: recorded, not traversed *)
+  let img, asm =
+    image_of
+      [
+        Asm.Label "a";
+        Asm.I (I.Jmp (I.To_label "b"));
+        Asm.Align 16;
+        Asm.Label "b";
+        Asm.I I.Ret;
+      ]
+  in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "a"; label asm "b" ] in
+  let a = Hashtbl.find res.funcs (label asm "a") in
+  check Alcotest.int "one out jump" 1 (List.length a.out_jumps);
+  check Alcotest.bool "a has no ret of its own" false a.has_ret;
+  (* a can still return through b *)
+  check Alcotest.bool "a not noreturn" false
+    (Hashtbl.mem res.noreturn (label asm "a"))
+
+let test_rec_intra_jump_extends () =
+  (* jmp to a non-start target is intra-procedural *)
+  let img, asm =
+    image_of
+      [
+        Asm.Label "a";
+        Asm.I (I.Jmp (I.To_label "inside"));
+        Asm.I (I.Nop 4);
+        Asm.Label "inside";
+        Asm.I I.Ret;
+      ]
+  in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  check Alcotest.int "one function" 1 (Hashtbl.length res.funcs);
+  let a = Hashtbl.find res.funcs (label asm "a") in
+  check Alcotest.bool "inside is a block" true
+    (List.exists (fun (lo, _) -> lo = label asm "inside") a.blocks)
+
+(* --- jump tables --- *)
+
+let abs_table_items =
+  [
+    Asm.Label "f";
+    Asm.I (I.Arith (I.Cmp, I.W64, I.Reg Reg.Rdi, I.Imm 2));
+    Asm.I (I.Jcc (I.A, I.To_label "default"));
+    Asm.I (I.Jmp_ind (I.Mem (I.mem ~index:(Reg.Rdi, 8) ~disp:0x5000 ())));
+    Asm.Label "c0";
+    Asm.I I.Ret;
+    Asm.Label "c1";
+    Asm.I I.Ret;
+    Asm.Label "c2";
+    Asm.I I.Ret;
+    Asm.Label "default";
+    Asm.I I.Ret;
+  ]
+
+let abs_table_rodata asm =
+  let b = Fetch_util.Byte_buf.create () in
+  List.iter (fun l -> Fetch_util.Byte_buf.u64 b (label asm l)) [ "c0"; "c1"; "c2" ];
+  Fetch_util.Byte_buf.contents b
+
+let test_jump_table_absolute () =
+  (* two-pass: assemble once to learn labels, then attach rodata *)
+  let _, asm0 = image_of abs_table_items in
+  let img, asm = image_of ~rodata:(abs_table_rodata asm0) abs_table_items in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  let f = Hashtbl.find res.funcs (label asm "f") in
+  check Alcotest.bool "no unresolved" false f.unresolved_indirect_jump;
+  match f.table_targets with
+  | [ (0x5000, targets) ] ->
+      check (Alcotest.list Alcotest.int) "targets"
+        [ label asm "c0"; label asm "c1"; label asm "c2" ]
+        targets
+  | _ -> Alcotest.fail "expected one resolved table"
+
+let test_jump_table_unresolved_without_bound () =
+  (* no cmp/ja guard: must NOT resolve (conservatism) *)
+  let items =
+    [
+      Asm.Label "f";
+      Asm.I (I.Jmp_ind (I.Mem (I.mem ~index:(Reg.Rdi, 8) ~disp:0x5000 ())));
+    ]
+  in
+  let img, asm = image_of ~rodata:(String.make 24 '\000') items in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  let f = Hashtbl.find res.funcs (label asm "f") in
+  check Alcotest.bool "unresolved" true f.unresolved_indirect_jump
+
+let test_jump_table_rejects_bad_targets () =
+  (* table entries outside the text section: rejected *)
+  let b = Fetch_util.Byte_buf.create () in
+  List.iter (fun v -> Fetch_util.Byte_buf.u64 b v) [ 0x1001; 0xdead0000; 0x1002 ];
+  let img, asm =
+    image_of ~rodata:(Fetch_util.Byte_buf.contents b) abs_table_items
+  in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  let f = Hashtbl.find res.funcs (label asm "f") in
+  check Alcotest.bool "rejected" true f.unresolved_indirect_jump
+
+(* --- calling convention --- *)
+
+let validate_items items =
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  (Callconv.validate loaded (label asm "f"), asm)
+
+let test_callconv_accepts_args () =
+  let v, _ =
+    validate_items
+      [
+        Asm.Label "f";
+        Asm.I (I.Mov (I.W64, I.Reg Reg.Rax, I.Reg Reg.Rdi));
+        Asm.I (I.Arith (I.Add, I.W64, I.Reg Reg.Rax, I.Reg Reg.Rsi));
+        Asm.I I.Ret;
+      ]
+  in
+  check Alcotest.bool "args ok" true (v = Callconv.Valid)
+
+let test_callconv_rejects_uninit_read () =
+  let v, _ =
+    validate_items
+      [
+        Asm.Label "f";
+        Asm.I (I.Mov (I.W64, I.Reg Reg.Rax, I.Reg Reg.Rbx));
+        (* rbx: non-argument, never written *)
+        Asm.I I.Ret;
+      ]
+  in
+  check Alcotest.bool "uninit rbx rejected" true (v = Callconv.Invalid)
+
+let test_callconv_push_is_save_not_use () =
+  let v, _ =
+    validate_items
+      [
+        Asm.Label "f";
+        Asm.I (I.Push Reg.Rbp);
+        Asm.I (I.Mov (I.W64, I.Reg Reg.Rbp, I.Reg Reg.Rsp));
+        Asm.I (I.Push Reg.Rbx);
+        Asm.I (I.Pop Reg.Rbx);
+        Asm.I (I.Pop Reg.Rbp);
+        Asm.I I.Ret;
+      ]
+  in
+  check Alcotest.bool "standard prologue valid" true (v = Callconv.Valid)
+
+let test_callconv_write_then_read () =
+  let v, _ =
+    validate_items
+      [
+        Asm.Label "f";
+        Asm.I (I.Mov (I.W32, I.Reg Reg.Rbx, I.Imm 7));
+        Asm.I (I.Mov (I.W64, I.Reg Reg.Rax, I.Reg Reg.Rbx));
+        Asm.I I.Ret;
+      ]
+  in
+  check Alcotest.bool "write-then-read valid" true (v = Callconv.Valid)
+
+let test_callconv_call_defines_rax () =
+  let v, _ =
+    validate_items
+      [
+        Asm.Label "f";
+        Asm.I (I.Call (I.To_label "g"));
+        Asm.I (I.Mov (I.W64, I.Reg Reg.Rdx, I.Reg Reg.Rax));
+        Asm.I I.Ret;
+        Asm.Label "g";
+        Asm.I I.Ret;
+      ]
+  in
+  check Alcotest.bool "rax defined by call" true (v = Callconv.Valid)
+
+let test_callconv_branch_violation () =
+  (* violation hides behind a branch: still caught *)
+  let v, _ =
+    validate_items
+      [
+        Asm.Label "f";
+        Asm.I (I.Test (I.W64, Reg.Rdi, Reg.Rdi));
+        Asm.I (I.Jcc (I.E, I.To_label "bad"));
+        Asm.I I.Ret;
+        Asm.Label "bad";
+        Asm.I (I.Mov (I.W64, I.Reg Reg.Rax, I.Reg Reg.R12));
+        Asm.I I.Ret;
+      ]
+  in
+  check Alcotest.bool "branch violation caught" true (v = Callconv.Invalid)
+
+(* --- stack height --- *)
+
+let test_stack_height_basic () =
+  let items =
+    [
+      Asm.Label "f";
+      Asm.I (I.Push Reg.Rbx);
+      Asm.I (I.Arith (I.Sub, I.W64, I.Reg Reg.Rsp, I.Imm 24));
+      Asm.Label "body";
+      Asm.I (I.Nop 1);
+      Asm.I (I.Arith (I.Add, I.W64, I.Reg Reg.Rsp, I.Imm 24));
+      Asm.I (I.Pop Reg.Rbx);
+      Asm.Label "end";
+      Asm.I I.Ret;
+    ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let h =
+    Stack_height.analyze loaded ~style:Stack_height.dyninst_style (label asm "f")
+  in
+  check (Alcotest.option Alcotest.int) "entry" (Some 0)
+    (Hashtbl.find_opt h (label asm "f"));
+  check (Alcotest.option Alcotest.int) "body" (Some 32)
+    (Hashtbl.find_opt h (label asm "body"));
+  check (Alcotest.option Alcotest.int) "at ret" (Some 0)
+    (Hashtbl.find_opt h (label asm "end"))
+
+let test_stack_height_untrackable () =
+  let items =
+    [
+      Asm.Label "f";
+      Asm.I (I.Mov (I.W64, I.Reg Reg.Rsp, I.Reg Reg.Rbp));
+      Asm.Label "after";
+      Asm.I I.Ret;
+    ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let h =
+    Stack_height.analyze loaded ~style:Stack_height.dyninst_style (label asm "f")
+  in
+  check (Alcotest.option Alcotest.int) "abandoned after mov rsp" None
+    (Hashtbl.find_opt h (label asm "after"))
+
+(* --- linear sweep and prologue matching --- *)
+
+let test_linear_sweep_resync () =
+  let items =
+    [ Asm.Label "f"; Asm.Raw "\xff\xff"; Asm.I I.Ret; Asm.I (I.Nop 2) ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let lo = label asm "f" in
+  let insns, junk = Linear_sweep.decode_range loaded ~lo ~hi:(lo + 5) in
+  check Alcotest.bool "skipped junk" true (List.length junk >= 1);
+  check Alcotest.bool "recovered ret" true
+    (List.exists (fun (_, _, i) -> i = I.Ret) insns)
+
+let test_prologue_strict_vs_loose () =
+  let items =
+    [
+      Asm.Label "pad";
+      Asm.I I.Ret;
+      Asm.Align 16;
+      Asm.Label "framed";
+      Asm.I (I.Push Reg.Rbp);
+      Asm.I (I.Mov (I.W64, I.Reg Reg.Rbp, I.Reg Reg.Rsp));
+      Asm.I I.Ret;
+    ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  check Alcotest.bool "strict matches frame setup" true
+    (Prologue.matches loaded ~strictness:Prologue.Strict (label asm "framed"));
+  check Alcotest.bool "strict rejects bare ret" false
+    (Prologue.matches loaded ~strictness:Prologue.Strict (label asm "pad"));
+  check Alcotest.bool "loose matches push" true
+    (Prologue.matches loaded ~strictness:Prologue.Loose (label asm "framed"))
+
+let test_gaps () =
+  let items =
+    [ Asm.Label "f"; Asm.I I.Ret; Asm.Align 16; Asm.Label "g"; Asm.I I.Ret ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  (* g not seeded: padding + g form the gap *)
+  let gaps = Linear_sweep.gaps loaded ~covered:res.insn_spans in
+  check Alcotest.int "one gap" 1 (List.length gaps);
+  let lo, hi = List.hd gaps in
+  check Alcotest.int "gap starts after f" (label asm "f" + 1) lo;
+  check Alcotest.int "gap ends at text end" (label asm "g" + 1) hi;
+  check Alcotest.int "leading padding" 15
+    (Linear_sweep.leading_padding loaded ~lo ~hi)
+
+let suite =
+  [
+    Alcotest.test_case "rec: follows calls" `Quick test_rec_follows_calls;
+    Alcotest.test_case "rec: stops after noreturn call" `Quick test_rec_stops_at_noreturn_call;
+    Alcotest.test_case "rec: no tail-call guessing" `Quick test_rec_no_tail_guessing;
+    Alcotest.test_case "rec: intra jump extends function" `Quick test_rec_intra_jump_extends;
+    Alcotest.test_case "jump table: absolute form" `Quick test_jump_table_absolute;
+    Alcotest.test_case "jump table: needs bound check" `Quick test_jump_table_unresolved_without_bound;
+    Alcotest.test_case "jump table: bad targets rejected" `Quick test_jump_table_rejects_bad_targets;
+    Alcotest.test_case "callconv: arguments allowed" `Quick test_callconv_accepts_args;
+    Alcotest.test_case "callconv: uninit read rejected" `Quick test_callconv_rejects_uninit_read;
+    Alcotest.test_case "callconv: push is a save" `Quick test_callconv_push_is_save_not_use;
+    Alcotest.test_case "callconv: write-then-read" `Quick test_callconv_write_then_read;
+    Alcotest.test_case "callconv: call defines rax" `Quick test_callconv_call_defines_rax;
+    Alcotest.test_case "callconv: branch violations caught" `Quick test_callconv_branch_violation;
+    Alcotest.test_case "stack height: push/sub/add/pop" `Quick test_stack_height_basic;
+    Alcotest.test_case "stack height: untrackable writes" `Quick test_stack_height_untrackable;
+    Alcotest.test_case "linear sweep resynchronizes" `Quick test_linear_sweep_resync;
+    Alcotest.test_case "prologue strict vs loose" `Quick test_prologue_strict_vs_loose;
+    Alcotest.test_case "gap enumeration" `Quick test_gaps;
+  ]

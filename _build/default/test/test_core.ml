@@ -1,0 +1,325 @@
+(* Integration tests for fetch.core: the FETCH pipeline against generated
+   binaries with known ground truth.  These encode the paper's headline
+   claims as assertions. *)
+
+open Fetch_synth
+open Fetch_core
+
+let check = Alcotest.check
+
+let profile = Profile.make Profile.Synthgcc Profile.O2
+
+let spec =
+  {
+    Gen.default_spec with
+    n_funcs = 50;
+    n_asm_called = 2;
+    n_asm_tailonly = 1;
+    n_asm_pointer = 2;
+    n_asm_code_ptr = 1;
+    n_asm_unreachable = 1;
+    cxx = false;
+  }
+
+let built = lazy (Link.build_random ~profile ~seed:2024 spec)
+
+let sort = List.sort_uniq compare
+
+let metrics (truth : Truth.t) detected =
+  let truth_starts = sort (Truth.starts truth) in
+  let detected = sort detected in
+  let fp = List.filter (fun d -> not (List.mem d truth_starts)) detected in
+  let fn = List.filter (fun t -> not (List.mem t detected)) truth_starts in
+  (fp, fn)
+
+let name_of (truth : Truth.t) addr =
+  match Truth.find_by_addr truth addr with
+  | Some f -> f.name
+  | None -> Printf.sprintf "%#x" addr
+
+(* The paper's harmless miss classes (§IV-E, §V-C): functions reachable by
+   nothing, functions reachable only via tail calls, and true tail-call
+   targets Algorithm 1 merged into their single caller.  For the merged
+   class we verify the harmlessness argument: the function is referenced
+   only by jumps (so merging it is equivalent to inlining). *)
+(* The paper's residual false-positive class (§V-C): a cold part whose
+   function re-bases the CFA on rbp, so Algorithm 1 conservatively skips
+   it (2,659 of 34,772 in the paper). *)
+let acceptable_residual_fp (r : Pipeline.result) (truth : Truth.t) addr =
+  List.mem addr (Truth.part_starts truth)
+  && not (Fetch_dwarf.Height_oracle.complete_at r.loaded.oracle addr)
+
+let acceptable_miss (r : Pipeline.result) (truth : Truth.t) addr =
+  match Truth.find_by_addr truth addr with
+  | None -> false
+  | Some f ->
+      f.unreachable || f.tail_only
+      ||
+      let merged =
+        match r.tailcall with
+        | Some o -> List.mem_assoc addr o.merges
+        | None -> false
+      in
+      merged
+      &&
+      let refs = Refs.collect r.loaded r.rec_result in
+      List.for_all
+        (function
+          | Refs.Jump_target _ -> true
+          | Refs.Data_pointer _ | Refs.Code_constant _ | Refs.Call_target _ ->
+              false)
+        (Refs.refs_to refs addr)
+
+let test_fde_only () =
+  let b = Lazy.force built in
+  let loaded = Fetch_analysis.Loaded.load b.image in
+  (* Q1: FDE starts alone cover every compiled function; the misses are
+     exactly the assembly functions without FDEs. *)
+  let fp, fn = metrics b.truth loaded.fde_starts in
+  (* FPs from FDEs: the cold parts (non-contiguous functions) *)
+  let parts = sort (Truth.part_starts b.truth) in
+  List.iter
+    (fun a ->
+      if not (List.mem a parts) then
+        (* allow the 3-byte-early broken FDEs *)
+        if
+          not
+            (List.exists
+               (fun (f : Truth.fn_truth) -> f.start - a = 3)
+               b.truth.fns)
+        then Alcotest.failf "unexpected FDE FP at %s" (name_of b.truth a))
+    fp;
+  List.iter
+    (fun a ->
+      match Truth.find_by_addr b.truth a with
+      | Some f when not f.has_fde -> ()
+      | Some f -> Alcotest.failf "FDE missed %s which has an FDE" f.name
+      | None -> Alcotest.fail "impossible")
+    fn
+
+let test_full_pipeline_accuracy () =
+  let b = Lazy.force built in
+  let r = Pipeline.run b.image in
+  let fp, fn = metrics b.truth r.starts in
+  (* FETCH: no false positives beyond the documented residual class *)
+  List.iter
+    (fun a ->
+      if not (acceptable_residual_fp r b.truth a) then
+        Alcotest.failf "FETCH FP at %s" (name_of b.truth a))
+    fp;
+  (* The only tolerated misses: unreachable assembly functions (and their
+     successors), tail-call-only-reachable functions, and harmless
+     Algorithm-1 merges (§IV-E / §V-C). *)
+  List.iter
+    (fun a ->
+      if not (acceptable_miss r b.truth a) then
+        Alcotest.failf "FETCH missed %s" (name_of b.truth a))
+    fn
+
+let test_pipeline_on_encoded_bytes () =
+  let b = Lazy.force built in
+  (* run from raw ELF bytes: exercises the decoder path *)
+  match Pipeline.run_bytes b.raw with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok r ->
+      let r' = Pipeline.run b.image in
+      check (Alcotest.list Alcotest.int) "same result from bytes" r'.starts r.starts
+
+let test_algorithm1_removes_cold_fps () =
+  let b = Lazy.force built in
+  let r = Pipeline.run b.image in
+  let outcome = Option.get r.tailcall in
+  let parts = sort (Truth.part_starts b.truth) in
+  (* every rsp-framed cold part must have been merged away *)
+  let merged_addrs = List.map fst outcome.merges in
+  let residual =
+    List.filter (fun p -> not (List.mem p merged_addrs)) parts
+  in
+  (* residual cold parts must come from rbp-framed (incomplete CFI) fns *)
+  List.iter
+    (fun p ->
+      if
+        Fetch_dwarf.Height_oracle.complete_at r.loaded.oracle p
+        && List.mem p r.starts
+      then Alcotest.failf "unmerged complete-CFI cold part at %#x" p)
+    residual;
+  (* merging only ever removes true starts of the harmless class *)
+  let truth_starts = Truth.starts b.truth in
+  List.iter
+    (fun (m, _) ->
+      if List.mem m truth_starts && not (acceptable_miss r b.truth m) then
+        Alcotest.failf "Algorithm 1 merged true function %s" (name_of b.truth m))
+    outcome.merges
+
+let test_tail_calls_detected () =
+  let b = Lazy.force built in
+  let r = Pipeline.run b.image in
+  let outcome = Option.get r.tailcall in
+  check Alcotest.bool "some tail calls found" true (outcome.tail_calls <> []);
+  (* every detected tail-call target is a true function start *)
+  let truth_starts = Truth.starts b.truth in
+  List.iter
+    (fun (_, t) ->
+      if not (List.mem t truth_starts) then
+        Alcotest.failf "false tail call target %#x" t)
+    outcome.tail_calls
+
+let test_broken_fde_rejected () =
+  let spec' = { spec with Gen.n_broken_fde = 1 } in
+  let b = Link.build_random ~profile ~seed:31337 spec' in
+  let r = Pipeline.run b.image in
+  check Alcotest.int "one invalid FDE start" 1 (List.length r.invalid_fde_starts);
+  let bad = List.hd r.invalid_fde_starts in
+  check Alcotest.bool "rejected start is not a true start" false
+    (List.mem bad (Truth.starts b.truth));
+  (* and the real entry behind it is recovered (pointer-referenced) *)
+  let broken_fn =
+    List.find (fun (f : Truth.fn_truth) -> f.start = bad + 3) b.truth.fns
+  in
+  check Alcotest.bool "real entry recovered" true
+    (List.mem broken_fn.start r.starts);
+  let fp, _ = metrics b.truth r.starts in
+  check (Alcotest.list Alcotest.int) "still no FPs" [] fp
+
+let test_xref_finds_pointer_only_functions () =
+  let b = Lazy.force built in
+  (* without xref, pointer-only asm functions are missed *)
+  let no_xref =
+    Pipeline.run ~config:{ Pipeline.default_config with xref = false } b.image
+  in
+  let with_xref = Pipeline.run b.image in
+  let ptr_fns =
+    List.filter
+      (fun (f : Truth.fn_truth) ->
+        (not f.has_fde)
+        && String.length f.name >= 7
+        && String.sub f.name 0 7 = "asm_ptr")
+      b.truth.fns
+  in
+  check Alcotest.bool "test corpus has pointer-only fns" true (ptr_fns <> []);
+  List.iter
+    (fun (f : Truth.fn_truth) ->
+      check Alcotest.bool (f.name ^ " missed without xref") false
+        (List.mem f.start no_xref.starts);
+      check Alcotest.bool (f.name ^ " found with xref") true
+        (List.mem f.start with_xref.starts))
+    ptr_fns
+
+let test_jump_tables_followed () =
+  let b = Lazy.force built in
+  let r = Pipeline.run b.image in
+  (* every ground-truth jump table was resolved by some function *)
+  let resolved =
+    Hashtbl.fold
+      (fun _ (f : Fetch_analysis.Recursive.func) acc -> f.table_targets @ acc)
+      r.rec_result.funcs []
+  in
+  List.iter
+    (fun (table_addr, targets) ->
+      match List.assoc_opt table_addr resolved with
+      | Some ts ->
+          check (Alcotest.list Alcotest.int) "table targets"
+            (sort targets) (sort ts)
+      | None -> Alcotest.failf "jump table at %#x unresolved" table_addr)
+    b.truth.jump_tables
+
+let test_noreturn_detected () =
+  let b = Lazy.force built in
+  let r = Pipeline.run b.image in
+  let noret = r.rec_result.noreturn in
+  List.iter
+    (fun (f : Truth.fn_truth) ->
+      if f.noreturn && not f.unreachable then
+        check Alcotest.bool (f.name ^ " classified noreturn") true
+          (Hashtbl.mem noret f.start))
+    b.truth.fns;
+  (* error_like is conditionally noreturn, not plain noreturn *)
+  let err = List.find (fun (f : Truth.fn_truth) -> f.name = "error_like") b.truth.fns in
+  check Alcotest.bool "error_like not plain noreturn" false
+    (Hashtbl.mem noret err.start);
+  check Alcotest.bool "error_like conditionally noreturn" true
+    (Hashtbl.mem r.rec_result.cond_noreturn err.start)
+
+(* Run the pipeline across profiles as a smoke property: never a FP against
+   truth, misses only in the documented classes. *)
+let test_all_profiles_no_fp () =
+  List.iter
+    (fun compiler ->
+      List.iter
+        (fun opt ->
+          let p = Profile.make compiler opt in
+          let b =
+            Link.build_random ~profile:p ~seed:(Hashtbl.hash (compiler, opt))
+              { spec with Gen.n_funcs = 30 }
+          in
+          let r = Pipeline.run b.image in
+          let fp, fn = metrics b.truth r.starts in
+          List.iter
+            (fun a ->
+              if not (acceptable_residual_fp r b.truth a) then
+                Alcotest.failf "%s: FP at %s" (Profile.name p)
+                  (name_of b.truth a))
+            fp;
+          List.iter
+            (fun a ->
+              if not (acceptable_miss r b.truth a) then
+                Alcotest.failf "%s: missed %s" (Profile.name p)
+                  (name_of b.truth a))
+            fn)
+        Profile.all_opts)
+    [ Profile.Synthgcc; Profile.Synthllvm ]
+
+let suite =
+  [
+    Alcotest.test_case "FDE-only coverage (Q1)" `Quick test_fde_only;
+    Alcotest.test_case "full pipeline accuracy" `Quick test_full_pipeline_accuracy;
+    Alcotest.test_case "pipeline from raw bytes" `Quick test_pipeline_on_encoded_bytes;
+    Alcotest.test_case "Algorithm 1 merges cold parts" `Quick test_algorithm1_removes_cold_fps;
+    Alcotest.test_case "tail calls detected safely" `Quick test_tail_calls_detected;
+    Alcotest.test_case "broken FDE rejected and recovered" `Quick test_broken_fde_rejected;
+    Alcotest.test_case "xref finds pointer-only functions" `Quick test_xref_finds_pointer_only_functions;
+    Alcotest.test_case "jump tables followed" `Quick test_jump_tables_followed;
+    Alcotest.test_case "noreturn analysis" `Quick test_noreturn_detected;
+    Alcotest.test_case "all profiles: no FPs" `Slow test_all_profiles_no_fp;
+  ]
+
+(* Property: on arbitrary generator configurations, FETCH never reports a
+   false positive and never misses a function outside the documented
+   harmless classes. *)
+let prop_fetch_invariants =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* compiler = oneofl [ Profile.Synthgcc; Profile.Synthllvm ] in
+      let* opt = oneofl Profile.all_opts in
+      let* n_funcs = int_range 10 70 in
+      let* cxx = bool in
+      let* tailonly = int_bound 2 in
+      let* pointer = int_bound 2 in
+      let* unreachable = int_bound 1 in
+      return (seed, compiler, opt, n_funcs, cxx, tailonly, pointer, unreachable))
+  in
+  QCheck.Test.make ~name:"FETCH invariants on random corpora" ~count:12
+    (QCheck.make gen
+       ~print:(fun (seed, c, o, n, cxx, t, p, u) ->
+         Printf.sprintf "seed=%d %s-%s n=%d cxx=%b t=%d p=%d u=%d" seed
+           (Profile.compiler_name c) (Profile.opt_name o) n cxx t p u))
+    (fun (seed, compiler, opt, n_funcs, cxx, tailonly, pointer, unreachable) ->
+      let profile = Profile.make compiler opt in
+      let spec' =
+        {
+          Gen.default_spec with
+          n_funcs;
+          cxx;
+          n_asm_tailonly = tailonly;
+          n_asm_pointer = pointer;
+          n_asm_unreachable = unreachable;
+        }
+      in
+      let b = Link.build_random ~profile ~seed spec' in
+      let r = Pipeline.run b.image in
+      let fp, fn = metrics b.truth r.starts in
+      List.for_all (acceptable_residual_fp r b.truth) fp
+      && List.for_all (acceptable_miss r b.truth) fn)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_fetch_invariants ]

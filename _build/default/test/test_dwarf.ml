@@ -1,0 +1,374 @@
+(* Tests for fetch.dwarf: CFI codec, eh_frame codec, CFA tables, heights,
+   and the reference unwinder. *)
+
+open Fetch_dwarf
+
+let check = Alcotest.check
+
+(* The FDE from the paper's Figure 4 (IDA-Pro 7.2 function at 0xb0). *)
+let figure4_fde =
+  {
+    Eh_frame.pc_begin = 0xb0;
+    pc_range = 56;
+    lsda = None;
+    instrs =
+      [
+        Cfi.Advance_loc 1;
+        (* to b1 *)
+        Cfi.Def_cfa_offset 16;
+        Cfi.Offset (6, 2);
+        (* rbp at cfa-16 *)
+        Cfi.Advance_loc 12;
+        (* to bd *)
+        Cfi.Def_cfa_offset 24;
+        Cfi.Offset (3, 3);
+        (* rbx at cfa-24 *)
+        Cfi.Advance_loc 11;
+        (* to c8 *)
+        Cfi.Def_cfa_offset 32;
+        Cfi.Advance_loc 29;
+        (* to e5 *)
+        Cfi.Def_cfa_offset 24;
+        Cfi.Advance_loc 1;
+        (* to e6 *)
+        Cfi.Def_cfa_offset 16;
+        Cfi.Advance_loc 1;
+        (* to e7 *)
+        Cfi.Def_cfa_offset 8;
+      ];
+  }
+
+let figure4_cie = Eh_frame.default_cie ~fdes:[ figure4_fde ] ()
+
+let test_cfi_roundtrip () =
+  let instrs =
+    [
+      Cfi.Def_cfa (7, 8);
+      Cfi.Offset (16, 1);
+      Cfi.Advance_loc 1;
+      Cfi.Advance_loc 63;
+      Cfi.Advance_loc 64;
+      Cfi.Advance_loc 300;
+      Cfi.Advance_loc 70000;
+      Cfi.Def_cfa_offset 16;
+      Cfi.Def_cfa_register 6;
+      Cfi.Offset (6, 2);
+      Cfi.Offset (80, 3);
+      (* extended form *)
+      Cfi.Restore 3;
+      Cfi.Restore 70;
+      Cfi.Same_value 12;
+      Cfi.Undefined 13;
+      Cfi.Register (3, 12);
+      Cfi.Remember_state;
+      Cfi.Restore_state;
+      Cfi.Def_cfa_expression "\x77\x08";
+      Cfi.Expression (8, "\x77\x2e");
+      Cfi.Nop;
+    ]
+  in
+  let b = Fetch_util.Byte_buf.create () in
+  List.iter (Cfi.encode b) instrs;
+  let decoded =
+    Cfi.decode_all (Fetch_util.Byte_cursor.of_string (Fetch_util.Byte_buf.contents b))
+  in
+  check Alcotest.int "count" (List.length instrs) (List.length decoded);
+  List.iter2
+    (fun a d ->
+      if a <> d then
+        Alcotest.failf "cfi mismatch: %s vs %s" (Cfi.to_string a) (Cfi.to_string d))
+    instrs decoded
+
+let test_eh_frame_roundtrip () =
+  let addr = 0x700000 in
+  let fde2 =
+    { Eh_frame.pc_begin = 0x200; pc_range = 16; lsda = None; instrs = [ Cfi.Advance_loc 4; Cfi.Def_cfa_offset 16 ] }
+  in
+  let cies =
+    [
+      Eh_frame.default_cie ~fdes:[ figure4_fde; fde2 ] ();
+      Eh_frame.default_cie ~fdes:[ { Eh_frame.pc_begin = 0x300; pc_range = 8; lsda = None; instrs = [] } ] ();
+    ]
+  in
+  let encoded = Eh_frame.encode ~addr cies in
+  match Eh_frame.decode ~addr encoded with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok cies' ->
+      check Alcotest.int "CIE count" 2 (List.length cies');
+      let all = Eh_frame.all_fdes cies' in
+      check Alcotest.int "FDE count" 3 (List.length all);
+      let f1 = List.nth all 0 in
+      check Alcotest.int "pc_begin" 0xb0 f1.pc_begin;
+      check Alcotest.int "pc_range" 56 f1.pc_range;
+      (* CFI programs survive modulo trailing padding nops *)
+      let strip_nops l = List.filter (fun i -> i <> Cfi.Nop) l in
+      check Alcotest.int "fde1 instr count"
+        (List.length figure4_fde.instrs)
+        (List.length (strip_nops f1.instrs));
+      let c1 = List.nth cies' 0 in
+      check Alcotest.int "code align" 1 c1.code_align;
+      check Alcotest.int "data align" (-8) c1.data_align;
+      check Alcotest.int "ra reg" 16 c1.ra_reg
+
+let test_eh_frame_terminator_and_empty () =
+  let encoded = Eh_frame.encode ~addr:0 [] in
+  check Alcotest.int "empty is just terminator" 4 (String.length encoded);
+  check Alcotest.bool "decodes empty" true (Eh_frame.decode ~addr:0 encoded = Ok [])
+
+(* Figure 4's run-time stack: heights at each point of the function. *)
+let test_figure4_heights () =
+  let rows = Cfa_table.rows ~cie:figure4_cie figure4_fde in
+  let height off = Cfa_table.height_at rows off in
+  check (Alcotest.option Alcotest.int) "entry" (Some 0) (height 0);
+  check (Alcotest.option Alcotest.int) "after push rbp" (Some 8) (height 0x1);
+  check (Alcotest.option Alcotest.int) "after push rbx" (Some 16) (height 0xd);
+  check (Alcotest.option Alcotest.int) "after sub rsp,8" (Some 24) (height 0x18);
+  check (Alcotest.option Alcotest.int) "mid body" (Some 24) (height 0x20);
+  check (Alcotest.option Alcotest.int) "after add rsp,8" (Some 16) (height 0x35);
+  check (Alcotest.option Alcotest.int) "after pop rbx" (Some 8) (height 0x36);
+  check (Alcotest.option Alcotest.int) "at ret" (Some 0) (height 0x37);
+  check Alcotest.bool "complete" true (Cfa_table.complete_rsp_heights rows)
+
+let test_rbp_based_incomplete () =
+  let fde =
+    {
+      Eh_frame.pc_begin = 0;
+      pc_range = 32;
+      lsda = None;
+      instrs =
+        [
+          Cfi.Advance_loc 1;
+          Cfi.Def_cfa_offset 16;
+          Cfi.Offset (6, 2);
+          Cfi.Advance_loc 3;
+          Cfi.Def_cfa_register 6;
+          (* CFA now rbp-based *)
+        ];
+    }
+  in
+  let rows = Cfa_table.rows ~cie:figure4_cie fde in
+  check Alcotest.bool "incomplete" false (Cfa_table.complete_rsp_heights rows);
+  check (Alcotest.option Alcotest.int) "height before rebase" (Some 8)
+    (Cfa_table.height_at rows 2);
+  check (Alcotest.option Alcotest.int) "no height after rebase" None
+    (Cfa_table.height_at rows 10)
+
+let test_remember_restore () =
+  let fde =
+    {
+      Eh_frame.pc_begin = 0;
+      pc_range = 64;
+      lsda = None;
+      instrs =
+        [
+          Cfi.Advance_loc 1;
+          Cfi.Def_cfa_offset 16;
+          Cfi.Advance_loc 9;
+          Cfi.Remember_state;
+          Cfi.Advance_loc 2;
+          Cfi.Def_cfa_offset 8;
+          (* inline epilogue *)
+          Cfi.Advance_loc 8;
+          Cfi.Restore_state;
+          (* back to offset 16 *)
+        ];
+    }
+  in
+  let rows = Cfa_table.rows ~cie:figure4_cie fde in
+  check (Alcotest.option Alcotest.int) "inside epilogue" (Some 0)
+    (Cfa_table.height_at rows 13);
+  check (Alcotest.option Alcotest.int) "after restore" (Some 8)
+    (Cfa_table.height_at rows 20);
+  check Alcotest.bool "still complete" true (Cfa_table.complete_rsp_heights rows)
+
+let test_height_oracle () =
+  let oracle = Height_oracle.create [ figure4_cie ] in
+  check (Alcotest.option Alcotest.int) "abs height" (Some 24)
+    (Height_oracle.height_at oracle (0xb0 + 0x20));
+  check Alcotest.bool "complete" true (Height_oracle.complete_at oracle 0xb0);
+  check (Alcotest.option Alcotest.int) "outside" None
+    (Height_oracle.height_at oracle 0x500);
+  match Height_oracle.fde_starting_at oracle 0xb0 with
+  | Some f -> check Alcotest.int "fde lookup" 56 f.pc_range
+  | None -> Alcotest.fail "fde_starting_at"
+
+(* Unwinder: simulate the Figure 4 function mid-body and unwind one frame.
+   Stack layout at offset 0x20 (height 24): [rsp] pad, [rsp+8] rbx,
+   [rsp+16] rbp, [rsp+24] return address. *)
+let test_unwind_figure4 () =
+  let rsp = 0x7fff0000 in
+  let ra = 0x404242 in
+  let mem = Hashtbl.create 8 in
+  Hashtbl.replace mem (rsp + 8) 0x1111;
+  (* saved rbx *)
+  Hashtbl.replace mem (rsp + 16) 0x2222;
+  (* saved rbp *)
+  Hashtbl.replace mem (rsp + 24) ra;
+  let oracle = Height_oracle.create [ figure4_cie ] in
+  let m =
+    {
+      Unwind.pc = 0xb0 + 0x20;
+      regs = [ (Cfa_table.dw_rsp, rsp); (6, 0xdead); (3, 0xbeef) ];
+      read_u64 = (fun a -> Hashtbl.find_opt mem a);
+    }
+  in
+  match Unwind.step oracle m with
+  | Error _ -> Alcotest.fail "unwind failed"
+  | Ok f ->
+      check Alcotest.int "cfa" (rsp + 32) f.cfa;
+      check Alcotest.int "return address" ra f.return_address;
+      check (Alcotest.option Alcotest.int) "rbx restored" (Some 0x1111)
+        (List.assoc_opt 3 f.caller_regs);
+      check (Alcotest.option Alcotest.int) "rbp restored" (Some 0x2222)
+        (List.assoc_opt 6 f.caller_regs);
+      check (Alcotest.option Alcotest.int) "rsp is cfa" (Some (rsp + 32))
+        (List.assoc_opt Cfa_table.dw_rsp f.caller_regs)
+
+let test_unwind_no_fde () =
+  let oracle = Height_oracle.create [ figure4_cie ] in
+  let m =
+    { Unwind.pc = 0x9999; regs = [ (7, 0) ]; read_u64 = (fun _ -> None) }
+  in
+  match Unwind.step oracle m with
+  | Error (Unwind.No_fde 0x9999) -> ()
+  | _ -> Alcotest.fail "expected No_fde"
+
+(* Property: random push/sub CFI programs produce heights that match a
+   direct simulation. *)
+let prop_heights_match_simulation =
+  QCheck.Test.make ~name:"cfa rows match simulated stack heights" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 12) (QCheck.int_range 1 6))
+    (fun deltas ->
+      (* build: at offset i+1, stack grows by deltas[i]*8 bytes *)
+      let instrs =
+        List.concat
+          (List.mapi
+             (fun _i d ->
+               [ Cfi.Advance_loc 1; Cfi.Def_cfa_offset (8 + (8 * d)) ])
+             deltas)
+      in
+      let fde =
+        { Eh_frame.pc_begin = 0; pc_range = List.length deltas + 2; lsda = None; instrs }
+      in
+      let rows = Cfa_table.rows ~cie:figure4_cie fde in
+      let ok = ref (Cfa_table.height_at rows 0 = Some 0) in
+      List.iteri
+        (fun i d ->
+          if Cfa_table.height_at rows (i + 1) <> Some (8 * d) then ok := false)
+        deltas;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "cfi codec roundtrip" `Quick test_cfi_roundtrip;
+    Alcotest.test_case "eh_frame codec roundtrip" `Quick test_eh_frame_roundtrip;
+    Alcotest.test_case "eh_frame empty/terminator" `Quick test_eh_frame_terminator_and_empty;
+    Alcotest.test_case "figure 4 heights" `Quick test_figure4_heights;
+    Alcotest.test_case "rbp-based CFI is incomplete" `Quick test_rbp_based_incomplete;
+    Alcotest.test_case "remember/restore state" `Quick test_remember_restore;
+    Alcotest.test_case "height oracle" `Quick test_height_oracle;
+    Alcotest.test_case "unwind figure 4 frame" `Quick test_unwind_figure4;
+    Alcotest.test_case "unwind without FDE fails" `Quick test_unwind_no_fde;
+    QCheck_alcotest.to_alcotest prop_heights_match_simulation;
+  ]
+
+(* --- personality / LSDA augmentations and .eh_frame_hdr --- *)
+
+let test_personality_lsda_roundtrip () =
+  let fde_with =
+    Eh_frame.make_fde ~lsda:0x6f0010 ~pc_begin:0x1000 ~pc_range:32
+      [ Cfi.Advance_loc 4; Cfi.Def_cfa_offset 16 ]
+  in
+  let fde_without = Eh_frame.make_fde ~pc_begin:0x1040 ~pc_range:16 [] in
+  let cies =
+    [ Eh_frame.default_cie ~personality:0x402000 ~fdes:[ fde_with; fde_without ] () ]
+  in
+  let encoded = Eh_frame.encode ~addr:0x700000 cies in
+  match Eh_frame.decode ~addr:0x700000 encoded with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok [ cie ] ->
+      check (Alcotest.option Alcotest.int) "personality" (Some 0x402000)
+        cie.personality;
+      (match cie.fdes with
+      | [ a; b ] ->
+          check (Alcotest.option Alcotest.int) "lsda kept" (Some 0x6f0010) a.lsda;
+          check (Alcotest.option Alcotest.int) "no lsda" None b.lsda
+      | _ -> Alcotest.fail "fde count");
+      (* heights still work through the augmented CIE *)
+      let rows = Cfa_table.rows ~cie (List.hd cie.fdes) in
+      check (Alcotest.option Alcotest.int) "height" (Some 8)
+        (Cfa_table.height_at rows 6)
+  | Ok _ -> Alcotest.fail "cie count"
+
+let test_eh_frame_hdr_roundtrip () =
+  let index = [ (0x1400, 0x700040); (0x1000, 0x700010); (0x1200, 0x700028) ] in
+  let encoded = Eh_frame_hdr.encode ~addr:0x6ff000 ~eh_frame_addr:0x700000 index in
+  match Eh_frame_hdr.decode ~addr:0x6ff000 encoded with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok h ->
+      check Alcotest.int "eh_frame ptr" 0x700000 h.eh_frame_ptr;
+      check Alcotest.int "entries" 3 (Array.length h.entries);
+      (* sorted by pc *)
+      check Alcotest.int "first pc" 0x1000 (fst h.entries.(0));
+      (* binary search semantics *)
+      check (Alcotest.option Alcotest.int) "exact" (Some 0x700010)
+        (Eh_frame_hdr.search h 0x1000);
+      check (Alcotest.option Alcotest.int) "inside" (Some 0x700028)
+        (Eh_frame_hdr.search h 0x13ff);
+      check (Alcotest.option Alcotest.int) "last" (Some 0x700040)
+        (Eh_frame_hdr.search h 0x9999);
+      check (Alcotest.option Alcotest.int) "before all" None
+        (Eh_frame_hdr.search h 0xfff)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "personality/LSDA roundtrip" `Quick
+        test_personality_lsda_roundtrip;
+      Alcotest.test_case "eh_frame_hdr roundtrip + search" `Quick
+        test_eh_frame_hdr_roundtrip;
+    ]
+
+(* Property: arbitrary CFI-sane FDE sets round-trip through the eh_frame
+   codec (pc values, ranges and instruction streams survive). *)
+let prop_eh_frame_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let instr =
+        oneof
+          [
+            (let* d = int_range 1 5000 in return (Cfi.Advance_loc d));
+            (let* o = int_range 8 512 in return (Cfi.Def_cfa_offset o));
+            (let* r = int_bound 15 and* o = int_range 1 16 in
+             return (Cfi.Offset (r, o)));
+            (let* r = int_bound 15 in return (Cfi.Restore r));
+            return Cfi.Remember_state;
+            return Cfi.Restore_state;
+          ]
+      in
+      let fde =
+        let* pc = int_range 0x1000 0x100000 in
+        let* range = int_range 1 4096 in
+        let* instrs = list_size (int_bound 8) instr in
+        return (Eh_frame.make_fde ~pc_begin:pc ~pc_range:range instrs)
+      in
+      list_size (int_range 1 6) fde)
+  in
+  QCheck.Test.make ~name:"eh_frame roundtrip on arbitrary FDEs" ~count:200
+    (QCheck.make gen)
+    (fun fdes ->
+      let cies = [ Eh_frame.default_cie ~fdes () ] in
+      let addr = 0x700000 in
+      match Eh_frame.decode ~addr (Eh_frame.encode ~addr cies) with
+      | Error _ -> false
+      | Ok [ cie ] ->
+          let strip l = List.filter (fun i -> i <> Cfi.Nop) l in
+          List.length cie.fdes = List.length fdes
+          && List.for_all2
+               (fun (a : Eh_frame.fde) (b : Eh_frame.fde) ->
+                 a.pc_begin = b.pc_begin && a.pc_range = b.pc_range
+                 && strip a.instrs = strip b.instrs)
+               cie.fdes fdes
+      | Ok _ -> false)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_eh_frame_roundtrip ]

@@ -1,0 +1,178 @@
+(* Tests for fetch.pe: PE32+ codec, UNWIND_INFO codec, exception-directory
+   generation (the §VII-B generality study substrate). *)
+
+open Fetch_pe
+
+let check = Alcotest.check
+
+let sample_pe =
+  {
+    Image.image_base = 0x140000000;
+    entry_rva = 0x1000;
+    sections =
+      [
+        {
+          Image.pname = ".text";
+          rva = 0x1000;
+          data = "\x48\x83\xec\x28\x90\x48\x83\xc4\x28\xc3";
+          characteristics =
+            Image.scn_code lor Image.scn_mem_execute lor Image.scn_mem_read;
+        };
+        {
+          Image.pname = ".xdata";
+          rva = 0x2000;
+          data = "\x01\x04\x01\x00\x04\x42\x00\x00";
+          characteristics = Image.scn_initialized_data lor Image.scn_mem_read;
+        };
+      ];
+    pdata = [ { Image.begin_rva = 0x1000; end_rva = 0x100a; unwind_rva = 0x2000 } ];
+  }
+
+let test_pe_roundtrip () =
+  let raw = Encode.encode sample_pe in
+  check Alcotest.string "MZ magic" "MZ" (String.sub raw 0 2);
+  match Decode.decode raw with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok pe ->
+      check Alcotest.int "image base" sample_pe.image_base pe.image_base;
+      check Alcotest.int "entry" sample_pe.entry_rva pe.entry_rva;
+      let text = Option.get (Image.section pe ".text") in
+      check Alcotest.string "text data"
+        (Option.get (Image.section sample_pe ".text")).data text.data;
+      check Alcotest.int "one runtime function" 1 (List.length pe.pdata);
+      let rf = List.hd pe.pdata in
+      check Alcotest.int "begin rva" 0x1000 rf.begin_rva;
+      check Alcotest.int "end rva" 0x100a rf.end_rva;
+      check Alcotest.int "unwind rva" 0x2000 rf.unwind_rva;
+      check (Alcotest.list Alcotest.int) "pdata starts"
+        [ 0x140001000 ]
+        (Image.pdata_starts pe)
+
+let test_pe_rejects_garbage () =
+  check Alcotest.bool "short" true (Result.is_error (Decode.decode "MZ"));
+  check Alcotest.bool "not pe" true
+    (Result.is_error (Decode.decode (String.make 4096 'A')))
+
+let test_unwind_info_roundtrip () =
+  let infos =
+    [
+      { Unwind_info.prolog_size = 4; frame_reg = 0; frame_offset = 0;
+        codes = [ (4, Unwind_info.Alloc_small 40); (1, Unwind_info.Push_nonvol 3) ] };
+      { Unwind_info.prolog_size = 11; frame_reg = 5; frame_offset = 0;
+        codes =
+          [ (11, Unwind_info.Alloc_large 4096); (4, Unwind_info.Set_fpreg);
+            (1, Unwind_info.Push_nonvol 5) ] };
+      { Unwind_info.prolog_size = 0; frame_reg = 0; frame_offset = 0; codes = [] };
+    ]
+  in
+  List.iter
+    (fun info ->
+      match Unwind_info.decode (Unwind_info.encode info) with
+      | Error e -> Alcotest.failf "unwind decode: %s" e
+      | Ok info' ->
+          check Alcotest.int "prolog" info.prolog_size info'.prolog_size;
+          check Alcotest.int "frame reg" info.frame_reg info'.frame_reg;
+          check Alcotest.bool "codes" true
+            (List.sort compare info.codes = List.sort compare info'.codes))
+    infos
+
+let test_frame_size () =
+  let info =
+    { Unwind_info.prolog_size = 5; frame_reg = 0; frame_offset = 0;
+      codes = [ (5, Unwind_info.Alloc_small 32); (1, Unwind_info.Push_nonvol 3) ] }
+  in
+  check Alcotest.int "frame size" 40 (Unwind_info.frame_size info)
+
+let test_pe_gen_coverage () =
+  let profile = Fetch_synth.Profile.make Fetch_synth.Profile.Synthgcc Fetch_synth.Profile.O2 in
+  let built =
+    Fetch_synth.Link.build_random ~profile ~seed:808
+      { Fetch_synth.Gen.default_spec with n_funcs = 60 }
+  in
+  let pe = Pe_gen.of_built built in
+  let raw = Encode.encode pe in
+  let pe = Result.get_ok (Decode.decode raw) in
+  let starts =
+    List.map (fun (rf : Image.runtime_function) -> rf.begin_rva + 0x400000) pe.pdata
+    |> List.sort_uniq compare
+  in
+  let truth = built.truth in
+  let covered, leaves =
+    List.fold_left
+      (fun (c, l) (f : Fetch_synth.Truth.fn_truth) ->
+        if List.mem f.start starts then (c + 1, l)
+        else if f.leaf then (c, l + 1)
+        else Alcotest.failf "non-leaf %s missing from .pdata" f.name)
+      (0, 0) truth.fns
+    in
+  check Alcotest.int "all functions accounted" (List.length truth.fns)
+    (covered + leaves);
+  let ratio = float_of_int covered /. float_of_int (List.length truth.fns) in
+  check Alcotest.bool "coverage in the paper's band" true
+    (ratio >= 0.55 && ratio <= 0.95);
+  (* every record's unwind info parses, and part starts beyond the entry
+     appear as extra records (the PE multi-part ambiguity) *)
+  let xdata = Option.get (Image.section pe ".xdata") in
+  List.iter
+    (fun (rf : Image.runtime_function) ->
+      let off = rf.unwind_rva - xdata.rva in
+      check Alcotest.bool "unwind info parses" true
+        (Result.is_ok
+           (Unwind_info.decode
+              (String.sub xdata.data off (String.length xdata.data - off)))))
+    pe.pdata;
+  let part_starts =
+    List.map (fun a -> a + 0x400000) []
+    @ List.map (fun p -> p) (Fetch_synth.Truth.part_starts truth)
+  in
+  List.iter
+    (fun p ->
+      check Alcotest.bool "cold part has its own record" true
+        (List.mem p starts
+        ||
+        (* unless its function is leaf (never: cold implies framed) *)
+        false))
+    part_starts
+
+let suite =
+  [
+    Alcotest.test_case "PE32+ roundtrip" `Quick test_pe_roundtrip;
+    Alcotest.test_case "PE rejects garbage" `Quick test_pe_rejects_garbage;
+    Alcotest.test_case "UNWIND_INFO roundtrip" `Quick test_unwind_info_roundtrip;
+    Alcotest.test_case "frame size" `Quick test_frame_size;
+    Alcotest.test_case "pe_gen coverage band" `Quick test_pe_gen_coverage;
+  ]
+
+(* Property: arbitrary unwind-code lists round-trip. *)
+let prop_unwind_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let code =
+        oneof
+          [
+            (let* r = int_bound 15 in return (Unwind_info.Push_nonvol r));
+            (let* n = int_range 1 16 in return (Unwind_info.Alloc_small (n * 8)));
+            (let* n = int_range 17 4000 in return (Unwind_info.Alloc_large (n * 8)));
+            return Unwind_info.Set_fpreg;
+          ]
+      in
+      let* codes = list_size (int_bound 6) code in
+      let* prolog = int_bound 60 in
+      return
+        {
+          Unwind_info.prolog_size = prolog;
+          frame_reg = 0;
+          frame_offset = 0;
+          codes = List.mapi (fun i c -> (max 0 (prolog - i), c)) codes;
+        })
+  in
+  QCheck.Test.make ~name:"UNWIND_INFO roundtrip on arbitrary codes" ~count:300
+    (QCheck.make gen)
+    (fun info ->
+      match Unwind_info.decode (Unwind_info.encode info) with
+      | Error _ -> false
+      | Ok info' ->
+          info'.prolog_size = info.prolog_size
+          && List.sort compare info'.codes = List.sort compare info.codes)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_unwind_roundtrip ]

@@ -1,0 +1,106 @@
+(* Tests for fetch.rop: gadget discovery semantics. *)
+
+open Fetch_x86
+module I = Insn
+
+let check = Alcotest.check
+
+let image_of items =
+  let asm = Asm.assemble ~base:0x1000 items in
+  let open Fetch_elf.Image in
+  ( {
+      entry = 0x1000;
+      sections =
+        [
+          {
+            sec_name = ".text";
+            kind = Progbits;
+            flags = shf_alloc lor shf_execinstr;
+            addr = 0x1000;
+            data = asm.code;
+            addralign = 16;
+            entsize = 0;
+          };
+        ];
+      symbols = [];
+    },
+    asm )
+
+let test_ret_gadget () =
+  let img, asm =
+    image_of
+      [
+        Asm.Label "g";
+        Asm.I (I.Pop Reg.Rdi);
+        Asm.I (I.Pop Reg.Rsi);
+        Asm.I I.Ret;
+      ]
+  in
+  let loaded = Fetch_analysis.Loaded.load img in
+  match Fetch_rop.Gadget.at loaded ~depth:4 (Asm.label_addr asm "g") with
+  | Some g ->
+      check Alcotest.int "three instructions" 3 (List.length g.insns);
+      check Alcotest.bool "ret kind" true (g.kind = Fetch_rop.Gadget.Ret_gadget)
+  | None -> Alcotest.fail "pop;pop;ret should be a gadget"
+
+let test_jmp_gadget () =
+  let img, asm =
+    image_of [ Asm.Label "g"; Asm.I (I.Pop Reg.Rax); Asm.I (I.Jmp_ind (I.Reg Reg.Rax)) ]
+  in
+  let loaded = Fetch_analysis.Loaded.load img in
+  match Fetch_rop.Gadget.at loaded ~depth:4 (Asm.label_addr asm "g") with
+  | Some g -> check Alcotest.bool "jmp kind" true (g.kind = Fetch_rop.Gadget.Jmp_gadget)
+  | None -> Alcotest.fail "pop;jmp rax should be a gadget"
+
+let test_no_gadget_through_branches () =
+  let img, asm =
+    image_of
+      [
+        Asm.Label "g";
+        Asm.I (I.Jcc (I.E, I.To_label "x"));
+        Asm.I I.Ret;
+        Asm.Label "x";
+        Asm.I I.Ret;
+      ]
+  in
+  let loaded = Fetch_analysis.Loaded.load img in
+  check Alcotest.bool "branch breaks gadget" true
+    (Fetch_rop.Gadget.at loaded ~depth:4 (Asm.label_addr asm "g") = None)
+
+let test_depth_limit () =
+  let img, asm =
+    image_of
+      [
+        Asm.Label "g";
+        Asm.I (I.Nop 1); Asm.I (I.Nop 1); Asm.I (I.Nop 1); Asm.I (I.Nop 1);
+        Asm.I (I.Nop 1);
+        Asm.I I.Ret;
+      ]
+  in
+  let loaded = Fetch_analysis.Loaded.load img in
+  check Alcotest.bool "too deep" true
+    (Fetch_rop.Gadget.at loaded ~depth:3 (Asm.label_addr asm "g") = None);
+  check Alcotest.bool "within depth" true
+    (Fetch_rop.Gadget.at loaded ~depth:6 (Asm.label_addr asm "g") <> None)
+
+let test_in_range_counts_offsets () =
+  (* pop rdi; pop rsi; ret: gadgets at offset 0 and 1 at least *)
+  let img, asm =
+    image_of
+      [ Asm.Label "g"; Asm.I (I.Pop Reg.Rdi); Asm.I (I.Pop Reg.Rsi); Asm.I I.Ret ]
+  in
+  let loaded = Fetch_analysis.Loaded.load img in
+  let lo = Asm.label_addr asm "g" in
+  let gs = Fetch_rop.Gadget.in_range loaded ~depth:4 ~lo ~hi:(lo + 3) in
+  check Alcotest.bool "at least 2 gadgets" true (List.length gs >= 2);
+  check Alcotest.int "unique count" (List.length gs)
+    (Fetch_rop.Gadget.count_unique gs)
+
+let suite =
+  [
+    Alcotest.test_case "pop;pop;ret" `Quick test_ret_gadget;
+    Alcotest.test_case "pop;jmp reg" `Quick test_jmp_gadget;
+    Alcotest.test_case "branches break gadgets" `Quick test_no_gadget_through_branches;
+    Alcotest.test_case "depth limit" `Quick test_depth_limit;
+    Alcotest.test_case "in_range sub-offsets" `Quick test_in_range_counts_offsets;
+  ]

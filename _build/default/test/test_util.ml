@@ -1,0 +1,181 @@
+(* Tests for fetch.util: byte buffers/cursors, LEB128, intervals, PRNG. *)
+
+open Fetch_util
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_buf_roundtrip () =
+  let b = Byte_buf.create () in
+  Byte_buf.u8 b 0xab;
+  Byte_buf.u16 b 0x1234;
+  Byte_buf.u32 b 0xdeadbeef;
+  Byte_buf.u64 b 0x123456789abcdef;
+  Byte_buf.i32 b (-5);
+  let c = Byte_cursor.of_string (Byte_buf.contents b) in
+  check Alcotest.int "u8" 0xab (Byte_cursor.u8 c);
+  check Alcotest.int "u16" 0x1234 (Byte_cursor.u16 c);
+  check Alcotest.int "u32" 0xdeadbeef (Byte_cursor.u32 c);
+  check Alcotest.int "u64" 0x123456789abcdef (Byte_cursor.u64 c);
+  check Alcotest.int "i32" (-5) (Byte_cursor.i32 c);
+  check Alcotest.bool "eof" true (Byte_cursor.eof c)
+
+let test_patch () =
+  let b = Byte_buf.create () in
+  Byte_buf.u32 b 0;
+  Byte_buf.u32 b 42;
+  Byte_buf.patch_u32 b ~at:0 99;
+  let c = Byte_cursor.of_string (Byte_buf.contents b) in
+  check Alcotest.int "patched" 99 (Byte_cursor.u32 c);
+  check Alcotest.int "untouched" 42 (Byte_cursor.u32 c)
+
+let test_cstring () =
+  let b = Byte_buf.create () in
+  Byte_buf.cstring b "hello";
+  Byte_buf.cstring b "";
+  Byte_buf.u8 b 7;
+  let c = Byte_cursor.of_string (Byte_buf.contents b) in
+  check Alcotest.string "first" "hello" (Byte_cursor.cstring c);
+  check Alcotest.string "empty" "" (Byte_cursor.cstring c);
+  check Alcotest.int "trailing" 7 (Byte_cursor.u8 c)
+
+let test_out_of_bounds () =
+  let c = Byte_cursor.of_string "ab" in
+  ignore (Byte_cursor.u16 c);
+  Alcotest.check_raises "u8 past end"
+    (Byte_cursor.Out_of_bounds { pos = 2; want = 1; len = 2 })
+    (fun () -> ignore (Byte_cursor.u8 c))
+
+let prop_uleb =
+  QCheck.Test.make ~name:"uleb128 roundtrip" ~count:500
+    QCheck.(int_bound 0x3fffffff)
+    (fun n ->
+      let b = Byte_buf.create () in
+      Byte_buf.uleb128 b n;
+      Byte_cursor.uleb128 (Byte_cursor.of_string (Byte_buf.contents b)) = n)
+
+let prop_sleb =
+  QCheck.Test.make ~name:"sleb128 roundtrip" ~count:500
+    QCheck.(int_range (-0x20000000) 0x20000000)
+    (fun n ->
+      let b = Byte_buf.create () in
+      Byte_buf.sleb128 b n;
+      Byte_cursor.sleb128 (Byte_cursor.of_string (Byte_buf.contents b)) = n)
+
+let test_pad_align () =
+  let b = Byte_buf.create () in
+  Byte_buf.u8 b 1;
+  Byte_buf.pad_to b ~align:8 ~byte:0;
+  check Alcotest.int "aligned" 8 (Byte_buf.length b);
+  Byte_buf.pad_to b ~align:8 ~byte:0;
+  check Alcotest.int "idempotent" 8 (Byte_buf.length b)
+
+let test_interval_basic () =
+  let m = Interval_map.create () in
+  Interval_map.add m ~lo:10 ~hi:20 "a";
+  Interval_map.add m ~lo:20 ~hi:30 "b";
+  check Alcotest.bool "mem 15" true (Interval_map.mem m 15);
+  check Alcotest.bool "mem 20 is b" true
+    (match Interval_map.find m 20 with Some (_, _, "b") -> true | _ -> false);
+  check Alcotest.bool "9 out" false (Interval_map.mem m 9);
+  check Alcotest.bool "30 out" false (Interval_map.mem m 30);
+  Alcotest.check_raises "overlap rejected"
+    (Invalid_argument "Interval_map.add: overlap") (fun () ->
+      Interval_map.add m ~lo:15 ~hi:25 "c")
+
+let test_interval_override () =
+  let m = Interval_map.create () in
+  Interval_map.add m ~lo:0 ~hi:10 "a";
+  Interval_map.add m ~lo:10 ~hi:20 "b";
+  Interval_map.add_override m ~lo:5 ~hi:15 "c";
+  check Alcotest.int "two intervals remain" 1 (Interval_map.cardinal m);
+  check Alcotest.bool "c covers 12" true
+    (match Interval_map.find m 12 with Some (5, 15, "c") -> true | _ -> false)
+
+let test_interval_next_from () =
+  let m = Interval_map.create () in
+  Interval_map.add m ~lo:100 ~hi:110 ();
+  Interval_map.add m ~lo:200 ~hi:210 ();
+  check Alcotest.bool "next from 150" true
+    (match Interval_map.next_from m 150 with Some (200, 210, ()) -> true | _ -> false);
+  check Alcotest.bool "none past end" true (Interval_map.next_from m 300 = None)
+
+let prop_interval_find_consistent =
+  QCheck.Test.make ~name:"interval find agrees with naive scan" ~count:200
+    QCheck.(list (pair (int_bound 1000) (int_bound 50)))
+    (fun pairs ->
+      let m = Interval_map.create () in
+      let added = ref [] in
+      List.iter
+        (fun (lo, len) ->
+          let hi = lo + len + 1 in
+          if not (Interval_map.overlaps m ~lo ~hi) then begin
+            Interval_map.add m ~lo ~hi ();
+            added := (lo, hi) :: !added
+          end)
+        pairs;
+      List.for_all
+        (fun q ->
+          let naive = List.exists (fun (lo, hi) -> q >= lo && q < hi) !added in
+          Interval_map.mem m q = naive)
+        (List.init 60 (fun i -> i * 19)))
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds";
+    let r = Prng.range rng 5 9 in
+    if r < 5 || r > 9 then Alcotest.fail "range out of bounds"
+  done
+
+let test_prng_weighted () =
+  let rng = Prng.create 11 in
+  let a = ref 0 in
+  for _ = 1 to 1000 do
+    match Prng.weighted rng [ (9.0, `A); (1.0, `B) ] with
+    | `A -> incr a
+    | `B -> ()
+  done;
+  if !a < 800 || !a > 980 then
+    Alcotest.failf "weighted choice skewed: %d/1000" !a
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_text_table () =
+  let s =
+    Text_table.render ~header:[ "name"; "n" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  check Alcotest.bool "contains rule" true (String.contains s '-');
+  check Alcotest.bool "mentions bb" true (contains_sub s "bb");
+  check Alcotest.bool "right-aligns numbers" true (contains_sub s " 1");
+  check Alcotest.string "pct" "50.00" (Text_table.pct 1 2);
+  check Alcotest.string "thousands" "1.50" (Text_table.thousands 1500)
+
+let suite =
+  [
+    Alcotest.test_case "byte buf/cursor roundtrip" `Quick test_buf_roundtrip;
+    Alcotest.test_case "byte buf patching" `Quick test_patch;
+    Alcotest.test_case "cstring roundtrip" `Quick test_cstring;
+    Alcotest.test_case "cursor bounds checking" `Quick test_out_of_bounds;
+    Alcotest.test_case "pad_to alignment" `Quick test_pad_align;
+    Alcotest.test_case "interval map basics" `Quick test_interval_basic;
+    Alcotest.test_case "interval map override" `Quick test_interval_override;
+    Alcotest.test_case "interval map next_from" `Quick test_interval_next_from;
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng weighted" `Quick test_prng_weighted;
+    Alcotest.test_case "text table render" `Quick test_text_table;
+    qcheck prop_uleb;
+    qcheck prop_sleb;
+    qcheck prop_interval_find_consistent;
+  ]
