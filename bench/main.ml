@@ -5,7 +5,7 @@
    Usage:
      main.exe                 run everything on the full 1,432-binary corpus
      main.exe --scale 0.1     shrink the corpus (fraction of programs)
-     main.exe table1|table2|fig5|errors|table3|table4|ablation|pe|micro *)
+     main.exe table1|table2|fig5|errors|table3|table4|ablation|pe|perf|micro *)
 
 let scale = ref 1.0
 let sections = ref []
@@ -28,10 +28,73 @@ let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
 let time name f =
-  let t0 = Sys.time () in
-  let r = f () in
-  Printf.printf "[%s finished in %.1fs]\n%!" name (Sys.time () -. t0);
+  (* monotonic wall clock: Sys.time is CPU time, which is not what the
+     paper's Table V reports *)
+  let r, dt = Fetch_obs.Clock.time_s f in
+  Printf.printf "[%s finished in %.1fs]\n%!" name dt;
   r
+
+(* ------------------------------------------------------------------ *)
+(* Per-stage pipeline perf snapshot: run the instrumented FETCH        *)
+(* pipeline over the corpus and write the per-stage wall-clock totals  *)
+(* to BENCH_pipeline.json so later PRs can compare trajectories.       *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_file = "BENCH_pipeline.json"
+
+let perf () =
+  let binaries = ref 0 in
+  let (), report =
+    Fetch_obs.Trace.with_run (fun () ->
+        Fetch_eval.Corpus.fold_selfbuilt ~scale:!scale ~init:() (fun () bin ->
+            incr binaries;
+            let stripped = Fetch_elf.Image.strip bin.built.image in
+            let loaded = Fetch_analysis.Loaded.load stripped in
+            ignore (Fetch_core.Pipeline.run_loaded loaded)))
+  in
+  let aggs = Fetch_obs.Report.aggregate_spans report in
+  let pipeline_total_ns =
+    List.fold_left
+      (fun acc (a : Fetch_obs.Report.agg) ->
+        if a.agg_name = "pipeline" then Int64.add acc a.agg_total_ns else acc)
+      0L aggs
+  in
+  let buf = Buffer.create 4096 in
+  let str = Fetch_obs.Report.json_string in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"fetch-bench-pipeline/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" !scale);
+  Buffer.add_string buf (Printf.sprintf "  \"binaries\": %d,\n" !binaries);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pipeline_total_ms\": %.3f,\n"
+       (Int64.to_float pipeline_total_ns /. 1e6));
+  Buffer.add_string buf "  \"stages\": [\n";
+  List.iteri
+    (fun i (a : Fetch_obs.Report.agg) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %s, \"calls\": %d, \"total_ms\": %.3f, \
+            \"mean_ms_per_binary\": %.3f}%s\n"
+           (str a.agg_name) a.agg_calls
+           (Int64.to_float a.agg_total_ns /. 1e6)
+           (Int64.to_float a.agg_total_ns /. 1e6 /. float_of_int !binaries)
+           (if i = List.length aggs - 1 then "" else ",")))
+    aggs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"counters\": [\n";
+  let counters = report.Fetch_obs.Trace.counters in
+  List.iteri
+    (fun i (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %s, \"value\": %d}%s\n" (str n) v
+           (if i = List.length counters - 1 then "" else ",")))
+    counters;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out snapshot_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d binaries)\n" snapshot_file !binaries;
+  print_string (Fetch_obs.Report.text report)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table.           *)
@@ -152,5 +215,9 @@ let () =
     banner "SVII-B — generality: x64 PE exception directory coverage";
     let t = time "pe" (fun () -> Fetch_eval.Exp_pe.run ~scale:!scale ()) in
     print_string (Fetch_eval.Exp_pe.render t)
+  end;
+  if want "perf" then begin
+    banner "Pipeline perf snapshot — per-stage wall clock over the corpus";
+    time "perf" perf
   end;
   if want "micro" then micro ()

@@ -18,9 +18,13 @@ let read_file path =
   s
 
 let write_file path s =
-  let oc = open_out_bin path in
-  output_string oc s;
-  close_out oc
+  match open_out_bin path with
+  | oc ->
+      output_string oc s;
+      close_out oc
+  | exception Sys_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
 
 let load_image path =
   match Fetch_elf.Decode.decode (read_file path) with
@@ -84,11 +88,37 @@ let generate seed n_funcs compiler opt cxx keep_symbols out truth_out =
 
 (* ---- analyze ---- *)
 
-let analyze path verbose =
+let analyze path verbose stats trace_json =
   let img = load_image path in
-  let r = Fetch_core.Pipeline.run img in
+  let instrumented = stats || trace_json <> None in
+  let r, report =
+    if instrumented then
+      let r, rep = Fetch_obs.Trace.with_run (fun () -> Fetch_core.Pipeline.run img) in
+      (r, Some rep)
+    else (Fetch_core.Pipeline.run img, None)
+  in
   Printf.printf "%d function starts detected:\n" (List.length r.starts);
   List.iter (fun s -> Printf.printf "  %#x\n" s) r.starts;
+  (match report with
+  | None -> ()
+  | Some rep ->
+      (match trace_json with
+      | None -> ()
+      | Some file ->
+          write_file file (Fetch_obs.Report.json_lines rep);
+          Printf.printf "wrote trace to %s\n" file);
+      if stats then begin
+        print_newline ();
+        print_string (Fetch_obs.Report.text rep);
+        (* seed attribution: where the final starts came from *)
+        let seeded = List.filter (fun s -> List.mem s r.final_seeds) r.starts in
+        Printf.printf
+          "\n%d final starts: %d from the final seed set (%d seeds: FDEs, \
+           symbols, accepted pointers), %d discovered by recursion\n"
+          (List.length r.starts) (List.length seeded)
+          (List.length r.final_seeds)
+          (List.length r.starts - List.length seeded)
+      end);
   if verbose then begin
     (match r.tailcall with
     | Some o ->
@@ -140,9 +170,7 @@ let compare_tools path truth_path =
   in
   List.iter
     (fun (tool : Fetch_baselines.Tools.t) ->
-      let t0 = Sys.time () in
-      let detected = tool.detect loaded in
-      let dt = Sys.time () -. t0 in
+      let detected, dt = Fetch_obs.Clock.time_s (fun () -> tool.detect loaded) in
       if truth_starts = [] then
         Printf.printf "%-14s %5d starts  (%.1f ms)\n" tool.name
           (List.length detected) (1000.0 *. dt)
@@ -271,9 +299,19 @@ let generate_cmd =
 
 let analyze_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show tail calls and merges.") in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print per-stage wall-clock timings and pipeline counters.")
+  in
+  let trace_json =
+    Arg.(value & opt (some string) None
+         & info [ "trace-json" ] ~docv:"FILE"
+             ~doc:"Write the pipeline trace (spans and counters) as JSON lines to $(docv).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Detect function starts with FETCH")
-    Term.(const analyze $ path_arg $ verbose)
+    Term.(const analyze $ path_arg $ verbose $ stats $ trace_json)
 
 let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Linear disassembly of the text section")

@@ -27,9 +27,8 @@ let () =
   Printf.printf "%-14s %9s %6s %6s %9s\n" "tool" "detected" "FP" "FN" "time(ms)";
   List.iter
     (fun (tool : Fetch_baselines.Tools.t) ->
-      let t0 = Sys.time () in
-      let detected = tool.detect loaded in
-      let dt = 1000.0 *. (Sys.time () -. t0) in
+      let detected, secs = Fetch_obs.Clock.time_s (fun () -> tool.detect loaded) in
+      let dt = 1000.0 *. secs in
       let fp = List.filter (fun d -> not (List.mem d truth)) detected in
       let fn = List.filter (fun t -> not (List.mem t detected)) truth in
       Printf.printf "%-14s %9d %6d %6d %9.1f\n" tool.name (List.length detected)

@@ -12,6 +12,14 @@
     return. *)
 
 open Fetch_x86
+module Obs = Fetch_obs.Trace
+
+(* Stage instrumentation (no-ops unless a Fetch_obs run is active). *)
+let c_insns_decoded = Obs.counter "recursive.insns_decoded"
+let c_funcs_disassembled = Obs.counter "recursive.functions_disassembled"
+let c_tables_resolved = Obs.counter "recursive.jump_tables_resolved"
+let c_noreturn_iters = Obs.counter "recursive.noreturn_iters"
+let h_block_insns = Obs.histogram "recursive.block_insns"
 
 type config = {
   resolve_jump_tables : bool;
@@ -138,6 +146,7 @@ let rec decode_block loaded (cfg : config) ~noreturn ~cond_noreturn ~f
     match Loaded.insn_at loaded addr with
     | None -> (List.rev acc, End_error)
     | Some (insn, len) -> (
+        Obs.incr c_insns_decoded;
         let acc' = (addr, len, insn) :: acc in
         match Semantics.flow insn with
         | Semantics.Fall ->
@@ -176,6 +185,7 @@ let rec decode_block loaded (cfg : config) ~noreturn ~cond_noreturn ~f
    bounds check `cmp/ja` ends the block before the dispatch jump). *)
 let disasm_function loaded cfg ~noreturn ~cond_noreturn ~is_start ~spans
     ~new_entries entry =
+  Obs.incr c_funcs_disassembled;
   let f = new_func entry in
   let visited = Hashtbl.create 16 in
   let pending = Queue.create () in
@@ -189,6 +199,7 @@ let disasm_function loaded cfg ~noreturn ~cond_noreturn ~is_start ~spans
         decode_block loaded cfg ~noreturn ~cond_noreturn ~f ~is_start
           ~block_known b []
       in
+      if Obs.enabled () then Obs.observe h_block_insns (List.length insns);
       (match insns with
       | [] -> ()
       | (lo, _, _) :: _ ->
@@ -243,6 +254,7 @@ let disasm_function loaded cfg ~noreturn ~cond_noreturn ~is_start ~spans
             in
             match Jump_table.resolve loaded.Loaded.image ~prior op with
             | Some { Jump_table.table_addr; targets } ->
+                Obs.incr c_tables_resolved;
                 f.table_targets <- (table_addr, targets) :: f.table_targets;
                 List.iter (fun t -> add_block t) (List.sort_uniq compare targets)
             | None -> f.unresolved_indirect_jump <- true)
@@ -279,6 +291,7 @@ let compute_returns funcs =
 
 (** Run the engine from the given seed entries. *)
 let run ?(config = safe_config) loaded ~seeds =
+  Obs.span "recursive" @@ fun () ->
   let noreturn = Hashtbl.create 16 in
   let cond_noreturn = Hashtbl.create 4 in
   let iterate () =
@@ -310,6 +323,7 @@ let run ?(config = safe_config) loaded ~seeds =
     if (not config.noreturn_aware) || i >= config.max_noreturn_iters then
       (funcs, spans)
     else begin
+      Obs.incr c_noreturn_iters;
       let returns = compute_returns funcs in
       let changed = ref false in
       Hashtbl.iter

@@ -5,6 +5,14 @@
     prefix of the pipeline (Figure 5's strategy stacks). *)
 
 open Fetch_analysis
+module Obs = Fetch_obs.Trace
+
+(* Stage instrumentation: seed-source contributions and the Fig. 6b
+   hand-broken-FDE rejections. *)
+let c_seeds_fde = Obs.counter "pipeline.seeds.fde"
+let c_seeds_symbol = Obs.counter "pipeline.seeds.symbol"
+let c_seeds_final = Obs.counter "pipeline.seeds.final"
+let c_invalid_fde = Obs.counter "pipeline.invalid_fde_rejected"
 
 type config = {
   use_symbols : bool;  (** seed from surviving symbols too *)
@@ -30,6 +38,11 @@ let default_config =
 type result = {
   starts : int list;  (** final detected function starts, ascending *)
   fde_starts : int list;
+  final_seeds : int list;
+      (** the seed set the last engine run started from: FDE starts
+          (minus callconv-invalid ones), symbols, and every pointer
+          §IV-E accepted — so reports can attribute each start to its
+          source *)
   rec_result : Recursive.result;
   tailcall : Tailcall.outcome option;
   invalid_fde_starts : int list;  (** FDE starts rejected as callconv-invalid *)
@@ -38,8 +51,13 @@ type result = {
 
 (** Run FETCH on a loaded binary. *)
 let run_loaded ?(config = default_config) loaded =
+  Obs.span "pipeline" @@ fun () ->
   (* 1. FDE starts (+ symbols, normally absent in stripped binaries) *)
   let seeds =
+    Obs.span "seeds" @@ fun () ->
+    Obs.add c_seeds_fde (List.length loaded.Loaded.fde_starts);
+    if config.use_symbols then
+      Obs.add c_seeds_symbol (List.length loaded.Loaded.symbol_starts);
     loaded.Loaded.fde_starts
     @ (if config.use_symbols then loaded.Loaded.symbol_starts else [])
     |> List.sort_uniq compare
@@ -57,17 +75,19 @@ let run_loaded ?(config = default_config) loaded =
           loaded ~seeds,
         seeds )
   in
-  ignore seeds;
   (* 4. fix FDE-introduced errors *)
-  if not config.fix_fde_errors then
+  if not config.fix_fde_errors then begin
+    Obs.add c_seeds_final (List.length seeds);
     {
       starts = Recursive.starts res;
       fde_starts = loaded.Loaded.fde_starts;
+      final_seeds = seeds;
       rec_result = res;
       tailcall = None;
       invalid_fde_starts = [];
       loaded;
     }
+  end
   else begin
     (* 4a. hand-broken FDEs (Fig. 6b): calling-convention check on every
        start directly identified from an FDE.  Cold parts of non-contiguous
@@ -75,10 +95,11 @@ let run_loaded ?(config = default_config) loaded =
        they are always referenced by a jump from their hot part — an FDE
        start that both violates the convention and is referenced by nothing
        at all cannot be a real function or a function part. *)
-    let refs0 = Refs.collect loaded res in
-    let noreturn t = Hashtbl.mem res.Recursive.noreturn t in
-    let cond_noreturn t = Hashtbl.mem res.Recursive.cond_noreturn t in
     let invalid =
+      Obs.span "fde_callconv_check" @@ fun () ->
+      let refs0 = Refs.collect loaded res in
+      let noreturn t = Hashtbl.mem res.Recursive.noreturn t in
+      let cond_noreturn t = Hashtbl.mem res.Recursive.cond_noreturn t in
       List.filter
         (fun s ->
           Refs.refs_to refs0 s = []
@@ -86,8 +107,9 @@ let run_loaded ?(config = default_config) loaded =
              = Callconv.Invalid)
         loaded.Loaded.fde_starts
     in
-    let res =
-      if invalid = [] then res
+    Obs.add c_invalid_fde (List.length invalid);
+    let res, seeds =
+      if invalid = [] then (res, seeds)
       else begin
         (* drop them and re-run detection without those seeds *)
         let seeds' =
@@ -97,15 +119,17 @@ let run_loaded ?(config = default_config) loaded =
             @ if config.use_symbols then loaded.Loaded.symbol_starts else [])
           |> List.sort_uniq compare
         in
-        if config.xref then fst (Xref.detect ~config:config.engine loaded ~seeds:seeds')
-        else Recursive.run ~config:config.engine loaded ~seeds:seeds'
+        if config.xref then Xref.detect ~config:config.engine loaded ~seeds:seeds'
+        else (Recursive.run ~config:config.engine loaded ~seeds:seeds', seeds')
       end
     in
+    Obs.add c_seeds_final (List.length seeds);
     (* 4b. Algorithm 1 *)
     let outcome = Tailcall.run ~heights:config.alg1_heights loaded res in
     {
       starts = outcome.kept_starts;
       fde_starts = loaded.Loaded.fde_starts;
+      final_seeds = seeds;
       rec_result = res;
       tailcall = Some outcome;
       invalid_fde_starts = invalid;

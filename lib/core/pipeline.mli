@@ -20,6 +20,11 @@ val default_config : config
 type result = {
   starts : int list;  (** final detected function starts, ascending *)
   fde_starts : int list;
+  final_seeds : int list;
+      (** the seed set the last engine run started from: FDE starts
+          (minus callconv-invalid ones), symbols, and every pointer
+          §IV-E accepted — so reports can attribute each start to its
+          source *)
   rec_result : Fetch_analysis.Recursive.result;
   tailcall : Tailcall.outcome option;  (** [None] when the fix stage is off *)
   invalid_fde_starts : int list;

@@ -11,6 +11,18 @@
     the parts are merged and the target removed from the start list. *)
 
 open Fetch_analysis
+module Obs = Fetch_obs.Trace
+
+(* Stage instrumentation: one (jump site, external target) pair is
+   examined per height-resolved out-jump; each non-tail-call verdict is
+   attributed to the first failing rule of Algorithm 1. *)
+let c_pairs = Obs.counter "tailcall.pairs_examined"
+let c_tail_calls = Obs.counter "tailcall.tail_calls"
+let c_merges = Obs.counter "tailcall.merges"
+let c_skipped = Obs.counter "tailcall.skipped_incomplete_cfi"
+let c_rej_height = Obs.counter "tailcall.reject.cfa_height"
+let c_rej_refs = Obs.counter "tailcall.reject.jump_only_refs"
+let c_rej_callconv = Obs.counter "tailcall.reject.callconv"
 
 type decision =
   | Tail_call of { site : int; target : int }
@@ -37,6 +49,7 @@ type height_source =
 
 (** Run Algorithm 1 over the current detection result. *)
 let run ?(heights = Cfi_oracle) loaded (res : Recursive.result) =
+  Obs.span "tailcall" @@ fun () ->
   let refs = Refs.collect loaded res in
   let starts = Recursive.starts res in
   let removed = Hashtbl.create 16 in
@@ -66,7 +79,10 @@ let run ?(heights = Cfi_oracle) loaded (res : Recursive.result) =
             && not
                  (Fetch_dwarf.Height_oracle.complete_at loaded.Loaded.oracle
                     entry)
-          then incr skipped
+          then begin
+            Obs.incr c_skipped;
+            incr skipped
+          end
           else
             List.iter
               (fun (site, _insn, t) ->
@@ -74,21 +90,44 @@ let run ?(heights = Cfi_oracle) loaded (res : Recursive.result) =
                   match height_at site with
                   | None -> ()
                   | Some h ->
+                      Obs.incr c_pairs;
+                      (* same short-circuit order as the paper's
+                         conjunction; the first failing rule gets the
+                         rejection *)
                       let is_tail =
-                        h = 0
-                        && Refs.referenced_outside_jumps_of refs ~entry t
-                        && Callconv.meets_call_conv
-                             ~noreturn:(Hashtbl.mem res.noreturn)
-                             ~cond_noreturn:(Hashtbl.mem res.cond_noreturn)
-                             loaded t
+                        if h <> 0 then begin
+                          Obs.incr c_rej_height;
+                          false
+                        end
+                        else if
+                          not (Refs.referenced_outside_jumps_of refs ~entry t)
+                        then begin
+                          Obs.incr c_rej_refs;
+                          false
+                        end
+                        else if
+                          not
+                            (Callconv.meets_call_conv
+                               ~noreturn:(Hashtbl.mem res.noreturn)
+                               ~cond_noreturn:(Hashtbl.mem res.cond_noreturn)
+                               loaded t)
+                        then begin
+                          Obs.incr c_rej_callconv;
+                          false
+                        end
+                        else true
                       in
-                      if is_tail then tail_calls := (site, t) :: !tail_calls
+                      if is_tail then begin
+                        Obs.incr c_tail_calls;
+                        tail_calls := (site, t) :: !tail_calls
+                      end
                       else if
                         Loaded.fde_starting_at loaded t
                         && (not (Refs.referenced_outside_jumps_of refs ~entry t))
                         && (not (Hashtbl.mem removed t))
                         && t <> entry
                       then begin
+                        Obs.incr c_merges;
                         Hashtbl.replace removed t entry;
                         merges := (t, entry) :: !merges
                       end)

@@ -15,9 +15,21 @@
 
 open Fetch_x86
 open Fetch_analysis
+module Obs = Fetch_obs.Trace
 
 let max_spec_insns = 200
 let max_spec_blocks = 24
+
+(* Stage instrumentation: every candidate validation ends in exactly one
+   of accepted / the four §IV-E rejection classes, so
+   [candidates_scanned = accepted + Σ rejects] holds for a run. *)
+let c_candidates = Obs.counter "xref.candidates_scanned"
+let c_accepted = Obs.counter "xref.accepted"
+let c_rounds = Obs.counter "xref.rounds"
+let c_rej_opcode = Obs.counter "xref.reject.invalid_opcode"
+let c_rej_mid = Obs.counter "xref.reject.mid_instruction"
+let c_rej_into = Obs.counter "xref.reject.into_function"
+let c_rej_callconv = Obs.counter "xref.reject.callconv"
 
 (* Instruction-boundary test against the committed disassembly. *)
 let mid_instruction (res : Recursive.result) loaded addr =
@@ -129,9 +141,17 @@ let first_accepted loaded (res : Recursive.result) =
   let rec go = function
     | [] -> None
     | cand :: rest -> (
+        Obs.incr c_candidates;
         match validate loaded res ~extents cand with
         | Ok () -> Some cand
-        | Error _ -> go rest)
+        | Error r ->
+            Obs.incr
+              (match r with
+              | Invalid_opcode -> c_rej_opcode
+              | Mid_instruction -> c_rej_mid
+              | Transfer_into_function -> c_rej_into
+              | Bad_call_conv -> c_rej_callconv);
+            go rest)
   in
   go (Refs.pointer_candidates refs)
 
@@ -139,15 +159,19 @@ let first_accepted loaded (res : Recursive.result) =
     immediately refresh the disassembly and the pointer collection with it,
     so later candidates are judged against the updated function extents. *)
 let detect ?(config = Recursive.safe_config) loaded ~seeds =
+  Obs.span "xref" @@ fun () ->
   let rec loop budget seeds res =
     if budget <= 0 then (res, seeds)
-    else
+    else begin
+      Obs.incr c_rounds;
       match first_accepted loaded res with
       | None -> (res, seeds)
       | Some cand ->
+          Obs.incr c_accepted;
           let seeds' = List.sort_uniq compare (cand :: seeds) in
           let res' = Recursive.run ~config loaded ~seeds:seeds' in
           loop (budget - 1) seeds' res'
+    end
   in
   let res0 = Recursive.run ~config loaded ~seeds in
   loop 64 seeds res0

@@ -26,9 +26,11 @@ let run ?(scale = 1.0) () =
       let loaded = Fetch_analysis.Loaded.load stripped in
       List.iter
         (fun (tool : Tools.t) ->
-          let t0 = Sys.time () in
-          let detected = if tool.loads loaded then tool.detect loaded else [] in
-          let dt = Sys.time () -. t0 in
+          (* wall clock, not CPU time: Table V reports elapsed time *)
+          let detected, dt =
+            Fetch_obs.Clock.time_s (fun () ->
+                if tool.loads loaded then tool.detect loaded else [])
+          in
           let m = Metrics.score bin.built.truth detected in
           let c = cell tool.name bin.profile.opt in
           c.fp <- c.fp + List.length m.fp;

@@ -1,0 +1,11 @@
+(** Monotonic wall-clock helpers (CLOCK_MONOTONIC via the bechamel clock
+    stub, so readings never jump backwards with NTP adjustments). *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0
+
+let time_s f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, Int64.to_float (elapsed_ns t0) /. 1e9)

@@ -1,0 +1,22 @@
+(** Monotonic wall-clock helpers.
+
+    [Sys.time] measures processor time, which both undercounts blocking
+    (I/O, page faults) and is what the paper's Table V explicitly does
+    not report.  Everything in the repository that claims to measure
+    elapsed time goes through this module instead, which reads the
+    operating system's monotonic clock (CLOCK_MONOTONIC) in
+    nanoseconds. *)
+
+(** Current monotonic time in nanoseconds.  Only differences are
+    meaningful; the epoch is unspecified. *)
+val now_ns : unit -> int64
+
+(** Current monotonic time in seconds. *)
+val now_s : unit -> float
+
+(** [elapsed_ns t0] is the time elapsed since [t0] (a [now_ns] reading). *)
+val elapsed_ns : int64 -> int64
+
+(** [time_s f] runs [f] and returns its result together with the elapsed
+    wall-clock seconds. *)
+val time_s : (unit -> 'a) -> 'a * float

@@ -1,0 +1,159 @@
+(** Renderers and sinks for trace reports (see mli). *)
+
+type agg = {
+  agg_name : string;
+  agg_calls : int;
+  agg_total_ns : int64;
+  agg_depth : int;
+}
+
+let aggregate_spans (r : Trace.report) =
+  let tbl : (string, agg ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Trace.span) ->
+      match Hashtbl.find_opt tbl s.name with
+      | Some a ->
+          a :=
+            {
+              !a with
+              agg_calls = !a.agg_calls + 1;
+              agg_total_ns = Int64.add !a.agg_total_ns s.dur_ns;
+              agg_depth = min !a.agg_depth s.depth;
+            }
+      | None ->
+          let a =
+            ref
+              {
+                agg_name = s.name;
+                agg_calls = 1;
+                agg_total_ns = s.dur_ns;
+                agg_depth = s.depth;
+              }
+          in
+          Hashtbl.replace tbl s.name a;
+          order := a :: !order)
+    r.spans;
+  List.rev_map (fun a -> !a) !order
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let text (r : Trace.report) =
+  let buf = Buffer.create 1024 in
+  let aggs = aggregate_spans r in
+  if aggs <> [] then begin
+    Buffer.add_string buf "Pipeline stages (wall clock)\n";
+    let rows =
+      List.map
+        (fun a ->
+          [
+            String.make (2 * a.agg_depth) ' ' ^ a.agg_name;
+            string_of_int a.agg_calls;
+            Printf.sprintf "%.3f" (ms a.agg_total_ns);
+            Printf.sprintf "%.3f"
+              (ms a.agg_total_ns /. float_of_int a.agg_calls);
+          ])
+        aggs
+    in
+    Buffer.add_string buf
+      (Fetch_util.Text_table.render
+         ~header:[ "stage"; "calls"; "total ms"; "mean ms" ]
+         rows)
+  end;
+  if r.counters <> [] then begin
+    if aggs <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf "Counters\n";
+    Buffer.add_string buf
+      (Fetch_util.Text_table.render
+         ~header:[ "counter"; "value" ]
+         (List.map (fun (n, v) -> [ n; string_of_int v ]) r.counters))
+  end;
+  if r.histograms <> [] then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "Histograms\n";
+    Buffer.add_string buf
+      (Fetch_util.Text_table.render
+         ~header:[ "histogram"; "count"; "sum"; "min"; "max"; "mean" ]
+         (List.map
+            (fun (n, (h : Trace.hist_stats)) ->
+              [
+                n;
+                string_of_int h.count;
+                string_of_int h.sum;
+                string_of_int h.min;
+                string_of_int h.max;
+                (if h.count = 0 then "-"
+                 else
+                   Printf.sprintf "%.1f"
+                     (float_of_int h.sum /. float_of_int h.count));
+              ])
+            r.histograms))
+  end;
+  Buffer.contents buf
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_lines (r : Trace.report) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (s : Trace.span) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"span\",\"name\":%s,\"depth\":%d,\"start_ns\":%Ld,\"dur_ns\":%Ld}\n"
+           (json_string s.name) s.depth s.start_ns s.dur_ns))
+    r.spans;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"value\":%d}\n"
+           (json_string n) v))
+    r.counters;
+  List.iter
+    (fun (n, (h : Trace.hist_stats)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}\n"
+           (json_string n) h.count h.sum h.min h.max))
+    r.histograms;
+  Buffer.contents buf
+
+type sink =
+  | Noop
+  | Text of out_channel
+  | Json_lines of out_channel
+  | Multi of sink list
+
+let rec emit sink report =
+  match sink with
+  | Noop -> ()
+  | Text oc ->
+      output_string oc (text report);
+      flush oc
+  | Json_lines oc ->
+      output_string oc (json_lines report);
+      flush oc
+  | Multi sinks -> List.iter (fun s -> emit s report) sinks
+
+let run ?(sink = Noop) f =
+  match sink with
+  | Noop -> f ()
+  | sink ->
+      let v, report = Trace.with_run f in
+      emit sink report;
+      v

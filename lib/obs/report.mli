@@ -1,0 +1,50 @@
+(** Rendering and sinks for {!Trace.report}s.
+
+    Two renderers — a human-readable per-stage text table (built on
+    [Fetch_util.Text_table]) and JSON lines for machines — plus a
+    pluggable sink abstraction whose default is a no-op, so an
+    uninstrumented run never pays for rendering either. *)
+
+(** One row of the per-stage aggregation: spans sharing a name are
+    folded into call count and total duration.  [agg_depth] is the
+    minimum nesting depth the name was seen at (used for indentation);
+    rows appear in pre-order of first occurrence. *)
+type agg = {
+  agg_name : string;
+  agg_calls : int;
+  agg_total_ns : int64;
+  agg_depth : int;
+}
+
+val aggregate_spans : Trace.report -> agg list
+
+(** Human-readable report: a per-stage timing table followed by counter
+    and histogram tables (sections are omitted when empty). *)
+val text : Trace.report -> string
+
+(** Machine-readable report: one JSON object per line — every span in
+    pre-order, then every counter, then every histogram.  Example lines:
+    {v
+    {"type":"span","name":"xref","depth":1,"start_ns":820,"dur_ns":91403}
+    {"type":"counter","name":"recursive.insns_decoded","value":1582}
+    {"type":"histogram","name":"recursive.block_insns","count":96,"sum":1582,"min":1,"max":64}
+    v} *)
+val json_lines : Trace.report -> string
+
+(** JSON string escaping (quotes included), shared with the bench
+    snapshot writer. *)
+val json_string : string -> string
+
+(** Where a finished run's report goes. *)
+type sink =
+  | Noop  (** drop it (the default everywhere) *)
+  | Text of out_channel
+  | Json_lines of out_channel
+  | Multi of sink list
+
+val emit : sink -> Trace.report -> unit
+
+(** [run ~sink f] instruments [f] and sends the report to [sink].  With
+    the default [Noop] sink the recorder is never even enabled — [f]
+    runs at full speed. *)
+val run : ?sink:sink -> (unit -> 'a) -> 'a

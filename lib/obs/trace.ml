@@ -1,0 +1,133 @@
+(** Ambient recorder for spans, counters and histograms.  See the mli
+    for the design constraints (zero-cost-when-disabled, single
+    thread). *)
+
+type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type hist_stats = { count : int; sum : int; min : int; max : int }
+
+type report = {
+  spans : span list;
+  counters : (string * int) list;
+  histograms : (string * hist_stats) list;
+}
+
+(* ---- registries (interned by name, registration order preserved) ---- *)
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let rev_counters : counter list ref = ref []
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let rev_histograms : histogram list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      rev_counters := c :: !rev_counters;
+      c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h = { h_name = name; h_count = 0; h_sum = 0; h_min = 0; h_max = 0 } in
+      Hashtbl.replace histograms name h;
+      rev_histograms := h :: !rev_histograms;
+      h
+
+(* ---- run state ---- *)
+
+let enabled_flag = ref false
+let epoch = ref 0L
+let completed : span list ref = ref []
+let depth = ref 0
+
+let enabled () = !enabled_flag
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let observe h v =
+  if !enabled_flag then begin
+    if h.h_count = 0 || v < h.h_min then h.h_min <- v;
+    if h.h_count = 0 || v > h.h_max then h.h_max <- v;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v
+  end
+
+let start () =
+  List.iter (fun c -> c.c_value <- 0) !rev_counters;
+  List.iter
+    (fun h ->
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- 0;
+      h.h_max <- 0)
+    !rev_histograms;
+  completed := [];
+  depth := 0;
+  epoch := Clock.now_ns ();
+  enabled_flag := true
+
+let stop () =
+  enabled_flag := false;
+  let spans =
+    (* pre-order: by start time, parents (lower depth) before the
+       children they opened at the same instant *)
+    List.stable_sort
+      (fun a b ->
+        match Int64.compare a.start_ns b.start_ns with
+        | 0 -> Stdlib.compare a.depth b.depth
+        | c -> c)
+      (List.rev !completed)
+  in
+  completed := [];
+  {
+    spans;
+    counters = List.rev_map (fun c -> (c.c_name, c.c_value)) !rev_counters;
+    histograms =
+      List.rev_map
+        (fun h ->
+          ( h.h_name,
+            { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+          ))
+        !rev_histograms;
+  }
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (Clock.now_ns ()) t0 in
+        depth := d;
+        (* [stop] may have run inside [f] (or an exception unwound past
+           it); only record into a live run *)
+        if !enabled_flag then
+          completed :=
+            { name; depth = d; start_ns = Int64.sub t0 !epoch; dur_ns = dur }
+            :: !completed)
+      f
+  end
+
+let with_run f =
+  start ();
+  match f () with
+  | v -> (v, stop ())
+  | exception e ->
+      ignore (stop ());
+      raise e

@@ -1,0 +1,72 @@
+(** Pipeline instrumentation: hierarchical timing spans over the
+    monotonic clock, plus named counters and histograms registered by the
+    pipeline stages.
+
+    The design is ambient and zero-cost-when-disabled: counters and
+    spans are module-level handles created once at module initialisation
+    (interned by name), and every recording operation is a single load
+    of a global flag plus a branch while no run is active — no clock
+    read, no allocation.  [start]/[stop] (or [with_run]) bracket an
+    instrumented run; [stop] snapshots every registered instrument into
+    an immutable {!report}.
+
+    The recorder is deliberately not thread-safe: the analyses are
+    single-threaded and the hot paths cannot afford synchronisation. *)
+
+(** A completed timing span.  [start_ns] is relative to the start of the
+    enclosing run, so reports are stable across processes. *)
+type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+
+(** A named monotonically increasing counter. *)
+type counter
+
+(** A named value distribution (count / sum / min / max). *)
+type histogram
+
+type hist_stats = { count : int; sum : int; min : int; max : int }
+
+(** Snapshot of one instrumented run.  Spans are in pre-order (start
+    time, then depth); counters and histograms are in registration
+    order and include every registered instrument, populated or not. *)
+type report = {
+  spans : span list;
+  counters : (string * int) list;
+  histograms : (string * hist_stats) list;
+}
+
+(** [counter name] registers (or returns the already-registered) counter
+    called [name]. *)
+val counter : string -> counter
+
+(** Increment by one.  No-op while disabled. *)
+val incr : counter -> unit
+
+(** Increment by [n].  No-op while disabled. *)
+val add : counter -> int -> unit
+
+(** Current value (0 after [start]). *)
+val value : counter -> int
+
+(** [histogram name] registers (or returns) the histogram called [name]. *)
+val histogram : string -> histogram
+
+(** Record one observation.  No-op while disabled. *)
+val observe : histogram -> int -> unit
+
+(** Is a run currently being recorded? *)
+val enabled : unit -> bool
+
+(** Reset every registered instrument and begin recording. *)
+val start : unit -> unit
+
+(** Stop recording and snapshot the run. *)
+val stop : unit -> report
+
+(** [span name f] times [f] as a span named [name], nested under any
+    span currently open.  While disabled this is exactly [f ()].  The
+    span is recorded even when [f] raises. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** [with_run f] is [start]; [f ()]; [stop] — returning [f]'s result and
+    the report.  Recording is switched off again if [f] raises. *)
+val with_run : (unit -> 'a) -> 'a * report

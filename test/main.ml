@@ -2,6 +2,7 @@ let () =
   Alcotest.run "fetch"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("elf", Test_elf.suite);
       ("x86", Test_x86.suite);
       ("dwarf", Test_dwarf.suite);

@@ -1,0 +1,221 @@
+(* Tests for the Fetch_obs instrumentation layer: clock behaviour,
+   counter registration/reset, span nesting and timing monotonicity, the
+   JSON-lines sink's exact output, and an instrumented pipeline run on a
+   synthetic binary. *)
+
+open Fetch_synth
+module Obs = Fetch_obs.Trace
+module Report = Fetch_obs.Report
+module Clock = Fetch_obs.Clock
+
+let check = Alcotest.check
+
+let test_clock () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  check Alcotest.bool "clock is monotonic" true (Int64.compare b a >= 0);
+  let x, dt = Clock.time_s (fun () -> 41 + 1) in
+  check Alcotest.int "time_s returns the result" 42 x;
+  check Alcotest.bool "elapsed time is non-negative" true (dt >= 0.0)
+
+let test_counters () =
+  let c = Obs.counter "test.obs.counter" in
+  let c' = Obs.counter "test.obs.counter" in
+  check Alcotest.bool "same name interns to the same counter" true (c == c');
+  Obs.incr c;
+  check Alcotest.int "incr outside a run is a no-op" 0 (Obs.value c);
+  Obs.start ();
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 3;
+  let h = Obs.histogram "test.obs.hist" in
+  Obs.observe h 5;
+  Obs.observe h 1;
+  let r = Obs.stop () in
+  check Alcotest.int "counter recorded" 5 (List.assoc "test.obs.counter" r.Obs.counters);
+  let hs = List.assoc "test.obs.hist" r.Obs.histograms in
+  check Alcotest.int "hist count" 2 hs.Obs.count;
+  check Alcotest.int "hist sum" 6 hs.Obs.sum;
+  check Alcotest.int "hist min" 1 hs.Obs.min;
+  check Alcotest.int "hist max" 5 hs.Obs.max;
+  Obs.incr c;
+  check Alcotest.int "incr after stop is a no-op" 5 (Obs.value c);
+  Obs.start ();
+  let r2 = Obs.stop () in
+  check Alcotest.int "start resets counters" 0
+    (List.assoc "test.obs.counter" r2.Obs.counters);
+  check Alcotest.int "start resets histograms" 0
+    (List.assoc "test.obs.hist" r2.Obs.histograms).Obs.count
+
+let test_span_nesting () =
+  let v, r =
+    Obs.with_run (fun () ->
+        Obs.span "outer" (fun () ->
+            Obs.span "inner1" (fun () ->
+                ignore (Sys.opaque_identity (List.init 1000 (fun i -> i * i))));
+            Obs.span "inner2" (fun () -> ());
+            7))
+  in
+  check Alcotest.int "with_run returns the result" 7 v;
+  check (Alcotest.list Alcotest.string) "spans in pre-order"
+    [ "outer"; "inner1"; "inner2" ]
+    (List.map (fun (s : Obs.span) -> s.Obs.name) r.Obs.spans);
+  check (Alcotest.list Alcotest.int) "nesting depths" [ 0; 1; 1 ]
+    (List.map (fun (s : Obs.span) -> s.Obs.depth) r.Obs.spans);
+  let span name = List.find (fun (s : Obs.span) -> s.Obs.name = name) r.Obs.spans in
+  let outer = span "outer" and i1 = span "inner1" and i2 = span "inner2" in
+  List.iter
+    (fun (s : Obs.span) ->
+      check Alcotest.bool (s.Obs.name ^ " start non-negative") true
+        (Int64.compare s.Obs.start_ns 0L >= 0);
+      check Alcotest.bool (s.Obs.name ^ " duration non-negative") true
+        (Int64.compare s.Obs.dur_ns 0L >= 0))
+    r.Obs.spans;
+  check Alcotest.bool "children start after parent" true
+    (Int64.compare i1.Obs.start_ns outer.Obs.start_ns >= 0);
+  check Alcotest.bool "inner2 starts after inner1" true
+    (Int64.compare i2.Obs.start_ns i1.Obs.start_ns >= 0);
+  check Alcotest.bool "parent duration covers children" true
+    (Int64.compare outer.Obs.dur_ns (Int64.add i1.Obs.dur_ns i2.Obs.dur_ns) >= 0)
+
+let test_span_exception_safety () =
+  let (), r =
+    Obs.with_run (fun () ->
+        (try Obs.span "boom" (fun () -> failwith "bang") with Failure _ -> ());
+        Obs.span "after" (fun () -> ()))
+  in
+  check (Alcotest.list Alcotest.string) "raising span still recorded"
+    [ "boom"; "after" ]
+    (List.map (fun (s : Obs.span) -> s.Obs.name) r.Obs.spans);
+  check (Alcotest.list Alcotest.int) "depth restored after the exception"
+    [ 0; 0 ]
+    (List.map (fun (s : Obs.span) -> s.Obs.depth) r.Obs.spans);
+  check Alcotest.bool "recorder disabled after with_run" false (Obs.enabled ())
+
+let golden_report : Obs.report =
+  {
+    Obs.spans =
+      [
+        { Obs.name = "pipeline"; depth = 0; start_ns = 0L; dur_ns = 1500L };
+        { Obs.name = "say \"hi\"\n"; depth = 1; start_ns = 10L; dur_ns = 2L };
+      ];
+    counters = [ ("xref.accepted", 3) ];
+    histograms =
+      [ ("recursive.block_insns", { Obs.count = 2; sum = 7; min = 3; max = 4 }) ];
+  }
+
+let test_json_lines_golden () =
+  let expected =
+    "{\"type\":\"span\",\"name\":\"pipeline\",\"depth\":0,\"start_ns\":0,\"dur_ns\":1500}\n"
+    ^ "{\"type\":\"span\",\"name\":\"say \\\"hi\\\"\\n\",\"depth\":1,\"start_ns\":10,\"dur_ns\":2}\n"
+    ^ "{\"type\":\"counter\",\"name\":\"xref.accepted\",\"value\":3}\n"
+    ^ "{\"type\":\"histogram\",\"name\":\"recursive.block_insns\",\"count\":2,\"sum\":7,\"min\":3,\"max\":4}\n"
+  in
+  check Alcotest.string "golden JSON lines" expected (Report.json_lines golden_report)
+
+let test_sinks () =
+  (* the default sink records nothing and the recorder stays off *)
+  let v = Report.run (fun () -> check Alcotest.bool "noop sink leaves recorder off" false (Obs.enabled ()); 3) in
+  check Alcotest.int "noop sink passes the result through" 3 v;
+  let file = Filename.temp_file "fetch_obs" ".jsonl" in
+  let oc = open_out file in
+  let v = Report.run ~sink:(Report.Json_lines oc) (fun () -> Obs.span "s" (fun () -> 5)) in
+  close_out oc;
+  check Alcotest.int "json sink passes the result through" 5 v;
+  let ic = open_in file in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove file;
+  check Alcotest.bool "json sink wrote the span" true
+    (String.length line > 0 && line.[0] = '{')
+
+(* Instrumented end-to-end pipeline run: the same corpus shape as
+   test_core, asserting the stage spans exist and the key counters are
+   populated. *)
+let spec =
+  {
+    Gen.default_spec with
+    n_funcs = 50;
+    n_asm_called = 2;
+    n_asm_tailonly = 1;
+    n_asm_pointer = 2;
+    n_asm_code_ptr = 1;
+    n_asm_unreachable = 1;
+  }
+
+let test_pipeline_instrumented () =
+  let profile = Profile.make Profile.Synthgcc Profile.O2 in
+  let b = Link.build_random ~profile ~seed:2024 spec in
+  let r, rep = Obs.with_run (fun () -> Fetch_core.Pipeline.run b.image) in
+  let span_names =
+    List.sort_uniq compare (List.map (fun (s : Obs.span) -> s.Obs.name) rep.Obs.spans)
+  in
+  List.iter
+    (fun n -> check Alcotest.bool ("span " ^ n ^ " present") true (List.mem n span_names))
+    [ "pipeline"; "seeds"; "recursive"; "xref"; "fde_callconv_check"; "tailcall" ];
+  let c n =
+    match List.assoc_opt n rep.Obs.counters with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s not registered" n
+  in
+  List.iter
+    (fun n -> check Alcotest.bool (n ^ " populated") true (c n > 0))
+    [
+      "pipeline.seeds.fde";
+      "pipeline.seeds.final";
+      "recursive.insns_decoded";
+      "recursive.functions_disassembled";
+      "recursive.noreturn_iters";
+      "xref.candidates_scanned";
+      "xref.accepted";
+      "tailcall.pairs_examined";
+      "tailcall.tail_calls";
+    ];
+  (* the four §IV-E rejection reasons and Algorithm 1's three rules are
+     all registered and reported *)
+  List.iter
+    (fun n -> check Alcotest.bool (n ^ " registered") true (List.mem_assoc n rep.Obs.counters))
+    [
+      "xref.reject.invalid_opcode";
+      "xref.reject.mid_instruction";
+      "xref.reject.into_function";
+      "xref.reject.callconv";
+      "tailcall.reject.cfa_height";
+      "tailcall.reject.jump_only_refs";
+      "tailcall.reject.callconv";
+    ];
+  (* every scanned candidate is either accepted or rejected for exactly
+     one of the four reasons *)
+  check Alcotest.int "xref validation accounting"
+    (c "xref.candidates_scanned")
+    (c "xref.accepted" + c "xref.reject.invalid_opcode"
+    + c "xref.reject.mid_instruction" + c "xref.reject.into_function"
+    + c "xref.reject.callconv");
+  (* the decode histogram covers every decoded instruction *)
+  let bi = List.assoc "recursive.block_insns" rep.Obs.histograms in
+  check Alcotest.int "block histogram sums to insns decoded"
+    (c "recursive.insns_decoded") bi.Obs.sum;
+  (* final seed set surfaced on the result (the old code dropped it) *)
+  check Alcotest.bool "no broken FDEs in this corpus" true (r.invalid_fde_starts = []);
+  check Alcotest.int "pipeline.seeds.final matches result"
+    (List.length r.final_seeds)
+    (c "pipeline.seeds.final");
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "FDE start %#x in final seeds" s) true
+        (List.mem s r.final_seeds))
+    r.fde_starts;
+  check Alcotest.int "final seeds = FDE starts + accepted pointers"
+    (List.length (List.sort_uniq compare r.fde_starts) + c "xref.accepted")
+    (List.length r.final_seeds)
+
+let suite =
+  [
+    Alcotest.test_case "monotonic clock" `Quick test_clock;
+    Alcotest.test_case "counter registration and reset" `Quick test_counters;
+    Alcotest.test_case "span nesting and monotonic timing" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "JSON-lines golden output" `Quick test_json_lines_golden;
+    Alcotest.test_case "sinks" `Quick test_sinks;
+    Alcotest.test_case "instrumented pipeline run" `Quick test_pipeline_instrumented;
+  ]
