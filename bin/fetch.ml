@@ -110,6 +110,17 @@ let analyze path verbose stats trace_json =
       if stats then begin
         print_newline ();
         print_string (Fetch_obs.Report.text rep);
+        (* .eh_frame parse health: the paper's coverage argument only
+           holds for the records we actually recovered *)
+        let eh = r.eh_frame in
+        Printf.printf
+          "\neh_frame: %d records decoded, %d skipped, %d diagnostics\n"
+          eh.records_ok eh.records_skipped
+          (List.length eh.diags);
+        List.iter
+          (fun d ->
+            Printf.printf "  %s\n" (Fetch_dwarf.Diag.to_string d))
+          eh.diags;
         (* seed attribution: where the final starts came from *)
         let seeded = List.filter (fun s -> List.mem s r.final_seeds) r.starts in
         Printf.printf
@@ -188,14 +199,19 @@ let compare_tools path truth_path =
 
 (* ---- unwind ---- *)
 
+(* Parser diagnostics (skipped/degraded records) go to stderr so the
+   record dump stays machine-consumable. *)
+let report_eh_diags (eh : Fetch_dwarf.Eh_frame.decoded) =
+  List.iter
+    (fun d -> Printf.eprintf "eh_frame: %s\n" (Fetch_dwarf.Diag.to_string d))
+    eh.diags
+
 let unwind path =
   let img = load_image path in
-  match Fetch_dwarf.Eh_frame.of_image img with
-  | Error e ->
-      Printf.eprintf "eh_frame: %s\n" e;
-      exit 1
-  | Ok cies ->
-      List.iteri
+  let eh = Fetch_dwarf.Eh_frame.of_image img in
+  report_eh_diags eh;
+  let cies = eh.cies in
+  List.iteri
         (fun i (cie : Fetch_dwarf.Eh_frame.cie) ->
           Printf.printf "CIE %d: code_align=%d data_align=%d ra=r%d\n" i
             cie.code_align cie.data_align cie.ra_reg;
@@ -229,12 +245,10 @@ let unwind path =
 
 let handlers path =
   let img = load_image path in
-  match Fetch_dwarf.Eh_frame.of_image img with
-  | Error e ->
-      Printf.eprintf "eh_frame: %s\n" e;
-      exit 1
-  | Ok cies ->
-      let except = Fetch_elf.Image.section img ".gcc_except_table" in
+  let eh = Fetch_dwarf.Eh_frame.of_image img in
+  report_eh_diags eh;
+  let cies = eh.cies in
+  let except = Fetch_elf.Image.section img ".gcc_except_table" in
       let lsda_of addr =
         match except with
         | Some s when addr >= s.addr && addr < s.addr + String.length s.data

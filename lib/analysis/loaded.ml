@@ -3,11 +3,27 @@
     height oracle, FDE starts and symbol starts. *)
 
 open Fetch_elf
+module Obs = Fetch_obs.Trace
+
+(* .eh_frame parse-health counters: how many CIE/FDE records decoded and,
+   per structured reason, how many were dropped by record-level recovery. *)
+let c_eh_ok = Obs.counter "eh_frame.records_ok"
+
+let c_eh_skipped =
+  List.map
+    (fun k ->
+      ( k,
+        Obs.counter
+          ("eh_frame.records_skipped." ^ Fetch_dwarf.Diag.kind_label k) ))
+    Fetch_dwarf.Diag.all_kinds
 
 type t = {
   image : Image.t;
   exec : Image.section list;  (** executable sections, ascending *)
   oracle : Fetch_dwarf.Height_oracle.t;
+  eh_frame : Fetch_dwarf.Eh_frame.decoded;
+      (** total parse of [.eh_frame]: recovered CIEs plus the diagnostics
+          and recovered-vs-skipped record counts *)
   fdes : Fetch_dwarf.Eh_frame.fde list;
   fde_starts : int list;  (** PC Begin of every FDE, ascending, deduped *)
   symbol_starts : int list;  (** defined FUNC symbol addresses *)
@@ -16,9 +32,13 @@ type t = {
 
 let load image =
   let exec = Image.exec_sections image in
-  let cies =
-    match Fetch_dwarf.Eh_frame.of_image image with Ok c -> c | Error _ -> []
-  in
+  let eh = Fetch_dwarf.Eh_frame.of_image image in
+  Obs.add c_eh_ok eh.records_ok;
+  List.iter
+    (fun (d : Fetch_dwarf.Diag.t) ->
+      if d.fatal then Obs.incr (List.assoc d.kind c_eh_skipped))
+    eh.diags;
+  let cies = eh.cies in
   let fdes = Fetch_dwarf.Eh_frame.all_fdes cies in
   let fde_starts =
     List.map (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin) fdes
@@ -33,6 +53,7 @@ let load image =
     image;
     exec;
     oracle = Fetch_dwarf.Height_oracle.create cies;
+    eh_frame = eh;
     fdes;
     fde_starts;
     symbol_starts;

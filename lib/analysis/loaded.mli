@@ -6,6 +6,9 @@ type t = {
   image : Fetch_elf.Image.t;
   exec : Fetch_elf.Image.section list;  (** executable sections, ascending *)
   oracle : Fetch_dwarf.Height_oracle.t;
+  eh_frame : Fetch_dwarf.Eh_frame.decoded;
+      (** total parse of [.eh_frame]: recovered CIEs plus the diagnostics
+          and recovered-vs-skipped record counts *)
   fdes : Fetch_dwarf.Eh_frame.fde list;
   fde_starts : int list;  (** PC Begin of every FDE, ascending, deduped *)
   symbol_starts : int list;  (** defined FUNC symbol addresses *)

@@ -37,6 +37,9 @@ let default_config =
 
 type result = {
   starts : int list;  (** final detected function starts, ascending *)
+  eh_frame : Fetch_dwarf.Eh_frame.decoded;
+      (** parse health of [.eh_frame]: recovered records, skipped records
+          and the per-record diagnostics *)
   fde_starts : int list;
   final_seeds : int list;
       (** the seed set the last engine run started from: FDE starts
@@ -80,6 +83,7 @@ let run_loaded ?(config = default_config) loaded =
     Obs.add c_seeds_final (List.length seeds);
     {
       starts = Recursive.starts res;
+      eh_frame = loaded.Loaded.eh_frame;
       fde_starts = loaded.Loaded.fde_starts;
       final_seeds = seeds;
       rec_result = res;
@@ -128,6 +132,7 @@ let run_loaded ?(config = default_config) loaded =
     let outcome = Tailcall.run ~heights:config.alg1_heights loaded res in
     {
       starts = outcome.kept_starts;
+      eh_frame = loaded.Loaded.eh_frame;
       fde_starts = loaded.Loaded.fde_starts;
       final_seeds = seeds;
       rec_result = res;

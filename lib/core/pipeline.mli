@@ -19,6 +19,9 @@ val default_config : config
 
 type result = {
   starts : int list;  (** final detected function starts, ascending *)
+  eh_frame : Fetch_dwarf.Eh_frame.decoded;
+      (** parse health of [.eh_frame]: recovered records, skipped records
+          and the per-record diagnostics *)
   fde_starts : int list;
   final_seeds : int list;
       (** the seed set the last engine run started from: FDE starts

@@ -101,49 +101,68 @@ let encode buf = function
       Byte_buf.string buf e
   | Nop -> Byte_buf.u8 buf 0x00
 
+(** Decode the single CFI at the cursor.  Unknown opcodes raise
+    [Failure]; truncated operands raise [Byte_cursor.Out_of_bounds]. *)
+let decode_one c =
+  let op = Byte_cursor.u8 c in
+  match op lsr 6 with
+  | 1 -> Advance_loc (op land 0x3f)
+  | 2 -> Offset (op land 0x3f, Byte_cursor.uleb128 c)
+  | 3 -> Restore (op land 0x3f)
+  | _ -> (
+      match op with
+      | 0x00 -> Nop
+      | 0x02 -> Advance_loc (Byte_cursor.u8 c)
+      | 0x03 -> Advance_loc (Byte_cursor.u16 c)
+      | 0x04 -> Advance_loc (Byte_cursor.u32 c)
+      | 0x05 ->
+          let r = Byte_cursor.uleb128 c in
+          let o = Byte_cursor.uleb128 c in
+          Offset (r, o)
+      | 0x06 -> Restore (Byte_cursor.uleb128 c)
+      | 0x07 -> Undefined (Byte_cursor.uleb128 c)
+      | 0x08 -> Same_value (Byte_cursor.uleb128 c)
+      | 0x09 ->
+          let a = Byte_cursor.uleb128 c in
+          let b = Byte_cursor.uleb128 c in
+          Register (a, b)
+      | 0x0a -> Remember_state
+      | 0x0b -> Restore_state
+      | 0x0c ->
+          let r = Byte_cursor.uleb128 c in
+          let o = Byte_cursor.uleb128 c in
+          Def_cfa (r, o)
+      | 0x0d -> Def_cfa_register (Byte_cursor.uleb128 c)
+      | 0x0e -> Def_cfa_offset (Byte_cursor.uleb128 c)
+      | 0x0f ->
+          let n = Byte_cursor.uleb128 c in
+          Def_cfa_expression (Byte_cursor.string c n)
+      | 0x10 ->
+          let r = Byte_cursor.uleb128 c in
+          let n = Byte_cursor.uleb128 c in
+          Expression (r, Byte_cursor.string c n)
+      | _ -> failwith (Printf.sprintf "Cfi.decode: unknown opcode %#x" op))
+
 (** Decode all CFIs in [c] until exhaustion.  Unknown opcodes raise
     [Failure]. *)
 let decode_all c =
   let out = ref [] in
-  let push i = out := i :: !out in
   while not (Byte_cursor.eof c) do
-    let op = Byte_cursor.u8 c in
-    match op lsr 6 with
-    | 1 -> push (Advance_loc (op land 0x3f))
-    | 2 -> push (Offset (op land 0x3f, Byte_cursor.uleb128 c))
-    | 3 -> push (Restore (op land 0x3f))
-    | _ -> (
-        match op with
-        | 0x00 -> push Nop
-        | 0x02 -> push (Advance_loc (Byte_cursor.u8 c))
-        | 0x03 -> push (Advance_loc (Byte_cursor.u16 c))
-        | 0x04 -> push (Advance_loc (Byte_cursor.u32 c))
-        | 0x05 ->
-            let r = Byte_cursor.uleb128 c in
-            let o = Byte_cursor.uleb128 c in
-            push (Offset (r, o))
-        | 0x06 -> push (Restore (Byte_cursor.uleb128 c))
-        | 0x07 -> push (Undefined (Byte_cursor.uleb128 c))
-        | 0x08 -> push (Same_value (Byte_cursor.uleb128 c))
-        | 0x09 ->
-            let a = Byte_cursor.uleb128 c in
-            let b = Byte_cursor.uleb128 c in
-            push (Register (a, b))
-        | 0x0a -> push Remember_state
-        | 0x0b -> push Restore_state
-        | 0x0c ->
-            let r = Byte_cursor.uleb128 c in
-            let o = Byte_cursor.uleb128 c in
-            push (Def_cfa (r, o))
-        | 0x0d -> push (Def_cfa_register (Byte_cursor.uleb128 c))
-        | 0x0e -> push (Def_cfa_offset (Byte_cursor.uleb128 c))
-        | 0x0f ->
-            let n = Byte_cursor.uleb128 c in
-            push (Def_cfa_expression (Byte_cursor.string c n))
-        | 0x10 ->
-            let r = Byte_cursor.uleb128 c in
-            let n = Byte_cursor.uleb128 c in
-            push (Expression (r, Byte_cursor.string c n))
-        | _ -> failwith (Printf.sprintf "Cfi.decode: unknown opcode %#x" op))
+    out := decode_one c :: !out
   done;
   List.rev !out
+
+(** Total variant: decode as many CFIs as possible; stops at the first
+    undecodable opcode (or truncated operand) and returns the prefix plus
+    the error message, instead of raising. *)
+let decode_prefix c =
+  let out = ref [] in
+  let err = ref None in
+  (try
+     while not (Byte_cursor.eof c) do
+       out := decode_one c :: !out
+     done
+   with
+  | Failure m -> err := Some m
+  | Byte_cursor.Out_of_bounds _ -> err := Some "truncated CFI operand");
+  (List.rev !out, !err)

@@ -28,3 +28,9 @@ val encode : Fetch_util.Byte_buf.t -> instr -> unit
 (** Decode instructions until the cursor is exhausted; raises [Failure]
     on an unknown opcode. *)
 val decode_all : Fetch_util.Byte_cursor.t -> instr list
+
+(** Total variant of {!decode_all}: decodes as many instructions as
+    possible and never raises.  Returns the decoded prefix, paired with
+    [Some error] if an undecodable opcode (or truncated operand) stopped
+    the decode early. *)
+val decode_prefix : Fetch_util.Byte_cursor.t -> instr list * string option

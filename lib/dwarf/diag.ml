@@ -1,0 +1,34 @@
+(** Structured parser diagnostics for the [.eh_frame] decoder (see mli). *)
+
+type kind =
+  | Truncated
+  | Bad_length
+  | Bad_version
+  | Unknown_augmentation
+  | Unsupported_encoding
+  | Unknown_cie
+  | Bad_cfi
+  | Malformed
+
+let all_kinds =
+  [
+    Truncated; Bad_length; Bad_version; Unknown_augmentation;
+    Unsupported_encoding; Unknown_cie; Bad_cfi; Malformed;
+  ]
+
+let kind_label = function
+  | Truncated -> "truncated"
+  | Bad_length -> "bad_length"
+  | Bad_version -> "bad_version"
+  | Unknown_augmentation -> "unknown_augmentation"
+  | Unsupported_encoding -> "unsupported_encoding"
+  | Unknown_cie -> "unknown_cie"
+  | Bad_cfi -> "bad_cfi"
+  | Malformed -> "malformed"
+
+type t = { offset : int; kind : kind; fatal : bool; message : string }
+
+let to_string d =
+  Printf.sprintf "+%#x: %s%s: %s" d.offset (kind_label d.kind)
+    (if d.fatal then " (record skipped)" else "")
+    d.message

@@ -1,0 +1,40 @@
+(** Structured parser diagnostics for the [.eh_frame] decoder.
+
+    [Eh_frame.decode] is total: it never raises, whatever the input
+    bytes.  When a length-delimited CIE/FDE record cannot be decoded the
+    parser skips just that record (resynchronizing at the next length
+    field) and reports what happened here — offset into the section,
+    a machine-matchable kind, and a human-readable message.
+
+    A diagnostic with [fatal = true] means the record was dropped; with
+    [fatal = false] the record was recovered despite the problem (e.g. a
+    CFI instruction tail that would not decode, or an unknown
+    augmentation character skipped via the ['z'] augmentation length). *)
+
+type kind =
+  | Truncated  (** record or field extends past the section / record end *)
+  | Bad_length  (** 64-bit DWARF extended length, or a length < 4 *)
+  | Bad_version  (** CIE version other than 1, 3 or 4 *)
+  | Unknown_augmentation
+      (** augmentation character we cannot interpret; fatal only when the
+          CIE lacks the ['z'] size prefix that lets us skip its data *)
+  | Unsupported_encoding  (** DW_EH_PE format/application we cannot read *)
+  | Unknown_cie  (** FDE whose CIE pointer resolves to no decoded CIE *)
+  | Bad_cfi  (** undecodable DW_CFA opcode; the instruction tail is dropped *)
+  | Malformed  (** any other per-record decode failure *)
+
+(** Every kind, in declaration order (for registering per-reason counters). *)
+val all_kinds : kind list
+
+(** Short stable slug, e.g. ["truncated"], ["unknown_cie"] — used as the
+    suffix of the [eh_frame.records_skipped.*] observability counters. *)
+val kind_label : kind -> string
+
+type t = {
+  offset : int;  (** byte offset of the offending record in the section *)
+  kind : kind;
+  fatal : bool;  (** [true] iff the record was skipped *)
+  message : string;
+}
+
+val to_string : t -> string

@@ -139,133 +139,299 @@ type raw_cie = {
   rc_code_align : int;
   rc_data_align : int;
   rc_ra : int;
-  rc_enc : int;
+  rc_has_z : bool;  (** FDEs of this CIE carry an augmentation-length field *)
+  rc_enc : int;  (** DW_EH_PE encoding of pc_begin / pc_range *)
   rc_lsda_enc : int option;
   rc_personality : int option;
   rc_initial : Cfi.instr list;
 }
 
-let decode ~addr data =
-  let c = Byte_cursor.of_string data in
+type decoded = {
+  cies : cie list;
+  diags : Diag.t list;  (** ascending offset *)
+  records_ok : int;  (** CIE + FDE records fully decoded *)
+  records_skipped : int;  (** records dropped after a per-record failure *)
+}
+
+(* Raised (and always caught) inside a record boundary to skip just that
+   record with a structured reason. *)
+exception Skip of Diag.kind * string
+
+let pe_omit = 0xff
+
+let decode ?(ptr_width = 8) ?deref ~addr data =
+  let sec = Byte_cursor.of_string data in
+  let sec_len = String.length data in
   let cies : (int, raw_cie) Hashtbl.t = Hashtbl.create 8 in
   (* Preserve CIE grouping in input order. *)
   let order : int list ref = ref [] in
   let grouped : (int, fde list) Hashtbl.t = Hashtbl.create 8 in
-  let read_encoded enc =
-    let field_addr = addr + Byte_cursor.pos c in
-    let v =
-      match enc land 0x0f with
-      | 0x0b (* sdata4 *) | 0x03 (* udata4 *) -> Byte_cursor.i32 c
-      | 0x0c | 0x04 | 0x00 -> Int64.to_int (Byte_cursor.i64 c)
-      | _ -> failwith "unsupported pointer encoding"
-    in
-    match enc land 0x70 with
-    | 0x10 (* pcrel *) -> v + field_addr
-    | 0x00 -> v
-    | _ -> failwith "unsupported pointer application"
+  let diags = ref [] in
+  let n_ok = ref 0 and n_skipped = ref 0 in
+  let diag ?(fatal = true) offset kind message =
+    diags := { Diag.offset; kind; fatal; message } :: !diags;
+    if fatal then incr n_skipped
   in
-  try
-    let continue = ref true in
-    while !continue && Byte_cursor.remaining c >= 4 do
-      let rec_start = Byte_cursor.pos c in
-      let len = Byte_cursor.u32 c in
-      if len = 0 then continue := false
-      else if len = 0xffffffff then failwith "64-bit DWARF records unsupported"
-      else begin
-        let body_end = Byte_cursor.pos c + len in
-        let id_at = Byte_cursor.pos c in
-        let id = Byte_cursor.u32 c in
-        if id = 0 then begin
-          (* CIE *)
-          let version = Byte_cursor.u8 c in
-          if version <> 1 && version <> 3 then failwith "unsupported CIE version";
-          let aug = Byte_cursor.cstring c in
-          let code_align = Byte_cursor.uleb128 c in
-          let data_align = Byte_cursor.sleb128 c in
-          let ra = Byte_cursor.uleb128 c in
-          let enc = ref 0x00 in
-          let lsda_enc = ref None in
-          let personality = ref None in
-          if String.length aug > 0 && aug.[0] = 'z' then begin
-            let aug_len = Byte_cursor.uleb128 c in
-            let aug_end = Byte_cursor.pos c + aug_len in
-            String.iter
-              (function
-                | 'z' -> ()
-                | 'R' -> enc := Byte_cursor.u8 c
-                | 'P' ->
-                    let penc = Byte_cursor.u8 c in
-                    personality := Some (read_encoded penc)
-                | 'L' -> lsda_enc := Some (Byte_cursor.u8 c)
-                | ch -> failwith (Printf.sprintf "unknown augmentation %c" ch))
-              aug;
-            Byte_cursor.seek c aug_end
-          end;
-          let instr_bytes = Byte_cursor.string c (body_end - Byte_cursor.pos c) in
-          let initial = Cfi.decode_all (Byte_cursor.of_string instr_bytes) in
-          Hashtbl.replace cies rec_start
-            { rc_code_align = code_align; rc_data_align = data_align;
-              rc_ra = ra; rc_enc = !enc; rc_lsda_enc = !lsda_enc;
-              rc_personality = !personality; rc_initial = initial };
-          if not (List.mem rec_start !order) then order := rec_start :: !order;
-          if not (Hashtbl.mem grouped rec_start) then Hashtbl.replace grouped rec_start []
-        end
-        else begin
-          (* FDE: id is the distance back from the id field to its CIE. *)
-          let cie_off = id_at - id in
-          let raw =
-            match Hashtbl.find_opt cies cie_off with
-            | Some r -> r
-            | None -> failwith "FDE references unknown CIE"
-          in
-          let pc_begin = read_encoded raw.rc_enc in
-          (* pc_range is always an absolute size, same width as pc_begin *)
-          let pc_range =
-            match raw.rc_enc land 0x0f with
-            | 0x0b | 0x03 -> Byte_cursor.i32 c
-            | _ -> Int64.to_int (Byte_cursor.i64 c)
-          in
-          let aug_len = Byte_cursor.uleb128 c in
-          let aug_end = Byte_cursor.pos c + aug_len in
-          let lsda =
-            match raw.rc_lsda_enc with
-            | Some enc when aug_len > 0 ->
-                let v = read_encoded enc in
-                (* encoders write a pointer to 0 to mean "no LSDA" *)
-                if v = 0 then None else Some v
-            | _ -> None
-          in
-          Byte_cursor.seek c aug_end;
-          let instr_bytes = Byte_cursor.string c (body_end - Byte_cursor.pos c) in
-          let instrs = Cfi.decode_all (Byte_cursor.of_string instr_bytes) in
-          let prev = try Hashtbl.find grouped cie_off with Not_found -> [] in
-          Hashtbl.replace grouped cie_off
-            ({ pc_begin; pc_range; lsda; instrs } :: prev)
-        end;
-        Byte_cursor.seek c body_end
-      end
-    done;
-    let result =
-      List.rev_map
-        (fun off ->
-          let raw = Hashtbl.find cies off in
-          {
-            code_align = raw.rc_code_align;
-            data_align = raw.rc_data_align;
-            ra_reg = raw.rc_ra;
-            personality = raw.rc_personality;
-            initial = raw.rc_initial;
-            fdes = List.rev (Hashtbl.find grouped off);
-          })
-        !order
+  (* Read one DW_EH_PE-encoded pointer from the record cursor [c] whose
+     window starts [base] bytes into the section.  [None] means the value
+     is omitted (DW_EH_PE_omit). *)
+  let read_encoded ~c ~base enc =
+    if enc = pe_omit then None
+    else begin
+      let field_addr = addr + base + Byte_cursor.pos c in
+      let v =
+        match enc land 0x0f with
+        | 0x00 (* absptr *) ->
+            if ptr_width = 4 then Byte_cursor.u32 c
+            else Int64.to_int (Byte_cursor.i64 c)
+        | 0x01 (* uleb128 *) -> Byte_cursor.uleb128 c
+        | 0x02 (* udata2 *) -> Byte_cursor.u16 c
+        | 0x03 (* udata4 *) -> Byte_cursor.u32 c
+        | 0x04 (* udata8 *) -> Int64.to_int (Byte_cursor.i64 c)
+        | 0x09 (* sleb128 *) -> Byte_cursor.sleb128 c
+        | 0x0a (* sdata2 *) -> Byte_cursor.i16 c
+        | 0x0b (* sdata4 *) -> Byte_cursor.i32 c
+        | 0x0c (* sdata8 *) -> Int64.to_int (Byte_cursor.i64 c)
+        | f ->
+            raise
+              (Skip
+                 ( Diag.Unsupported_encoding,
+                   Printf.sprintf "pointer format %#x" f ))
+      in
+      let v =
+        match enc land 0x70 with
+        | 0x00 -> v
+        | 0x10 (* pcrel *) -> v + field_addr
+        | 0x30 (* datarel: relative to the section start *) -> v + addr
+        | a ->
+            raise
+              (Skip
+                 ( Diag.Unsupported_encoding,
+                   Printf.sprintf "pointer application %#x" a ))
+      in
+      (* indirect: the value is the address of a slot holding the pointer;
+         dereference when the caller can read memory, else keep the slot
+         address (good enough for presence/coverage questions). *)
+      let v =
+        if enc land 0x80 <> 0 then
+          match deref with
+          | Some read -> ( match read v with Some w -> w | None -> v)
+          | None -> v
+        else v
+      in
+      Some v
+    end
+  in
+  (* pc_range shares pc_begin's value format but is an absolute size:
+     read the unsigned sibling of signed formats so ranges >= 2^31 (or
+     2^15) don't go negative. *)
+  let read_range ~c enc =
+    match enc land 0x0f with
+    | 0x00 ->
+        if ptr_width = 4 then Byte_cursor.u32 c
+        else Int64.to_int (Byte_cursor.i64 c)
+    | 0x01 | 0x09 -> Byte_cursor.uleb128 c
+    | 0x02 | 0x0a -> Byte_cursor.u16 c
+    | 0x03 | 0x0b -> Byte_cursor.u32 c
+    | 0x04 | 0x0c -> Int64.to_int (Byte_cursor.i64 c)
+    | f ->
+        raise
+          (Skip
+             (Diag.Unsupported_encoding, Printf.sprintf "range format %#x" f))
+  in
+  let decode_cie ~c ~base ~body_end rec_start =
+    let version = Byte_cursor.u8 c in
+    if version <> 1 && version <> 3 && version <> 4 then
+      raise (Skip (Diag.Bad_version, Printf.sprintf "CIE version %d" version));
+    let aug = Byte_cursor.cstring c in
+    if version = 4 then (* address_size and segment_selector_size *)
+      Byte_cursor.advance c 2;
+    let code_align = Byte_cursor.uleb128 c in
+    let data_align = Byte_cursor.sleb128 c in
+    let ra = Byte_cursor.uleb128 c in
+    let has_z = String.length aug > 0 && aug.[0] = 'z' in
+    let enc = ref 0x00 in
+    let lsda_enc = ref None in
+    let personality = ref None in
+    if has_z then begin
+      let aug_len = Byte_cursor.uleb128 c in
+      let aug_end = Byte_cursor.pos c + aug_len in
+      if aug_len < 0 || base + aug_end > body_end then
+        raise (Skip (Diag.Truncated, "augmentation data overruns record"));
+      (try
+         String.iter
+           (function
+             | 'z' -> ()
+             | 'R' -> enc := Byte_cursor.u8 c
+             | 'P' ->
+                 let penc = Byte_cursor.u8 c in
+                 personality := read_encoded ~c ~base penc
+             | 'L' -> lsda_enc := Some (Byte_cursor.u8 c)
+             | 'S' | 'B' -> () (* signal frame / AArch64 ptr-auth: no data *)
+             | ch ->
+                 (* unknown char: its data layout is unknown, but the 'z'
+                    length lets us skip the rest of the augmentation *)
+                 diag ~fatal:false rec_start Diag.Unknown_augmentation
+                   (Printf.sprintf "augmentation '%c' skipped via z length" ch);
+                 raise Exit)
+           aug
+       with Exit -> ());
+      Byte_cursor.seek c aug_end
+    end
+    else if aug = "eh" then
+      (* legacy GCC v1 "eh" augmentation: one pointer of EH data *)
+      Byte_cursor.advance c ptr_width
+    else if aug <> "" then
+      raise
+        (Skip
+           ( Diag.Unknown_augmentation,
+             Printf.sprintf "augmentation %S without 'z' length" aug ));
+    let body_len = body_end - (base + Byte_cursor.pos c) in
+    let instr_bytes = Byte_cursor.string c body_len in
+    let initial, cfi_err = Cfi.decode_prefix (Byte_cursor.of_string instr_bytes) in
+    (match cfi_err with
+    | Some m -> diag ~fatal:false rec_start Diag.Bad_cfi ("CIE initial: " ^ m)
+    | None -> ());
+    Hashtbl.replace cies rec_start
+      { rc_code_align = code_align; rc_data_align = data_align; rc_ra = ra;
+        rc_has_z = has_z; rc_enc = !enc; rc_lsda_enc = !lsda_enc;
+        rc_personality = !personality; rc_initial = initial };
+    if not (Hashtbl.mem grouped rec_start) then begin
+      (* O(1) membership via the hashtable (the list scan was O(CIEs^2)) *)
+      order := rec_start :: !order;
+      Hashtbl.replace grouped rec_start []
+    end
+  in
+  let decode_fde ~c ~base ~body_end ~id rec_start =
+    (* id is the distance back from the id field to the CIE start *)
+    let id_at = rec_start + 4 in
+    let cie_off = id_at - id in
+    let raw =
+      match Hashtbl.find_opt cies cie_off with
+      | Some r -> r
+      | None ->
+          raise
+            (Skip
+               ( Diag.Unknown_cie,
+                 Printf.sprintf "CIE pointer %#x resolves to %#x" id cie_off ))
     in
-    Ok result
-  with
-  | Failure msg -> Error msg
-  | Byte_cursor.Out_of_bounds _ -> Error "truncated .eh_frame"
+    let pc_begin =
+      match read_encoded ~c ~base raw.rc_enc with
+      | Some v -> v
+      | None -> raise (Skip (Diag.Unsupported_encoding, "pc_begin omitted"))
+    in
+    let pc_range = read_range ~c raw.rc_enc in
+    let lsda =
+      if raw.rc_has_z then begin
+        let aug_len = Byte_cursor.uleb128 c in
+        let aug_end = Byte_cursor.pos c + aug_len in
+        if aug_len < 0 || base + aug_end > body_end then
+          raise (Skip (Diag.Truncated, "augmentation data overruns record"));
+        let lsda =
+          match raw.rc_lsda_enc with
+          | Some enc when aug_len > 0 -> (
+              match read_encoded ~c ~base enc with
+              | Some 0 | None -> None (* encoders write 0 for "no LSDA" *)
+              | some -> some)
+          | _ -> None
+        in
+        Byte_cursor.seek c aug_end;
+        lsda
+      end
+      else None
+    in
+    let body_len = body_end - (base + Byte_cursor.pos c) in
+    let instr_bytes = Byte_cursor.string c body_len in
+    let instrs, cfi_err = Cfi.decode_prefix (Byte_cursor.of_string instr_bytes) in
+    (match cfi_err with
+    | Some m -> diag ~fatal:false rec_start Diag.Bad_cfi ("FDE program: " ^ m)
+    | None -> ());
+    let prev = try Hashtbl.find grouped cie_off with Not_found -> [] in
+    Hashtbl.replace grouped cie_off ({ pc_begin; pc_range; lsda; instrs } :: prev)
+  in
+  let continue = ref true in
+  while !continue && Byte_cursor.remaining sec >= 4 do
+    let rec_start = Byte_cursor.pos sec in
+    let len = Byte_cursor.u32 sec in
+    if len = 0 then continue := false
+    else if len = 0xffffffff then begin
+      (* 64-bit DWARF: unsupported, but the extended length still lets us
+         resynchronize past the record *)
+      if Byte_cursor.remaining sec >= 8 then begin
+        let len64 = Byte_cursor.i64 sec in
+        diag rec_start Diag.Bad_length "64-bit DWARF record skipped";
+        let body_end = rec_start + 12 + Int64.to_int len64 in
+        if Int64.compare len64 0L < 0 || body_end > sec_len || body_end < rec_start
+        then continue := false
+        else Byte_cursor.seek sec body_end
+      end
+      else begin
+        diag rec_start Diag.Truncated "truncated 64-bit DWARF length";
+        continue := false
+      end
+    end
+    else begin
+      let body_end = rec_start + 4 + len in
+      if body_end > sec_len then begin
+        diag rec_start Diag.Truncated
+          (Printf.sprintf "record length %d overruns the section" len);
+        continue := false
+      end
+      else if len < 4 then begin
+        (* too short to hold the id field; resync at the next record *)
+        diag rec_start Diag.Bad_length (Printf.sprintf "record length %d" len);
+        Byte_cursor.seek sec body_end
+      end
+      else begin
+        (* Decode the record through an independent cursor confined to its
+           own body: a malformed field can never bleed into (or consume)
+           a neighboring record. *)
+        let base = rec_start + 4 in
+        let c = Byte_cursor.of_string ~pos:base ~len data in
+        (try
+           let id = Byte_cursor.u32 c in
+           if id = 0 then decode_cie ~c ~base ~body_end rec_start
+           else decode_fde ~c ~base ~body_end ~id rec_start;
+           incr n_ok
+         with
+        | Skip (kind, msg) -> diag rec_start kind msg
+        | Byte_cursor.Out_of_bounds _ ->
+            diag rec_start Diag.Truncated "field overruns the record"
+        | Failure msg -> diag rec_start Diag.Malformed msg);
+        Byte_cursor.seek sec body_end
+      end
+    end
+  done;
+  if !continue && Byte_cursor.remaining sec > 0 then
+    (* ended without a terminator, on a sub-length tail *)
+    diag ~fatal:false (Byte_cursor.pos sec) Diag.Truncated
+      (Printf.sprintf "%d trailing bytes (no terminator)"
+         (Byte_cursor.remaining sec));
+  let result =
+    List.rev_map
+      (fun off ->
+        let raw = Hashtbl.find cies off in
+        {
+          code_align = raw.rc_code_align;
+          data_align = raw.rc_data_align;
+          ra_reg = raw.rc_ra;
+          personality = raw.rc_personality;
+          initial = raw.rc_initial;
+          fdes = List.rev (Hashtbl.find grouped off);
+        })
+      !order
+  in
+  {
+    cies = result;
+    diags = List.rev !diags;
+    records_ok = !n_ok;
+    records_skipped = !n_skipped;
+  }
 
-(** Decode the [.eh_frame] section of an ELF image, if present. *)
+(** Decode the [.eh_frame] section of an ELF image, if present.  Indirect
+    (DW_EH_PE_indirect) pointers are dereferenced through the image. *)
 let of_image (img : Fetch_elf.Image.t) =
   match Fetch_elf.Image.section img ".eh_frame" with
-  | None -> Ok []
-  | Some s -> decode ~addr:s.addr s.data
+  | None -> { cies = []; diags = []; records_ok = 0; records_skipped = 0 }
+  | Some s ->
+      decode ~deref:(Fetch_elf.Image.read_u64 img) ~addr:s.addr s.data

@@ -40,9 +40,35 @@ val encode : addr:int -> cie list -> string
     binary-search table. *)
 val encode_with_index : addr:int -> cie list -> string * (int * int) list
 
-(** Inverse of {!encode}; also accepts common GCC variations (version 3,
-    personality/LSDA augmentations, absptr and 8-byte encodings). *)
-val decode : addr:int -> string -> (cie list, string) result
+(** Result of a total decode: whatever could be recovered, plus one
+    structured diagnostic per problem found.  [records_ok] counts the
+    CIE and FDE records decoded in full; [records_skipped] those dropped
+    by per-record recovery ([= ] the number of fatal diags). *)
+type decoded = {
+  cies : cie list;
+  diags : Diag.t list;  (** ascending offset *)
+  records_ok : int;
+  records_skipped : int;
+}
 
-(** Decode the [.eh_frame] section of an ELF image ([Ok []] if absent). *)
-val of_image : Fetch_elf.Image.t -> (cie list, string) result
+(** Inverse of {!encode} — and **total**: no input byte string makes it
+    raise.  Each length-delimited record is decoded inside its own
+    boundary; a record that cannot be decoded (unknown CIE, unsupported
+    encoding, truncation, garbage) is skipped — resynchronizing at
+    [record_start + 4 + length] — and reported in [diags] instead of
+    poisoning the rest of the section.
+
+    Accepts the common GCC/LLVM variations: CIE versions 1/3/4, [z*]
+    augmentations ([R], [P], [L], [S], [B]; unknown characters are
+    skipped via the ['z'] length), the legacy ["eh"] augmentation, and
+    the full DW_EH_PE menu — absptr/uleb128/sleb128/udata2..8/sdata2..8
+    formats, abs/pcrel/datarel applications, the [indirect] flag
+    (dereferenced through [deref] when given, e.g.
+    {!Fetch_elf.Image.read_u64}) and [omit].  [ptr_width] (default 8)
+    sets the byte width of [absptr] pointers. *)
+val decode :
+  ?ptr_width:int -> ?deref:(int -> int option) -> addr:int -> string -> decoded
+
+(** Decode the [.eh_frame] section of an ELF image (empty if absent);
+    indirect pointers are dereferenced through the image. *)
+val of_image : Fetch_elf.Image.t -> decoded

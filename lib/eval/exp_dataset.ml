@@ -5,13 +5,11 @@ open Fetch_synth
 module IS = Set.Make (Int)
 
 let fde_start_set (built : Link.built) =
-  match Fetch_dwarf.Eh_frame.of_image built.image with
-  | Ok cies ->
-      IS.of_list
-        (List.map
-           (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin)
-           (Fetch_dwarf.Eh_frame.all_fdes cies))
-  | Error _ -> IS.empty
+  let eh = Fetch_dwarf.Eh_frame.of_image built.image in
+  IS.of_list
+    (List.map
+       (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin)
+       (Fetch_dwarf.Eh_frame.all_fdes eh.cies))
 
 let symbol_set (built : Link.built) =
   IS.of_list

@@ -16,23 +16,24 @@ type tally = {
   mutable leaf_misses : int;
   mutable other_misses : int;
   mutable multi_part_records : int;
+  mutable skipped : (string * string) list;
+      (** binaries whose PE round-trip failed to decode: (id, error),
+          recorded and skipped so one bad binary can't abort the run *)
 }
 
 let run ?(scale = 1.0) () =
   let t =
     { bins = 0; fns = 0; covered = 0; leaf_misses = 0; other_misses = 0;
-      multi_part_records = 0 }
+      multi_part_records = 0; skipped = [] }
   in
   Corpus.fold_selfbuilt ~scale ~init:() (fun () (bin : Corpus.binary) ->
-      t.bins <- t.bins + 1;
       let pe = Fetch_pe.Pe_gen.of_built bin.built in
       (* round-trip through real PE bytes *)
       let raw = Fetch_pe.Encode.encode pe in
-      let pe =
-        match Fetch_pe.Decode.decode raw with
-        | Ok p -> p
-        | Error e -> failwith ("PE decode: " ^ e)
-      in
+      match Fetch_pe.Decode.decode raw with
+      | Error e -> t.skipped <- (bin.id, e) :: t.skipped
+      | Ok pe ->
+      t.bins <- t.bins + 1;
       let starts =
         List.map
           (fun (rf : Fetch_pe.Image.runtime_function) -> rf.begin_rva + 0x400000)
@@ -56,7 +57,7 @@ let run ?(scale = 1.0) () =
 let render (t : tally) =
   let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
   String.concat "\n"
-    [
+    ([
       "SVII-B generality study: x64 PE exception directory coverage";
       Printf.sprintf "  binaries repacked as PE32+: %d; functions: %d" t.bins t.fns;
       Printf.sprintf
@@ -69,5 +70,13 @@ let render (t : tally) =
         "  non-contiguous functions with extra per-part records: %d (the PE\n\
         \  analogue of the FDE false-start problem of SV-A)"
         t.multi_part_records;
-      "";
     ]
+    @ (match t.skipped with
+      | [] -> []
+      | l ->
+          Printf.sprintf "  WARNING: %d binaries skipped (PE decode failed):"
+            (List.length l)
+          :: List.rev_map
+               (fun (id, e) -> Printf.sprintf "    %s: %s" id e)
+               l)
+    @ [ "" ])

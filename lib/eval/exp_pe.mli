@@ -9,6 +9,9 @@ type tally = {
   mutable leaf_misses : int;
   mutable other_misses : int;
   mutable multi_part_records : int;
+  mutable skipped : (string * string) list;
+      (** binaries whose PE round-trip failed to decode: (id, error),
+          recorded and skipped so one bad binary can't abort the run *)
 }
 
 val run : ?scale:float -> unit -> tally

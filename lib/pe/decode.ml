@@ -1,5 +1,6 @@
 (** PE32+ decoder: the inverse of {!Encode}, plus exception-directory
-    parsing. *)
+    parsing.  Total over its input: any malformed structure yields
+    [Error], never an exception. *)
 
 open Fetch_util
 
@@ -7,7 +8,16 @@ let ( let* ) = Result.bind
 
 let guard cond msg = if cond then Ok () else Error msg
 
-let decode raw : (Image.t, string) result =
+let map_result f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let decode_result raw : (Image.t, string) result =
   let len = String.length raw in
   let* () = guard (len >= 0x40) "too short for a DOS header" in
   let* () = guard (String.sub raw 0 2 = "MZ") "bad DOS magic" in
@@ -26,6 +36,9 @@ let decode raw : (Image.t, string) result =
   let opt_start = Byte_cursor.pos c in
   let magic = Byte_cursor.u16 c in
   let* () = guard (magic = 0x20b) "not PE32+" in
+  let* () =
+    guard (opt_size >= 112 + (4 * 8)) "optional header too small for PE32+"
+  in
   Byte_cursor.seek c (opt_start + 16);
   let entry_rva = Byte_cursor.u32 c in
   Byte_cursor.seek c (opt_start + 24);
@@ -51,44 +64,50 @@ let decode raw : (Image.t, string) result =
         let characteristics = Byte_cursor.u32 c in
         (pname, vsize, rva, raw_size, raw_off, characteristics))
   in
-  try
-    let sections =
-      List.map
-        (fun (pname, vsize, rva, raw_size, raw_off, characteristics) ->
-          let n = min vsize raw_size in
-          if raw_off + n > len then failwith "section data out of range";
-          { Image.pname; rva; data = String.sub raw raw_off n; characteristics })
-        raw_sections
-    in
-    (* parse the exception directory *)
-    let pdata =
-      if exc_rva = 0 then []
-      else begin
-        let sec =
-          List.find_opt
-            (fun (s : Image.section) ->
-              exc_rva >= s.rva && exc_rva < s.rva + String.length s.data)
-            sections
-        in
-        match sec with
-        | None -> failwith "exception directory outside sections"
-        | Some s ->
-            let pc =
-              Byte_cursor.of_string ~pos:(exc_rva - s.rva) ~len:exc_size s.data
-            in
-            let entries = ref [] in
-            while Byte_cursor.remaining pc >= 12 do
-              let begin_rva = Byte_cursor.u32 pc in
-              let end_rva = Byte_cursor.u32 pc in
-              let unwind_rva = Byte_cursor.u32 pc in
-              if begin_rva <> 0 then
-                entries := { Image.begin_rva; end_rva; unwind_rva } :: !entries
-            done;
-            List.rev !entries
-      end
-    in
-    (* keep .pdata out of the plain section list's way: it stays listed *)
-    Ok { Image.image_base; entry_rva; sections; pdata }
-  with
-  | Failure m -> Error m
-  | Byte_cursor.Out_of_bounds _ -> Error "truncated PE structure"
+  let* sections =
+    map_result
+      (fun (pname, vsize, rva, raw_size, raw_off, characteristics) ->
+        let n = min vsize raw_size in
+        let* () = guard (raw_off + n <= len) "section data out of range" in
+        Ok { Image.pname; rva; data = String.sub raw raw_off n; characteristics })
+      raw_sections
+  in
+  (* parse the exception directory *)
+  let* pdata =
+    if exc_rva = 0 then Ok []
+    else begin
+      let sec =
+        List.find_opt
+          (fun (s : Image.section) ->
+            exc_rva >= s.rva && exc_rva < s.rva + String.length s.data)
+          sections
+      in
+      match sec with
+      | None -> Error "exception directory outside sections"
+      | Some s ->
+          let avail = String.length s.data - (exc_rva - s.rva) in
+          let* () =
+            guard (exc_size <= avail) "exception directory overruns section"
+          in
+          let pc =
+            Byte_cursor.of_string ~pos:(exc_rva - s.rva) ~len:exc_size s.data
+          in
+          let entries = ref [] in
+          while Byte_cursor.remaining pc >= 12 do
+            let begin_rva = Byte_cursor.u32 pc in
+            let end_rva = Byte_cursor.u32 pc in
+            let unwind_rva = Byte_cursor.u32 pc in
+            if begin_rva <> 0 then
+              entries := { Image.begin_rva; end_rva; unwind_rva } :: !entries
+          done;
+          Ok (List.rev !entries)
+    end
+  in
+  (* keep .pdata out of the plain section list's way: it stays listed *)
+  Ok { Image.image_base; entry_rva; sections; pdata }
+
+let decode raw : (Image.t, string) result =
+  (* header fields (e_lfanew, opt_size, nsections...) steer cursor seeks,
+     so a hostile header can still overrun the buffer mid-parse *)
+  try decode_result raw
+  with Byte_cursor.Out_of_bounds _ -> Error "truncated PE structure"

@@ -1,0 +1,239 @@
+(* Deterministic mutation fuzzer for the .eh_frame parser.
+
+   Takes real synthesized .eh_frame sections (from lib/synth builds and
+   hand-assembled CIE/FDE sets), applies byte flips, truncations, length
+   corruptions and splices driven by Fetch_util.Prng, and asserts two
+   things on every iteration:
+
+     1. totality  — Eh_frame.decode returns on ANY mutated input, it
+        never raises;
+     2. recovery  — when the mutation is confined to a single FDE
+        record's body, every FDE from the other records is still
+        recovered (record-level error containment).
+
+   Runs as part of `dune runtest` and as a CI smoke job.  Failures print
+   the seed, iteration and a hex dump of the offending section, to be
+   checked in as regression fixtures in test_dwarf.ml. *)
+
+open Fetch_util
+open Fetch_dwarf
+
+let iters = ref 2000
+let seed = ref 0x5eed
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--iters" :: n :: rest ->
+        iters := int_of_string n;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "usage: fuzz_eh_frame [--iters N] [--seed N] (got %S)\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let hex_dump s =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "\\x%02x" (Char.code c))
+       (List.of_seq (String.to_seq s)))
+
+(* ---- base corpus: realistic sections to mutate ---- *)
+
+(* A full synthesized binary's .eh_frame (many CIEs/FDEs, personality,
+   LSDAs, broken FDEs — everything lib/synth emits). *)
+let synth_section () =
+  let profile =
+    Fetch_synth.Profile.make Fetch_synth.Profile.Synthgcc Fetch_synth.Profile.O2
+  in
+  let built =
+    Fetch_synth.Link.build_random ~profile ~seed:7
+      {
+        Fetch_synth.Gen.default_spec with
+        n_funcs = 25;
+        cxx = true;
+        n_asm_called = 1;
+        n_broken_fde = 1;
+      }
+  in
+  let s =
+    Option.get (Fetch_elf.Image.section built.image ".eh_frame")
+  in
+  (s.addr, s.data)
+
+(* Hand-assembled sections exercising the encoder's augmentations. *)
+let handmade_sections =
+  let addr = 0x700000 in
+  let plain =
+    Eh_frame.encode ~addr
+      [
+        Eh_frame.default_cie
+          ~fdes:
+            (List.map
+               (fun i ->
+                 Eh_frame.make_fde ~pc_begin:(0x1000 + (0x100 * i))
+                   ~pc_range:0x80
+                   [ Cfi.Advance_loc 1; Cfi.Def_cfa_offset 16 ])
+               [ 0; 1; 2; 3 ])
+          ();
+      ]
+  in
+  let augmented =
+    Eh_frame.encode ~addr
+      [
+        Eh_frame.default_cie ~personality:0x402000
+          ~fdes:
+            [
+              Eh_frame.make_fde ~lsda:0x6f0000 ~pc_begin:0x2000 ~pc_range:0x40
+                [ Cfi.Advance_loc 4; Cfi.Def_cfa_offset 32 ];
+              Eh_frame.make_fde ~pc_begin:0x2040 ~pc_range:0x20 [];
+            ]
+          ();
+      ]
+  in
+  [ (addr, plain); (addr, augmented) ]
+
+(* ---- mutations ---- *)
+
+(* Record start offsets of a pristine section (by walking the lengths). *)
+let record_offsets data =
+  let n = String.length data in
+  let rec go off acc =
+    if off + 4 > n then List.rev acc
+    else
+      let len = Int32.to_int (String.get_int32_le data off) land 0xffffffff in
+      if len = 0 || off + 4 + len > n then List.rev acc
+      else go (off + 4 + len) ((off, len) :: acc)
+  in
+  go 0 []
+
+let mutate rng data =
+  let b = Bytes.of_string data in
+  let n = Bytes.length b in
+  if n = 0 then data
+  else
+    match Prng.int rng 5 with
+    | 0 ->
+        (* flip 1-8 random bytes *)
+        for _ = 1 to Prng.range rng 1 8 do
+          let i = Prng.int rng n in
+          Bytes.set b i (Char.chr (Prng.int rng 256))
+        done;
+        Bytes.to_string b
+    | 1 ->
+        (* truncate at a random point *)
+        Bytes.sub_string b 0 (Prng.int rng n)
+    | 2 -> (
+        (* corrupt one record's length field *)
+        match record_offsets data with
+        | [] -> Bytes.to_string b
+        | offs ->
+            let off, _ = Prng.choice_list rng offs in
+            Bytes.set_int32_le b off (Int64.to_int32 (Prng.next_int64 rng));
+            Bytes.to_string b)
+    | 3 ->
+        (* splice a run of random bytes *)
+        let start = Prng.int rng n in
+        let len = min (Prng.range rng 4 16) (n - start) in
+        for i = start to start + len - 1 do
+          Bytes.set b i (Char.chr (Prng.int rng 256))
+        done;
+        Bytes.to_string b
+    | _ ->
+        (* single bit flip *)
+        let i = Prng.int rng n in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)));
+        Bytes.to_string b
+
+let failures = ref 0
+
+let check_total ~what ~addr data =
+  match Eh_frame.decode ~addr data with
+  | d ->
+      (* internal consistency: skip count matches fatal diags *)
+      let fatal = List.length (List.filter (fun (g : Diag.t) -> g.fatal) d.diags) in
+      if d.records_skipped <> fatal then begin
+        incr failures;
+        Printf.printf "FAIL [%s] skip/diag mismatch (%d vs %d):\n%s\n" what
+          d.records_skipped fatal (hex_dump data)
+      end;
+      Some d
+  | exception e ->
+      incr failures;
+      Printf.printf "FAIL [%s] decode raised %s on:\n%s\n" what
+        (Printexc.to_string e) (hex_dump data);
+      None
+
+let () =
+  let rng = Prng.create !seed in
+  let bases = synth_section () :: handmade_sections in
+  (* 1. totality under arbitrary mutation *)
+  for i = 1 to !iters do
+    let addr, data = Prng.choice_list rng bases in
+    let mutated = mutate rng data in
+    ignore (check_total ~what:(Printf.sprintf "iter %d" i) ~addr mutated)
+  done;
+  (* 2. containment: corrupt one FDE record's body; every other record
+     must still round-trip *)
+  let addr = 0x700000 in
+  let fdes =
+    List.map
+      (fun i ->
+        Eh_frame.make_fde ~pc_begin:(0x1000 + (0x100 * i)) ~pc_range:0x40
+          [ Cfi.Advance_loc 1; Cfi.Def_cfa_offset 16 ])
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let pristine, index =
+    Eh_frame.encode_with_index ~addr [ Eh_frame.default_cie ~fdes () ]
+  in
+  let containment_rounds = max 50 (!iters / 10) in
+  for i = 1 to containment_rounds do
+    let victim = Prng.int rng (List.length index) in
+    let _, victim_vaddr = List.nth index victim in
+    let victim_off = victim_vaddr - addr in
+    let victim_len =
+      Int32.to_int (String.get_int32_le pristine victim_off) land 0xffffffff
+    in
+    let b = Bytes.of_string pristine in
+    (* corrupt 1-6 bytes anywhere in the record except its length field,
+       so resynchronization still finds the next record *)
+    for _ = 1 to Prng.range rng 1 6 do
+      let j = victim_off + 4 + Prng.int rng victim_len in
+      Bytes.set b j (Char.chr (Prng.int rng 256))
+    done;
+    match check_total ~what:(Printf.sprintf "containment %d" i) ~addr
+            (Bytes.to_string b)
+    with
+    | None -> ()
+    | Some d ->
+        let recovered = Eh_frame.all_fdes d.cies in
+        List.iteri
+          (fun k (pc, _) ->
+            if
+              k <> victim
+              && not
+                   (List.exists
+                      (fun (f : Eh_frame.fde) -> f.pc_begin = pc)
+                      recovered)
+            then begin
+              incr failures;
+              Printf.printf
+                "FAIL [containment %d] FDE %d (pc %#x) lost after corrupting \
+                 record %d:\n%s\n"
+                i k pc victim
+                (hex_dump (Bytes.to_string b))
+            end)
+          index
+  done;
+  if !failures > 0 then begin
+    Printf.printf "fuzz_eh_frame: %d FAILURES (seed %d, %d iters)\n" !failures
+      !seed !iters;
+    exit 1
+  end
+  else
+    Printf.printf
+      "fuzz_eh_frame: OK — %d mutation + %d containment iterations, seed %d\n"
+      !iters containment_rounds !seed

@@ -91,9 +91,8 @@ let test_eh_frame_roundtrip () =
     ]
   in
   let encoded = Eh_frame.encode ~addr cies in
-  match Eh_frame.decode ~addr encoded with
-  | Error e -> Alcotest.failf "decode failed: %s" e
-  | Ok cies' ->
+  match (Eh_frame.decode ~addr encoded).cies with
+  | cies' ->
       check Alcotest.int "CIE count" 2 (List.length cies');
       let all = Eh_frame.all_fdes cies' in
       check Alcotest.int "FDE count" 3 (List.length all);
@@ -113,7 +112,8 @@ let test_eh_frame_roundtrip () =
 let test_eh_frame_terminator_and_empty () =
   let encoded = Eh_frame.encode ~addr:0 [] in
   check Alcotest.int "empty is just terminator" 4 (String.length encoded);
-  check Alcotest.bool "decodes empty" true (Eh_frame.decode ~addr:0 encoded = Ok [])
+  let d = Eh_frame.decode ~addr:0 encoded in
+  check Alcotest.bool "decodes empty" true (d.cies = [] && d.diags = [])
 
 (* Figure 4's run-time stack: heights at each point of the function. *)
 let test_figure4_heights () =
@@ -284,9 +284,8 @@ let test_personality_lsda_roundtrip () =
     [ Eh_frame.default_cie ~personality:0x402000 ~fdes:[ fde_with; fde_without ] () ]
   in
   let encoded = Eh_frame.encode ~addr:0x700000 cies in
-  match Eh_frame.decode ~addr:0x700000 encoded with
-  | Error e -> Alcotest.failf "decode: %s" e
-  | Ok [ cie ] ->
+  match (Eh_frame.decode ~addr:0x700000 encoded).cies with
+  | [ cie ] ->
       check (Alcotest.option Alcotest.int) "personality" (Some 0x402000)
         cie.personality;
       (match cie.fdes with
@@ -298,7 +297,7 @@ let test_personality_lsda_roundtrip () =
       let rows = Cfa_table.rows ~cie (List.hd cie.fdes) in
       check (Alcotest.option Alcotest.int) "height" (Some 8)
         (Cfa_table.height_at rows 6)
-  | Ok _ -> Alcotest.fail "cie count"
+  | _ -> Alcotest.fail "cie count"
 
 let test_eh_frame_hdr_roundtrip () =
   let index = [ (0x1400, 0x700040); (0x1000, 0x700010); (0x1200, 0x700028) ] in
@@ -359,9 +358,10 @@ let prop_eh_frame_roundtrip =
     (fun fdes ->
       let cies = [ Eh_frame.default_cie ~fdes () ] in
       let addr = 0x700000 in
-      match Eh_frame.decode ~addr (Eh_frame.encode ~addr cies) with
-      | Error _ -> false
-      | Ok [ cie ] ->
+      let d = Eh_frame.decode ~addr (Eh_frame.encode ~addr cies) in
+      match d.cies with
+      | _ when d.diags <> [] -> false
+      | [ cie ] ->
           let strip l = List.filter (fun i -> i <> Cfi.Nop) l in
           List.length cie.fdes = List.length fdes
           && List.for_all2
@@ -369,6 +369,432 @@ let prop_eh_frame_roundtrip =
                  a.pc_begin = b.pc_begin && a.pc_range = b.pc_range
                  && strip a.instrs = strip b.instrs)
                cie.fdes fdes
-      | Ok _ -> false)
+      | _ -> false)
 
 let suite = suite @ [ QCheck_alcotest.to_alcotest prop_eh_frame_roundtrip ]
+
+(* --- parser totality: per-record recovery and the full DW_EH_PE menu --- *)
+
+open Fetch_util
+
+(* Hand-build one raw length-delimited record (length + id + body + nop
+   padding), like the encoder does. *)
+let add_record b ~id body =
+  let len_at = Byte_buf.length b in
+  Byte_buf.u32 b 0;
+  Byte_buf.u32 b id;
+  body ();
+  while (Byte_buf.length b - len_at) mod 8 <> 0 do
+    Byte_buf.u8 b 0x00
+  done;
+  Byte_buf.patch_u32 b ~at:len_at (Byte_buf.length b - len_at - 4)
+
+(* A minimal "zR" CIE with pointer encoding [enc], at the buffer start. *)
+let add_zr_cie b ~enc =
+  add_record b ~id:0 (fun () ->
+      Byte_buf.u8 b 1;
+      (* version *)
+      Byte_buf.cstring b "zR";
+      Byte_buf.uleb128 b 1;
+      Byte_buf.sleb128 b (-8);
+      Byte_buf.uleb128 b 16;
+      Byte_buf.uleb128 b 1;
+      (* aug data: just the R encoding *)
+      Byte_buf.u8 b enc)
+
+(* CIE + one FDE whose pc_begin/pc_range bytes are produced by
+   [write_pc]/[write_range] (given the buffer and the field's virtual
+   address), decoded at [addr]. *)
+let one_fde_section ?ptr_width ?deref ~addr ~enc ~write_pc ~write_range () =
+  let b = Byte_buf.create () in
+  add_zr_cie b ~enc;
+  let fde_start = Byte_buf.length b in
+  add_record b ~id:(fde_start + 4) (fun () ->
+      write_pc b (addr + Byte_buf.length b);
+      write_range b (addr + Byte_buf.length b);
+      Byte_buf.uleb128 b 0 (* aug length *));
+  Byte_buf.u32 b 0;
+  Eh_frame.decode ?ptr_width ?deref ~addr (Byte_buf.contents b)
+
+let check_single_fde ?(msg = "fde") d ~pc ~range =
+  check Alcotest.int (msg ^ ": skips") 0 d.Eh_frame.records_skipped;
+  match Eh_frame.all_fdes d.Eh_frame.cies with
+  | [ f ] ->
+      check Alcotest.int (msg ^ ": pc_begin") pc f.pc_begin;
+      check Alcotest.int (msg ^ ": pc_range") range f.pc_range
+  | l -> Alcotest.failf "%s: expected 1 FDE, got %d" msg (List.length l)
+
+let test_pe_uleb_sleb () =
+  let addr = 0x10000 in
+  (* DW_EH_PE_uleb128, absolute *)
+  let d =
+    one_fde_section ~addr ~enc:0x01
+      ~write_pc:(fun b _ -> Byte_buf.uleb128 b 0x54321)
+      ~write_range:(fun b _ -> Byte_buf.uleb128 b 0x321)
+      ()
+  in
+  check_single_fde ~msg:"uleb128" d ~pc:0x54321 ~range:0x321;
+  (* DW_EH_PE_sleb128 | pcrel: negative delta back from the field *)
+  let d =
+    one_fde_section ~addr ~enc:0x19
+      ~write_pc:(fun b field -> Byte_buf.sleb128 b (0x9000 - field))
+      ~write_range:(fun b _ -> Byte_buf.sleb128 b 64)
+      ()
+  in
+  check_single_fde ~msg:"sleb128 pcrel" d ~pc:0x9000 ~range:64
+
+let test_pe_data2 () =
+  let addr = 0x20000 in
+  (* DW_EH_PE_udata2, absolute *)
+  let d =
+    one_fde_section ~addr ~enc:0x02
+      ~write_pc:(fun b _ -> Byte_buf.u16 b 0xbeef)
+      ~write_range:(fun b _ -> Byte_buf.u16 b 0x9000)
+      ()
+  in
+  (* range 0x9000 > 2^15: must stay unsigned *)
+  check_single_fde ~msg:"udata2" d ~pc:0xbeef ~range:0x9000;
+  (* DW_EH_PE_sdata2 | pcrel *)
+  let d =
+    one_fde_section ~addr ~enc:0x1a
+      ~write_pc:(fun b field -> Byte_buf.u16 b ((0x20000 - 4 - field) land 0xffff))
+      ~write_range:(fun b _ -> Byte_buf.u16 b 8)
+      ()
+  in
+  check_single_fde ~msg:"sdata2 pcrel" d ~pc:(0x20000 - 4) ~range:8
+
+let test_pe_absptr_and_udata8 () =
+  let addr = 0x30000 in
+  (* DW_EH_PE_absptr in 64-bit mode *)
+  let d =
+    one_fde_section ~addr ~enc:0x00
+      ~write_pc:(fun b _ -> Byte_buf.u64 b 0x123456789)
+      ~write_range:(fun b _ -> Byte_buf.u64 b 0x1000)
+      ()
+  in
+  check_single_fde ~msg:"absptr64" d ~pc:0x123456789 ~range:0x1000;
+  (* DW_EH_PE_absptr in 32-bit mode (4-byte pointers) *)
+  let d =
+    one_fde_section ~ptr_width:4 ~addr ~enc:0x00
+      ~write_pc:(fun b _ -> Byte_buf.u32 b 0x80001234)
+      ~write_range:(fun b _ -> Byte_buf.u32 b 0x40)
+      ()
+  in
+  check_single_fde ~msg:"absptr32" d ~pc:0x80001234 ~range:0x40;
+  (* DW_EH_PE_udata8 *)
+  let d =
+    one_fde_section ~addr ~enc:0x04
+      ~write_pc:(fun b _ -> Byte_buf.u64 b 0xabcdef0)
+      ~write_range:(fun b _ -> Byte_buf.u64 b 24)
+      ()
+  in
+  check_single_fde ~msg:"udata8" d ~pc:0xabcdef0 ~range:24
+
+let test_pe_datarel_indirect () =
+  let addr = 0x40000 in
+  (* DW_EH_PE_datarel | udata4: relative to the section start *)
+  let d =
+    one_fde_section ~addr ~enc:0x33
+      ~write_pc:(fun b _ -> Byte_buf.u32 b 0x500)
+      ~write_range:(fun b _ -> Byte_buf.u32 b 16)
+      ()
+  in
+  check_single_fde ~msg:"datarel" d ~pc:(addr + 0x500) ~range:16;
+  (* DW_EH_PE_indirect | udata4: value is the address of the pointer *)
+  let d =
+    one_fde_section ~addr ~enc:0x83
+      ~deref:(fun a -> if a = 0x7000 then Some 0x424242 else None)
+      ~write_pc:(fun b _ -> Byte_buf.u32 b 0x7000)
+      ~write_range:(fun b _ -> Byte_buf.u32 b 32)
+      ()
+  in
+  check_single_fde ~msg:"indirect" d ~pc:0x424242 ~range:32
+
+(* Satellite: a 4-byte pc_range >= 2^31 must not go negative (the old
+   parser read it through i32). *)
+let test_pc_range_unsigned () =
+  let addr = 0x50000 in
+  let d =
+    one_fde_section ~addr ~enc:0x1b (* pcrel sdata4, GCC's default *)
+      ~write_pc:(fun b field -> Byte_buf.i32 b (0x51000 - field))
+      ~write_range:(fun b _ -> Byte_buf.u32 b 0x88888888)
+      ()
+  in
+  check_single_fde ~msg:"huge range" d ~pc:0x51000 ~range:0x88888888
+
+let test_pe_omit_personality () =
+  (* "zPR" CIE whose P encoding is DW_EH_PE_omit: no personality bytes *)
+  let addr = 0x60000 in
+  let b = Byte_buf.create () in
+  add_record b ~id:0 (fun () ->
+      Byte_buf.u8 b 1;
+      Byte_buf.cstring b "zPR";
+      Byte_buf.uleb128 b 1;
+      Byte_buf.sleb128 b (-8);
+      Byte_buf.uleb128 b 16;
+      Byte_buf.uleb128 b 2;
+      Byte_buf.u8 b 0xff;
+      (* P: omit *)
+      Byte_buf.u8 b 0x1b (* R: pcrel sdata4 *));
+  let fde_start = Byte_buf.length b in
+  add_record b ~id:(fde_start + 4) (fun () ->
+      Byte_buf.i32 b (0x61000 - (addr + Byte_buf.length b));
+      Byte_buf.u32 b 48;
+      Byte_buf.uleb128 b 0);
+  Byte_buf.u32 b 0;
+  let d = Eh_frame.decode ~addr (Byte_buf.contents b) in
+  check Alcotest.int "no skips" 0 d.records_skipped;
+  (match d.cies with
+  | [ cie ] ->
+      check (Alcotest.option Alcotest.int) "personality omitted" None
+        cie.personality
+  | _ -> Alcotest.fail "cie count");
+  check_single_fde ~msg:"omit-P" d ~pc:0x61000 ~range:48
+
+(* Unknown augmentation characters are skipped via the 'z' length and the
+   record survives with a warning diagnostic. *)
+let test_unknown_augmentation_tolerated () =
+  let addr = 0x70000 in
+  let b = Byte_buf.create () in
+  add_record b ~id:0 (fun () ->
+      Byte_buf.u8 b 1;
+      Byte_buf.cstring b "zRX";
+      (* X: unknown *)
+      Byte_buf.uleb128 b 1;
+      Byte_buf.sleb128 b (-8);
+      Byte_buf.uleb128 b 16;
+      Byte_buf.uleb128 b 3;
+      Byte_buf.u8 b 0x1b;
+      (* R *)
+      Byte_buf.u16 b 0xdead (* X's unknown payload, skipped via length *));
+  let fde_start = Byte_buf.length b in
+  add_record b ~id:(fde_start + 4) (fun () ->
+      Byte_buf.i32 b (0x71000 - (addr + Byte_buf.length b));
+      Byte_buf.u32 b 16;
+      Byte_buf.uleb128 b 0);
+  Byte_buf.u32 b 0;
+  let d = Eh_frame.decode ~addr (Byte_buf.contents b) in
+  check Alcotest.int "both records decoded" 2 d.records_ok;
+  check Alcotest.int "no skips" 0 d.records_skipped;
+  (match d.diags with
+  | [ { kind = Diag.Unknown_augmentation; fatal = false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one non-fatal unknown-augmentation diag");
+  check_single_fde ~msg:"aug-tolerant" d ~pc:0x71000 ~range:16
+
+(* Acceptance criterion: a section with one corrupted record still yields
+   every other FDE (recovered count = total - 1). *)
+let test_one_bad_record_recovers_rest () =
+  let addr = 0x700000 in
+  let fdes =
+    List.map
+      (fun i ->
+        Eh_frame.make_fde ~pc_begin:(0x1000 + (0x100 * i)) ~pc_range:0x40
+          [ Cfi.Advance_loc 1; Cfi.Def_cfa_offset 16 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let cies = [ Eh_frame.default_cie ~fdes () ] in
+  let encoded, index = Eh_frame.encode_with_index ~addr cies in
+  check Alcotest.int "index size" 5 (List.length index);
+  (* smash the middle FDE's CIE pointer so it references no CIE *)
+  let victim_pc, victim_vaddr = List.nth index 2 in
+  let victim_off = victim_vaddr - addr in
+  let bytes = Bytes.of_string encoded in
+  Bytes.set_int32_le bytes (victim_off + 4) 0x66666666l;
+  let d = Eh_frame.decode ~addr (Bytes.to_string bytes) in
+  let recovered = Eh_frame.all_fdes d.cies in
+  check Alcotest.int "recovered = total - 1" 4 (List.length recovered);
+  check Alcotest.int "one record skipped" 1 d.records_skipped;
+  check Alcotest.int "records ok (CIE + 4 FDEs)" 5 d.records_ok;
+  check Alcotest.bool "victim gone" false
+    (List.exists (fun (f : Eh_frame.fde) -> f.pc_begin = victim_pc) recovered);
+  (match d.diags with
+  | [ { kind = Diag.Unknown_cie; fatal = true; offset; _ } ] ->
+      check Alcotest.int "diag offset" victim_off offset
+  | _ -> Alcotest.fail "expected exactly one unknown-CIE diag");
+  List.iteri
+    (fun i (pc, _) ->
+      if i <> 2 then
+        check Alcotest.bool (Printf.sprintf "fde %d survives" i) true
+          (List.exists
+             (fun (f : Eh_frame.fde) -> f.pc_begin = pc)
+             recovered))
+    index
+
+let test_truncated_section_recovers_prefix () =
+  let addr = 0x700000 in
+  let fdes =
+    List.map
+      (fun i -> Eh_frame.make_fde ~pc_begin:(0x2000 + (0x80 * i)) ~pc_range:16 [])
+      [ 0; 1; 2 ]
+  in
+  let encoded, index =
+    Eh_frame.encode_with_index ~addr [ Eh_frame.default_cie ~fdes () ]
+  in
+  (* cut into the last FDE's body *)
+  let _, last_vaddr = List.nth index 2 in
+  let cut = last_vaddr - addr + 6 in
+  let d = Eh_frame.decode ~addr (String.sub encoded 0 cut) in
+  check Alcotest.int "two FDEs recovered" 2
+    (List.length (Eh_frame.all_fdes d.cies));
+  check Alcotest.bool "truncation reported" true
+    (List.exists (fun (g : Diag.t) -> g.kind = Diag.Truncated) d.diags)
+
+let test_terminator_stops_parse () =
+  let addr = 0x700000 in
+  let encoded =
+    Eh_frame.encode ~addr
+      [
+        Eh_frame.default_cie
+          ~fdes:[ Eh_frame.make_fde ~pc_begin:0x3000 ~pc_range:8 [] ]
+          ();
+      ]
+  in
+  (* garbage after the zero-length terminator is never looked at *)
+  let d = Eh_frame.decode ~addr (encoded ^ "\xde\xad\xbe\xef\x01\x02\x03") in
+  check Alcotest.int "records" 2 d.records_ok;
+  check Alcotest.bool "no diags" true (d.diags = []);
+  check_single_fde ~msg:"pre-terminator" d ~pc:0x3000 ~range:8
+
+(* A record whose length field is garbage: skipped with a diagnostic, and
+   the parser resynchronizes at the declared boundary. *)
+let test_bad_length_resync () =
+  let addr = 0x700000 in
+  let b = Byte_buf.create () in
+  (* length 2: too short to hold an id field; resync lands just past it *)
+  Byte_buf.u32 b 2;
+  Byte_buf.u16 b 0xeeee;
+  let good_start = Byte_buf.length b in
+  let inner = Byte_buf.create () in
+  add_zr_cie inner ~enc:0x1b;
+  let fde_start = Byte_buf.length inner in
+  add_record inner ~id:(fde_start + 4) (fun () ->
+      Byte_buf.i32 inner (0x4000 - (addr + good_start + Byte_buf.length inner));
+      Byte_buf.u32 inner 32;
+      Byte_buf.uleb128 inner 0);
+  Byte_buf.u32 inner 0;
+  Byte_buf.string b (Byte_buf.contents inner);
+  let d = Eh_frame.decode ~addr (Byte_buf.contents b) in
+  check Alcotest.int "resynced records" 2 d.records_ok;
+  check Alcotest.int "bad record skipped" 1 d.records_skipped;
+  match Eh_frame.all_fdes d.cies with
+  | [ f ] ->
+      check Alcotest.int "post-resync pc" 0x4000 f.pc_begin;
+      check Alcotest.int "post-resync range" 32 f.pc_range
+  | l -> Alcotest.failf "expected 1 FDE, got %d" (List.length l)
+
+(* 64-bit DWARF records: unsupported, but skipped via their extended
+   length instead of poisoning the section. *)
+let test_dwarf64_record_skipped () =
+  let addr = 0x700000 in
+  let b = Byte_buf.create () in
+  Byte_buf.u32 b 0xffffffff;
+  Byte_buf.u64 b 8;
+  Byte_buf.u64 b 0 (* the skipped 64-bit record body *);
+  let good_start = Byte_buf.length b in
+  let inner = Byte_buf.create () in
+  add_zr_cie inner ~enc:0x1b;
+  let fde_start = Byte_buf.length inner in
+  add_record inner ~id:(fde_start + 4) (fun () ->
+      Byte_buf.i32 inner (0x5000 - (addr + good_start + Byte_buf.length inner));
+      Byte_buf.u32 inner 16;
+      Byte_buf.uleb128 inner 0);
+  Byte_buf.u32 inner 0;
+  Byte_buf.string b (Byte_buf.contents inner);
+  let d = Eh_frame.decode ~addr (Byte_buf.contents b) in
+  check Alcotest.int "records after the skip" 2 d.records_ok;
+  check Alcotest.bool "bad_length diag" true
+    (List.exists (fun (g : Diag.t) -> g.kind = Diag.Bad_length) d.diags);
+  match Eh_frame.all_fdes d.cies with
+  | [ f ] ->
+      check Alcotest.int "post-dwarf64 pc" 0x5000 f.pc_begin;
+      check Alcotest.int "post-dwarf64 range" 16 f.pc_range
+  | l -> Alcotest.failf "expected 1 FDE, got %d" (List.length l)
+
+(* An undecodable CFI opcode degrades the one record (prefix kept) with a
+   warning — it no longer aborts the whole section. *)
+let test_bad_cfi_keeps_record () =
+  let addr = 0x700000 in
+  let b = Byte_buf.create () in
+  add_zr_cie b ~enc:0x1b;
+  let fde_start = Byte_buf.length b in
+  add_record b ~id:(fde_start + 4) (fun () ->
+      Byte_buf.i32 b (0x6000 - (addr + Byte_buf.length b));
+      Byte_buf.u32 b 64;
+      Byte_buf.uleb128 b 0;
+      Cfi.encode b (Cfi.Def_cfa_offset 16);
+      Byte_buf.u8 b 0x3d (* DW_CFA vendor-range opcode we don't decode *));
+  Byte_buf.u32 b 0;
+  let d = Eh_frame.decode ~addr (Byte_buf.contents b) in
+  check Alcotest.int "no skips" 0 d.records_skipped;
+  (match Eh_frame.all_fdes d.cies with
+  | [ f ] ->
+      check Alcotest.int "pc" 0x6000 f.pc_begin;
+      check Alcotest.bool "prefix kept" true
+        (List.mem (Cfi.Def_cfa_offset 16) f.instrs)
+  | _ -> Alcotest.fail "fde count");
+  check Alcotest.bool "bad_cfi diag" true
+    (List.exists
+       (fun (g : Diag.t) -> g.kind = Diag.Bad_cfi && not g.fatal)
+       d.diags)
+
+(* Regression seeds: inputs that crashed (or would have crashed) earlier
+   parsers — each must decode without raising.  Kept as raw fixtures. *)
+let fuzz_regression_fixtures =
+  [
+    (* uleb128 augmentation length whose 63-bit overflow went negative *)
+    ( "negative aug_len",
+      "\x14\x00\x00\x00\x00\x00\x00\x00\x01zR\x00\x01\x78\x10\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01\x1b" );
+    (* cstring (augmentation) running to the end of the section *)
+    ("unterminated augmentation", "\x10\x00\x00\x00\x00\x00\x00\x00\x01zRzRzRzRzRzR");
+    (* record length pointing one byte past the section end *)
+    ("length overruns by one", "\x09\x00\x00\x00\x00\x00\x00\x00\x01z\x00\x00");
+    (* FDE before any CIE *)
+    ("orphan FDE", "\x0c\x00\x00\x00\x10\x00\x00\x00\x00\x10\x40\x00\x20\x00\x00\x00");
+    (* 64-bit DWARF marker with a truncated extended length *)
+    ("truncated dwarf64", "\xff\xff\xff\xff\x01\x02\x03");
+    (* zero-length-terminator only *)
+    ("bare terminator", "\x00\x00\x00\x00");
+    (* sub-4-byte tail *)
+    ("tiny tail", "\x01\x02");
+  ]
+
+let test_fuzz_fixtures_total () =
+  List.iter
+    (fun (name, bytes) ->
+      let d = Eh_frame.decode ~addr:0x10000 bytes in
+      (* decoding completed without raising; sanity: counters consistent *)
+      check Alcotest.int name d.records_skipped
+        (List.length (List.filter (fun (g : Diag.t) -> g.fatal) d.diags)))
+    fuzz_regression_fixtures
+
+(* Property: decode is total on arbitrary bytes. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"eh_frame decode is total on arbitrary bytes"
+    ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 256))
+    (fun s ->
+      let d = Eh_frame.decode ~addr:0x400000 s in
+      d.records_skipped = List.length (List.filter (fun (g : Diag.t) -> g.fatal) d.diags))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "DW_EH_PE uleb128/sleb128" `Quick test_pe_uleb_sleb;
+      Alcotest.test_case "DW_EH_PE udata2/sdata2" `Quick test_pe_data2;
+      Alcotest.test_case "DW_EH_PE absptr/udata8" `Quick test_pe_absptr_and_udata8;
+      Alcotest.test_case "DW_EH_PE datarel/indirect" `Quick test_pe_datarel_indirect;
+      Alcotest.test_case "pc_range >= 2^31 stays unsigned" `Quick test_pc_range_unsigned;
+      Alcotest.test_case "DW_EH_PE omit personality" `Quick test_pe_omit_personality;
+      Alcotest.test_case "unknown augmentation tolerated" `Quick
+        test_unknown_augmentation_tolerated;
+      Alcotest.test_case "one bad record: rest recovered" `Quick
+        test_one_bad_record_recovers_rest;
+      Alcotest.test_case "truncated section: prefix recovered" `Quick
+        test_truncated_section_recovers_prefix;
+      Alcotest.test_case "terminator stops the parse" `Quick test_terminator_stops_parse;
+      Alcotest.test_case "bad length: skip + resync" `Quick test_bad_length_resync;
+      Alcotest.test_case "64-bit DWARF record skipped" `Quick test_dwarf64_record_skipped;
+      Alcotest.test_case "bad CFI degrades one record" `Quick test_bad_cfi_keeps_record;
+      Alcotest.test_case "fuzz regression fixtures" `Quick test_fuzz_fixtures_total;
+      QCheck_alcotest.to_alcotest prop_decode_total;
+    ]

@@ -65,13 +65,11 @@ let test_q1_shape_on_subset () =
   let coverage pname =
     Corpus.fold_selfbuilt ~only:[ pname ] ~init:(0, 0) (fun (cov, tot) b ->
         let fdes =
-          match Fetch_dwarf.Eh_frame.of_image b.built.image with
-          | Ok cies ->
-              IS.of_list
-                (List.map
-                   (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin)
-                   (Fetch_dwarf.Eh_frame.all_fdes cies))
-          | Error _ -> IS.empty
+          IS.of_list
+            (List.map
+               (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin)
+               (Fetch_dwarf.Eh_frame.all_fdes
+                  (Fetch_dwarf.Eh_frame.of_image b.built.image).cies))
         in
         List.fold_left
           (fun (cov, tot) (f : Fetch_synth.Truth.fn_truth) ->

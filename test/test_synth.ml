@@ -48,11 +48,9 @@ let test_elf_roundtrip () =
 
 let test_eh_frame_parses () =
   let b = Lazy.force built in
-  match Fetch_dwarf.Eh_frame.of_image b.image with
-  | Error e -> Alcotest.failf "eh_frame decode: %s" e
-  | Ok cies ->
-      let fdes = Fetch_dwarf.Eh_frame.all_fdes cies in
-      let with_fde =
+  let cies = (Fetch_dwarf.Eh_frame.of_image b.image).cies in
+  let fdes = Fetch_dwarf.Eh_frame.all_fdes cies in
+  let with_fde =
         List.filter (fun (f : Truth.fn_truth) -> f.has_fde) b.truth.fns
       in
       let cold_parts =
@@ -83,7 +81,7 @@ let test_eh_frame_parses () =
 
 let test_fde_covers_non_asm () =
   let b = Lazy.force built in
-  let cies = Result.get_ok (Fetch_dwarf.Eh_frame.of_image b.image) in
+  let cies = (Fetch_dwarf.Eh_frame.of_image b.image).cies in
   let fdes = Fetch_dwarf.Eh_frame.all_fdes cies in
   let fde_begins = List.map (fun (f : Fetch_dwarf.Eh_frame.fde) -> f.pc_begin) fdes in
   List.iter
@@ -203,7 +201,7 @@ let test_symbols_when_not_stripped () =
 let test_cfi_matches_sp_simulation () =
   let b = Lazy.force built in
   let text = Option.get (Fetch_elf.Image.section b.image ".text") in
-  let cies = Result.get_ok (Fetch_dwarf.Eh_frame.of_image b.image) in
+  let cies = (Fetch_dwarf.Eh_frame.of_image b.image).cies in
   let oracle = Fetch_dwarf.Height_oracle.create cies in
   let checked = ref 0 in
   List.iter
@@ -271,7 +269,7 @@ let test_cxx_personality_and_lsda () =
   (* built with cxx = true: CIEs must carry the personality and some FDEs
      an LSDA into .gcc_except_table *)
   let b = Lazy.force built in
-  let cies = Result.get_ok (Fetch_dwarf.Eh_frame.of_image b.image) in
+  let cies = (Fetch_dwarf.Eh_frame.of_image b.image).cies in
   let pers =
     List.find_map (fun (c : Fetch_dwarf.Eh_frame.cie) -> c.personality) cies
   in
@@ -315,9 +313,8 @@ let suite =
 let test_unwind_every_complete_function () =
   let b = Lazy.force built in
   let loaded_oracle =
-    match Fetch_dwarf.Eh_frame.of_image b.image with
-    | Ok cies -> Fetch_dwarf.Height_oracle.create cies
-    | Error e -> Alcotest.failf "eh_frame: %s" e
+    Fetch_dwarf.Height_oracle.create
+      (Fetch_dwarf.Eh_frame.of_image b.image).cies
   in
   let checked = ref 0 in
   List.iter
@@ -395,7 +392,7 @@ let suite =
    the unwinder). *)
 let test_lsda_call_sites () =
   let b = Lazy.force built in
-  let cies = Result.get_ok (Fetch_dwarf.Eh_frame.of_image b.image) in
+  let cies = (Fetch_dwarf.Eh_frame.of_image b.image).cies in
   let except =
     match Fetch_elf.Image.section b.image ".gcc_except_table" with
     | Some s -> s
@@ -432,7 +429,7 @@ let test_landing_pads_unreachable_by_cfg () =
   let b = Lazy.force built in
   let loaded = Fetch_analysis.Loaded.load (Fetch_elf.Image.strip b.image) in
   let res = Fetch_analysis.Recursive.run loaded ~seeds:loaded.fde_starts in
-  let cies = Result.get_ok (Fetch_dwarf.Eh_frame.of_image b.image) in
+  let cies = (Fetch_dwarf.Eh_frame.of_image b.image).cies in
   let except = Option.get (Fetch_elf.Image.section b.image ".gcc_except_table") in
   let checked = ref 0 in
   List.iter
