@@ -1,0 +1,10 @@
+let () =
+  (* 4-byte 0xffffffff marker, then len64 whose Int64.to_int = -12:
+     0x7FFF_FFFF_FFFF_FFF4 (positive as Int64) *)
+  let b = Buffer.create 16 in
+  Buffer.add_string b "\xff\xff\xff\xff";
+  Buffer.add_string b "\xf4\xff\xff\xff\xff\xff\xff\x7f";
+  let data = Buffer.contents b in
+  Printf.printf "len64 to_int = %d\n%!" (Int64.to_int 0x7FFFFFFFFFFFFFF4L);
+  let d = Fetch_dwarf.Eh_frame.decode ~addr:0 data in
+  Printf.printf "done: ok=%d skipped=%d diags=%d\n" d.records_ok d.records_skipped (List.length d.diags)
