@@ -6,7 +6,8 @@
      disasm     linear disassembly of a binary's text section
      compare    run every tool model on a binary and score against truth
      unwind     show FDE records and CFI stack-height tables
-     handlers   list LSDA call sites and landing pads *)
+     handlers   list LSDA call sites and landing pads
+     lint       cross-layer consistency check of a FETCH run *)
 
 open Cmdliner
 
@@ -285,6 +286,51 @@ let handlers path =
         (Fetch_dwarf.Eh_frame.all_fdes cies);
       if not !any then print_endline "(no LSDAs: not a C++-style binary)"
 
+(* ---- lint ---- *)
+
+let lint path json stats fail_on =
+  let img = load_image path in
+  let work () =
+    let r = Fetch_core.Pipeline.run img in
+    Fetch_core.Lint.run r
+  in
+  let findings, report =
+    if stats then
+      let f, rep = Fetch_obs.Trace.with_run work in
+      (f, Some rep)
+    else (work (), None)
+  in
+  List.iter
+    (fun f ->
+      print_endline
+        (if json then Fetch_check.Finding.to_json f
+         else Fetch_check.Finding.to_string f))
+    findings;
+  let errors = Fetch_check.Finding.count Error findings in
+  let warnings = Fetch_check.Finding.count Warning findings in
+  if not json then
+    Printf.printf "%d finding%s: %d error%s, %d warning%s, %d info\n"
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s")
+      (Fetch_check.Finding.count Info findings);
+  (match report with
+  | None -> ()
+  | Some rep ->
+      (* per-rule lint.findings.* counters plus pipeline/lint timings *)
+      print_newline ();
+      print_string (Fetch_obs.Report.text rep));
+  let gate =
+    match fail_on with
+    | "never" -> false
+    | "warning" -> errors + warnings > 0
+    | _ -> errors > 0
+  in
+  if gate then exit 1
+
 (* ---- cmdliner wiring ---- *)
 
 let path_arg =
@@ -349,6 +395,29 @@ let handlers_cmd =
     (Cmd.info "handlers" ~doc:"List LSDA call sites and landing pads")
     Term.(const handlers $ path_arg)
 
+let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit findings as JSON lines instead of text.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print per-rule finding counters and stage timings.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("error", "error"); ("warning", "warning"); ("never", "never") ])
+             "error"
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:"Exit non-zero when findings at or above $(docv) exist \
+                   (error, warning or never).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Cross-check a FETCH run's layers and report inconsistencies")
+    Term.(const lint $ path_arg $ json $ stats $ fail_on)
+
 let () =
   let doc = "function detection with exception handling information" in
   exit
@@ -356,5 +425,5 @@ let () =
        (Cmd.group (Cmd.info "fetch" ~doc)
           [
             generate_cmd; analyze_cmd; disasm_cmd; compare_cmd; unwind_cmd;
-            handlers_cmd;
+            handlers_cmd; lint_cmd;
           ]))

@@ -1,13 +1,24 @@
 (** Calling-convention validation (§IV-E): a candidate function start is
     plausible only if no non-argument register is read before it is written.
 
-    The check walks the CFG from the candidate start path-sensitively with
-    bounded depth.  Arguments (rdi, rsi, rdx, rcx, r8, r9) and rsp start
-    initialized; a [push] is a save, not a use; a call defines rax.  Any
-    path that reads an uninitialized non-argument register invalidates the
-    candidate. *)
+    The check is a {!Fetch_check.Dataflow} instance: the state is the set
+    of initialized registers (plus a per-block model of the first
+    argument, used to decide whether conditionally non-returning callees
+    return), the transfer function reports a read of an uninitialized
+    non-argument register as a {!Fetch_check.Dataflow.Fatal} verdict, and
+    the bounded-walk shape of the original check (first in-state wins,
+    depth-first, 64 instructions / 12 blocks of fuel) is the engine's
+    [First_write_wins] mode.
+
+    Arguments (rdi, rsi, rdx, rcx, r8, r9) and rsp start initialized; a
+    [push] is a save, not a use; a call leaves only the callee-saved
+    registers and the return value initialized — the System-V
+    caller-saved registers (rax, r10, r11 and the argument registers) are
+    clobbered by the callee, so a stale value read after the call no
+    longer counts as initialized. *)
 
 open Fetch_x86
+module Dataflow = Fetch_check.Dataflow
 
 let max_insns = 64
 let max_blocks = 12
@@ -24,89 +35,91 @@ module RS = Set.Make (Reg)
 
 let initial_set = RS.of_list Reg.args
 
-(* Walk one straight-line block; returns [Error violation] on violation or
-   [Ok (init, next_starts)] with successor addresses.  [noreturn] /
-   [cond_noreturn] stop the walk after calls known to never return
-   (otherwise the walk would run off the function's end into padding or
-   data).  [rdi] tracks the first argument for conditional-noreturn call
-   sites, mirroring the engine's backward-slice policy: only a provably
-   zero argument lets the call return. *)
-let rec walk_block loaded ~noreturn ~cond_noreturn ~fuel ~rdi init addr
-    acc_next =
-  if fuel <= 0 then Ok (init, acc_next)
-  else
-    match Loaded.insn_at loaded addr with
-    | None -> Error { at = addr; reg = None }
-    | Some (insn, len) -> (
-        let reads = Semantics.uses insn in
-        match
-          List.find_opt
-            (fun r -> (not (RS.mem r init)) && not (Reg.is_arg r))
-            reads
-        with
-        | Some r -> Error { at = addr; reg = Some r }
-        | None -> (
-            let init =
-              List.fold_left (fun s r -> RS.add r s) init (Semantics.defs insn)
-            in
-            let rdi =
-              match insn with
-              | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm 0) -> `Zero
-              | Insn.Arith (Insn.Xor, _, Insn.Reg Reg.Rdi, Insn.Reg Reg.Rdi) ->
-                  `Zero
-              | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm _) -> `Nonzero
-              | _ ->
-                  if List.mem Reg.Rdi (Semantics.defs insn) then `Unknown
-                  else rdi
-            in
-            match Semantics.flow insn with
-            | Semantics.Fall ->
-                walk_block loaded ~noreturn ~cond_noreturn ~fuel:(fuel - 1)
-                  ~rdi init (addr + len) acc_next
-            | Semantics.Ret | Semantics.Halt -> Ok (init, acc_next)
-            | Semantics.Jump (Semantics.Direct t) -> Ok (init, t :: acc_next)
-            | Semantics.Jump (Semantics.Indirect _) -> Ok (init, acc_next)
-            | Semantics.Cond t -> Ok (init, t :: (addr + len) :: acc_next)
-            | Semantics.Callf (Semantics.Direct t) when noreturn t ->
-                Ok (init, acc_next)
-            | Semantics.Callf (Semantics.Direct t)
-              when cond_noreturn t && rdi <> `Zero ->
-                Ok (init, acc_next)
-            | Semantics.Callf _ ->
-                (* the callee defines the return-value register *)
-                let init = RS.add Reg.Rax init in
-                walk_block loaded ~noreturn ~cond_noreturn ~fuel:(fuel - 1)
-                  ~rdi:`Unknown init (addr + len) acc_next))
+(* [rdi] tracks the first argument for conditional-noreturn call sites,
+   mirroring the engine's backward-slice policy: only a provably zero
+   argument lets the call return.  The tracking is local to a block —
+   crossing a block boundary resets it to [`Unknown]. *)
+module Lattice = struct
+  type state = { init : RS.t; rdi : [ `Zero | `Nonzero | `Unknown ] }
+  type fatal = violation
+
+  let equal a b = RS.equal a.init b.init && a.rdi = b.rdi
+
+  (* [First_write_wins] mode never joins. *)
+  let join a _ = a
+  let widen ~old:_ s = s
+
+  let transfer ~addr ~len:_ insn st =
+    let reads = Semantics.uses insn in
+    match
+      List.find_opt
+        (fun r -> (not (RS.mem r st.init)) && not (Reg.is_arg r))
+        reads
+    with
+    | Some r -> Dataflow.Fatal { at = addr; reg = Some r }
+    | None ->
+        let init =
+          List.fold_left (fun s r -> RS.add r s) st.init (Semantics.defs insn)
+        in
+        let init, rdi =
+          match Semantics.flow insn with
+          | Semantics.Callf _ ->
+              (* the callee clobbers every caller-saved register and
+                 defines the return-value register *)
+              (RS.add Reg.Rax (RS.filter Reg.is_callee_saved init), `Unknown)
+          | _ ->
+              let rdi =
+                match insn with
+                | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm 0) -> `Zero
+                | Insn.Arith (Insn.Xor, _, Insn.Reg Reg.Rdi, Insn.Reg Reg.Rdi)
+                  ->
+                    `Zero
+                | Insn.Mov (_, Insn.Reg Reg.Rdi, Insn.Imm _) -> `Nonzero
+                | _ ->
+                    if List.mem Reg.Rdi (Semantics.defs insn) then `Unknown
+                    else st.rdi
+              in
+              (init, rdi)
+        in
+        Dataflow.Step { init; rdi }
+end
+
+module Solver = Dataflow.Make (Lattice)
 
 (** Validate [start] as a function entry, with a diagnostic on failure.
-    [noreturn] (optional) tells the walk which call targets never return. *)
+    [noreturn] (optional) tells the walk which call targets never return;
+    fuel exhaustion means "assume fine". *)
 let validate_diag ?(noreturn = fun _ -> false)
     ?(cond_noreturn = fun _ -> false) loaded start =
   if not (Loaded.in_text loaded start) then Error { at = start; reg = None }
   else begin
-    let visited = Hashtbl.create 8 in
-    let rec go blocks_left frontier =
-      match frontier with
-      | [] -> Ok ()
-      | (addr, init) :: rest ->
-          if blocks_left <= 0 then Ok () (* bounded: assume fine *)
-          else if Hashtbl.mem visited addr then go blocks_left rest
-          else begin
-            Hashtbl.replace visited addr ();
-            match
-              walk_block loaded ~noreturn ~cond_noreturn ~fuel:max_insns
-                ~rdi:`Unknown init addr []
-            with
-            | Error v -> Error v
-            | Ok (init', nexts) ->
-                let nexts =
-                  List.filter (Loaded.in_text loaded) nexts
-                  |> List.map (fun a -> (a, init'))
-                in
-                go (blocks_left - 1) (nexts @ rest)
-          end
+    let prog =
+      {
+        Dataflow.insn_at = Loaded.insn_at loaded;
+        in_text = Loaded.in_text loaded;
+      }
     in
-    go max_blocks [ (start, initial_set) ]
+    let policy =
+      {
+        Solver.default_policy with
+        undecodable = (fun addr -> Some { at = addr; reg = None });
+        call_falls_through =
+          (fun ~site:_ ~target (st : Lattice.state) ->
+            match target with
+            | Some t when noreturn t -> false
+            | Some t when cond_noreturn t && st.rdi <> `Zero -> false
+            | _ -> true);
+        edge_state = (fun ~src:_ ~dst:_ st -> { st with Lattice.rdi = `Unknown });
+        order = Dataflow.Depth_first;
+      }
+    in
+    let sol =
+      Solver.solve ~max_block_insns:max_insns ~max_blocks ~record:false prog
+        policy ~merge:Dataflow.First_write_wins ~entry:start
+        ~init:{ Lattice.init = initial_set; rdi = `Unknown }
+        ()
+    in
+    match sol.Solver.fatal with Some v -> Error v | None -> Ok ()
   end
 
 (** Validate [start] as a function entry. *)

@@ -1,8 +1,10 @@
 (** Static stack-height analysis, modelling the analyses shipped by ANGR
     and DYNINST that Table IV compares against the CFI oracle.
 
-    The walker propagates the stack height (bytes pushed since function
-    entry) across the CFG it can recover.  Model fidelity notes:
+    The analysis is a {!Fetch_check.Dataflow} instance: the state is the
+    stack height (bytes pushed since function entry), first write wins —
+    the arrival-order sensitivity is part of the model — and each tool's
+    behavioural quirks are edge-policy knobs.  Model fidelity notes:
 
     - Both tools decode function ranges partly linearly; we reproduce this
       with [linear_fallthrough]: after an unconditional jump the walker also
@@ -18,6 +20,7 @@
       statically trackable ([leave], [mov rsp, r]). *)
 
 open Fetch_x86
+module Dataflow = Fetch_check.Dataflow
 
 type style = {
   resolve_pic_tables : bool;
@@ -48,21 +51,31 @@ let dyninst_style =
     track_through_indirect_calls = true;
   }
 
+module Lattice = struct
+  type state = int  (** bytes pushed since entry *)
+
+  type fatal = unit  (** never produced *)
+
+  let equal = Int.equal
+
+  (* [First_write_wins] mode never joins. *)
+  let join a _ = a
+  let widen ~old:_ s = s
+
+  let transfer ~addr:_ ~len:_ insn h =
+    match Semantics.flow insn with
+    | Semantics.Fall | Semantics.Callf _ -> (
+        match Semantics.sp_delta insn with
+        | Some d -> Dataflow.Step (h - d)
+        | None -> Dataflow.Drop (* untrackable: abandon the path *))
+    | _ -> Dataflow.Step h (* successors inherit the jump-site height *)
+end
+
+module Solver = Dataflow.Make (Lattice)
+
 (** Heights at every address reached from [entry]; first write wins (the
     arrival-order sensitivity is part of the model). *)
 let analyze loaded ~(style : style) entry =
-  let heights : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let visited_blocks = Hashtbl.create 32 in
-  let frontier = Queue.create () in
-  Queue.add (entry, 0) frontier;
-  let record addr h =
-    if not (Hashtbl.mem heights addr) then Hashtbl.replace heights addr h
-  in
-  let stop_linear addr =
-    (* both tools know FDE boundaries: the linear guess never crosses into
-       another FDE-covered function *)
-    Loaded.fde_starting_at loaded addr
-  in
   let table_allowed op prior =
     match Jump_table.resolve loaded.Loaded.image ~prior op with
     | Some { Jump_table.targets; _ } -> (
@@ -83,55 +96,34 @@ let analyze loaded ~(style : style) entry =
         | Insn.Imm _ -> None)
     | None -> None
   in
-  while not (Queue.is_empty frontier) do
-    let addr0, h0 = Queue.pop frontier in
-    if not (Hashtbl.mem visited_blocks addr0) then begin
-      Hashtbl.replace visited_blocks addr0 ();
-      (* walk the straight line *)
-      let rec walk addr h window =
-        if not (Loaded.in_text loaded addr) then ()
-        else
-          match Loaded.insn_at loaded addr with
-          | None -> ()
-          | Some (insn, len) -> (
-              record addr h;
-              let window = (addr, len, insn) :: window in
-              let continue_with h' = walk (addr + len) h' window in
-              let next_height () =
-                match Semantics.sp_delta insn with
-                | Some d -> Some (h - d)
-                | None -> None
-              in
-              match Semantics.flow insn with
-              | Semantics.Callf (Semantics.Indirect _)
-                when not style.track_through_indirect_calls ->
-                  () (* unknown callee: tracking abandoned *)
-              | Semantics.Fall | Semantics.Callf _ -> (
-                  match next_height () with
-                  | Some h' -> continue_with h'
-                  | None -> () (* untrackable: abandon the path *))
-              | Semantics.Ret | Semantics.Halt -> ()
-              | Semantics.Jump (Semantics.Direct t) ->
-                  Queue.add (t, h) frontier;
-                  (* the linear guess continues immediately, so its (often
-                     wrong) heights win the first-write race — this is the
-                     arrival-order defect the model reproduces *)
-                  if style.linear_fallthrough && not (stop_linear (addr + len))
-                  then walk (addr + len) h window
-              | Semantics.Cond t ->
-                  Queue.add (t, h) frontier;
-                  continue_with h
-              | Semantics.Jump (Semantics.Indirect op) -> (
-                  match table_allowed op window with
-                  | Some targets ->
-                      List.iter (fun t -> Queue.add (t, h) frontier) targets
-                  | None ->
-                      if
-                        style.linear_after_indirect
-                        && not (stop_linear (addr + len))
-                      then walk (addr + len) h window))
-      in
-      walk addr0 h0 []
-    end
-  done;
-  heights
+  let prog =
+    {
+      Dataflow.insn_at = Loaded.insn_at loaded;
+      in_text = Loaded.in_text loaded;
+    }
+  in
+  let policy =
+    {
+      Solver.default_policy with
+      resolve_indirect = (fun ~site:_ ~window op -> table_allowed op window);
+      call_falls_through =
+        (fun ~site:_ ~target _ ->
+          match target with
+          | None -> style.track_through_indirect_calls
+          | Some _ -> true);
+      filter_succs_in_text = false;
+      stop_outside_text = true;
+      linear_fallthrough = style.linear_fallthrough;
+      linear_after_indirect = style.linear_after_indirect;
+      (* both tools know FDE boundaries: the linear guess never crosses
+         into another FDE-covered function *)
+      stop_linear_at = Loaded.fde_starting_at loaded;
+      inline_cond_fallthrough = true;
+      order = Dataflow.Breadth_first;
+    }
+  in
+  let sol =
+    Solver.solve ~max_block_insns:max_int ~max_blocks:max_int prog policy
+      ~merge:Dataflow.First_write_wins ~entry ~init:0 ()
+  in
+  sol.Solver.states

@@ -1,0 +1,41 @@
+(** Structured lint findings: one cross-layer inconsistency, attributed to
+    a rule, an address and a severity.
+
+    Severities encode actionability, and the CI gate keys off them:
+
+    - [Error] — the layers contradict each other in a way that cannot be
+      legitimate (overlapping instruction decodes, a jump into the middle
+      of a committed instruction).  A clean pipeline run must produce
+      none; CI fails on any.
+    - [Warning] — suspicious but explainable (an FDE nobody reached, a
+      kept start that fails the §IV-E register-initialization lattice, a
+      stack height disagreeing with the CFI oracle).  Reported, non-fatal.
+    - [Info] — context worth surfacing (functions sharing code at agreeing
+      instruction boundaries, partially-reached FDEs such as landing
+      pads). *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["func-overlap"] *)
+  severity : severity;
+  addr : int;  (** primary address of the inconsistency *)
+  related : int option;  (** secondary address (other function, target) *)
+  message : string;
+}
+
+val severity_label : severity -> string
+
+(** Order by severity (most severe first), then address, then rule. *)
+val compare : t -> t -> int
+
+(** One human-readable line, e.g.
+    ["error   func-overlap     0x1010: ..."]. *)
+val to_string : t -> string
+
+(** One JSON object (no trailing newline), e.g.
+    [{"rule":"func-overlap","severity":"error","addr":4112,...}]. *)
+val to_json : t -> string
+
+(** [count sev findings] — findings at exactly this severity. *)
+val count : severity -> t list -> int

@@ -1,0 +1,10 @@
+(** Adapter from a finished pipeline run to the cross-layer consistency
+    linter ({!Fetch_check.Lint}): packages the run's layers — detected
+    functions, committed instruction spans, FDE table, CFI oracle, §IV-E
+    verdicts — into the linter's pipeline-agnostic view. *)
+
+(** The linter view of a pipeline result. *)
+val view_of : Pipeline.result -> Fetch_check.Lint.view
+
+(** Lint a finished run: findings sorted most-severe-first. *)
+val run : Pipeline.result -> Fetch_check.Finding.t list

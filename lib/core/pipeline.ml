@@ -99,21 +99,23 @@ let run_loaded ?(config = default_config) loaded =
        they are always referenced by a jump from their hot part — an FDE
        start that both violates the convention and is referenced by nothing
        at all cannot be a real function or a function part. *)
-    let invalid =
+    let invalid, refs0 =
       Obs.span "fde_callconv_check" @@ fun () ->
       let refs0 = Refs.collect loaded res in
       let noreturn t = Hashtbl.mem res.Recursive.noreturn t in
       let cond_noreturn t = Hashtbl.mem res.Recursive.cond_noreturn t in
-      List.filter
-        (fun s ->
-          Refs.refs_to refs0 s = []
-          && Callconv.validate ~noreturn ~cond_noreturn loaded s
-             = Callconv.Invalid)
-        loaded.Loaded.fde_starts
+      ( List.filter
+          (fun s ->
+            Refs.refs_to refs0 s = []
+            && Callconv.validate ~noreturn ~cond_noreturn loaded s
+               = Callconv.Invalid)
+          loaded.Loaded.fde_starts,
+        refs0 )
     in
     Obs.add c_invalid_fde (List.length invalid);
-    let res, seeds =
-      if invalid = [] then (res, seeds)
+    (* the census stays valid only when the detection result does *)
+    let res, seeds, refs =
+      if invalid = [] then (res, seeds, Some refs0)
       else begin
         (* drop them and re-run detection without those seeds *)
         let seeds' =
@@ -123,13 +125,17 @@ let run_loaded ?(config = default_config) loaded =
             @ if config.use_symbols then loaded.Loaded.symbol_starts else [])
           |> List.sort_uniq compare
         in
-        if config.xref then Xref.detect ~config:config.engine loaded ~seeds:seeds'
-        else (Recursive.run ~config:config.engine loaded ~seeds:seeds', seeds')
+        let res', seeds' =
+          if config.xref then
+            Xref.detect ~config:config.engine loaded ~seeds:seeds'
+          else (Recursive.run ~config:config.engine loaded ~seeds:seeds', seeds')
+        in
+        (res', seeds', None)
       end
     in
     Obs.add c_seeds_final (List.length seeds);
     (* 4b. Algorithm 1 *)
-    let outcome = Tailcall.run ~heights:config.alg1_heights loaded res in
+    let outcome = Tailcall.run ~heights:config.alg1_heights ?refs loaded res in
     {
       starts = outcome.kept_starts;
       eh_frame = loaded.Loaded.eh_frame;

@@ -47,10 +47,15 @@ type height_source =
   | Cfi_oracle
   | Static of Fetch_analysis.Stack_height.style
 
-(** Run Algorithm 1 over the current detection result. *)
-let run ?(heights = Cfi_oracle) loaded (res : Recursive.result) =
+(** Run Algorithm 1 over the current detection result.  [refs], when
+    given, must be the reference census of exactly this [res] — callers
+    that already collected it (the pipeline's broken-FDE check) pass it
+    in so the census is not computed twice. *)
+let run ?(heights = Cfi_oracle) ?refs loaded (res : Recursive.result) =
   Obs.span "tailcall" @@ fun () ->
-  let refs = Refs.collect loaded res in
+  let refs =
+    match refs with Some r -> r | None -> Refs.collect loaded res
+  in
   let starts = Recursive.starts res in
   let removed = Hashtbl.create 16 in
   let tail_calls = ref [] in

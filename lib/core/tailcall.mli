@@ -28,9 +28,12 @@ type height_source =
   | Cfi_oracle
   | Static of Fetch_analysis.Stack_height.style
 
-(** Run Algorithm 1 over the current detection result. *)
+(** Run Algorithm 1 over the current detection result.  [refs], when
+    given, must be the reference census of exactly this result — callers
+    that already collected it pass it in so it is not computed twice. *)
 val run :
   ?heights:height_source ->
+  ?refs:Refs.t ->
   Fetch_analysis.Loaded.t ->
   Fetch_analysis.Recursive.result ->
   outcome

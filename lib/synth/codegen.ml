@@ -400,7 +400,16 @@ and lower_stmt t (c : fnctx) = function
       c.init <- List.filter (fun r -> List.mem r init_then) c.init;
       falls_then || falls_else
   | Loop (count, body) ->
-      let counter = pick_dst t c in
+      (* a counter live across calls goes in a callee-saved register,
+         exactly as a register allocator would assign it; call-free
+         bodies can burn a scratch register *)
+      let counter =
+        if Ir.stmts_have_call body then
+          match c.f.saves with
+          | [] -> pick_dst t c (* the generator guarantees a save exists *)
+          | saves -> Fetch_util.Prng.choice_list t.rng saves
+        else pick_dst t c
+      in
       ins c (I.Mov (I.W32, I.Reg counter, I.Imm count));
       mark_init c counter;
       let l_top = fresh t "loop" in
@@ -408,7 +417,6 @@ and lower_stmt t (c : fnctx) = function
       let falls = lower_stmts t c body in
       if falls then begin
         mark_init c counter;
-        (* the counter survives calls semantically *)
         ins c (I.Dec counter);
         ins c (I.Jcc (I.Ne, I.To_label l_top))
       end;

@@ -153,6 +153,13 @@ let gen_regular rng (p : Profile.t) ~name ~callees ?(must_call = [])
       Cold_jump cold :: body
     else body
   in
+  (* A loop counter that is live across calls is kept in a callee-saved
+     register (the way a register allocator would assign it), so such a
+     body forces at least one save. *)
+  let saves =
+    if stmts_have_call_loop body && saves = [] then [ Fetch_x86.Reg.Rbx ]
+    else saves
+  in
   (* Terminal statement.  Most noreturn calls sit behind a condition (the
      `if (err) fatal();` shape); only a few functions are outright
      noreturn wrappers. *)

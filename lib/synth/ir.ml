@@ -109,6 +109,38 @@ let rec stmts_have_cold stmts =
 
 let has_cold_part f = stmts_have_cold f.body
 
+(** Does the statement list contain a call of any form (one that returns
+    control, so a register live across it must be callee-saved)? *)
+let rec stmts_have_call stmts =
+  List.exists
+    (function
+      | Call _ | Call_pointer _ | Call_reg_pointer _ | Call_noreturn _
+      | Call_error _ ->
+          true
+      | If (a, b) -> stmts_have_call a || stmts_have_call b
+      | Loop (_, s) -> stmts_have_call s
+      | Try (a, b) -> stmts_have_call a || stmts_have_call b
+      | Switch (_, cases) -> Array.exists stmts_have_call cases
+      | Cold_jump s -> stmts_have_call s
+      | Compute _ | Store _ | Tail_call _ | Return -> false)
+    stmts
+
+(** Does the body contain a counter loop whose body makes calls?  Such a
+    counter is live across the calls, so the code generator keeps it in a
+    callee-saved register — the function needs at least one save. *)
+let rec stmts_have_call_loop stmts =
+  List.exists
+    (function
+      | Loop (_, s) -> stmts_have_call s || stmts_have_call_loop s
+      | If (a, b) -> stmts_have_call_loop a || stmts_have_call_loop b
+      | Try (a, b) -> stmts_have_call_loop a || stmts_have_call_loop b
+      | Switch (_, cases) -> Array.exists stmts_have_call_loop cases
+      | Cold_jump s -> stmts_have_call_loop s
+      | Compute _ | Call _ | Call_pointer _ | Call_reg_pointer _ | Store _
+      | Call_noreturn _ | Call_error _ | Tail_call _ | Return ->
+          false)
+    stmts
+
 (** All direct callees (including tail-call targets) of a body. *)
 let rec callees stmts =
   List.concat_map

@@ -90,5 +90,14 @@ val stmts_have_cold : stmt list -> bool
 
 val has_cold_part : func -> bool
 
+(** Does the statement list contain a call of any form (one that returns
+    control, so a register live across it must be callee-saved)? *)
+val stmts_have_call : stmt list -> bool
+
+(** Does the body contain a counter loop whose body makes calls?  Such a
+    counter is live across the calls, so the code generator keeps it in a
+    callee-saved register — the function needs at least one save. *)
+val stmts_have_call_loop : stmt list -> bool
+
 (** All direct callees (including tail-call targets) of a body. *)
 val callees : stmt list -> string list

@@ -8,6 +8,7 @@ let () =
       ("dwarf", Test_dwarf.suite);
       ("synth", Test_synth.suite);
       ("analysis", Test_analysis.suite);
+      ("check", Test_check.suite);
       ("core", Test_core.suite);
       ("baselines", Test_baselines.suite);
       ("rop", Test_rop.suite);

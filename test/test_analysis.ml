@@ -201,6 +201,108 @@ let test_jump_table_rejects_bad_targets () =
   let f = Hashtbl.find res.funcs (label asm "f") in
   check Alcotest.bool "rejected" true f.unresolved_indirect_jump
 
+let test_jump_table_register_load () =
+  (* cmp idx, N ; ja default ; mov r, [table + idx*8] ; jmp r *)
+  let items =
+    [
+      Asm.Label "f";
+      Asm.I (I.Arith (I.Cmp, I.W64, I.Reg Reg.Rdi, I.Imm 2));
+      Asm.I (I.Jcc (I.A, I.To_label "default"));
+      Asm.I (I.Mov (I.W64, I.Reg Reg.Rax, I.Mem (I.mem ~index:(Reg.Rdi, 8) ~disp:0x5000 ())));
+      Asm.I (I.Jmp_ind (I.Reg Reg.Rax));
+      Asm.Label "c0";
+      Asm.I I.Ret;
+      Asm.Label "c1";
+      Asm.I I.Ret;
+      Asm.Label "c2";
+      Asm.I I.Ret;
+      Asm.Label "default";
+      Asm.I I.Ret;
+    ]
+  in
+  let _, asm0 = image_of items in
+  let rodata =
+    let b = Fetch_util.Byte_buf.create () in
+    List.iter
+      (fun l -> Fetch_util.Byte_buf.u64 b (label asm0 l))
+      [ "c0"; "c1"; "c2" ];
+    Fetch_util.Byte_buf.contents b
+  in
+  let img, asm = image_of ~rodata items in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  let f = Hashtbl.find res.funcs (label asm "f") in
+  check Alcotest.bool "no unresolved" false f.unresolved_indirect_jump;
+  match f.table_targets with
+  | [ (0x5000, targets) ] ->
+      check (Alcotest.list Alcotest.int) "targets"
+        [ label asm "c0"; label asm "c1"; label asm "c2" ]
+        targets
+  | _ -> Alcotest.fail "expected one resolved table"
+
+let pic_table_items =
+  (* cmp idx, N ; ja default ; lea rt, [rip+table] ;
+     movsxd rx, [rt + idx*4] ; add rx, rt ; jmp rx *)
+  [
+    Asm.Label "f";
+    Asm.I (I.Arith (I.Cmp, I.W64, I.Reg Reg.Rdi, I.Imm 2));
+    Asm.I (I.Jcc (I.A, I.To_label "default"));
+    Asm.I (I.Lea (Reg.Rbx, I.rip_sym (I.To_addr 0x5000)));
+    Asm.I (I.Movsxd (Reg.Rcx, I.mem ~base:Reg.Rbx ~index:(Reg.Rdi, 4) ()));
+    Asm.I (I.Arith (I.Add, I.W64, I.Reg Reg.Rcx, I.Reg Reg.Rbx));
+    Asm.I (I.Jmp_ind (I.Reg Reg.Rcx));
+    Asm.Label "c0";
+    Asm.I I.Ret;
+    Asm.Label "c1";
+    Asm.I I.Ret;
+    Asm.Label "c2";
+    Asm.I I.Ret;
+    Asm.Label "default";
+    Asm.I I.Ret;
+  ]
+
+let test_jump_table_pic_add () =
+  let _, asm0 = image_of pic_table_items in
+  let rodata =
+    (* 32-bit offsets relative to the table base *)
+    let b = Fetch_util.Byte_buf.create () in
+    List.iter
+      (fun l -> Fetch_util.Byte_buf.u32 b ((label asm0 l - 0x5000) land 0xffffffff))
+      [ "c0"; "c1"; "c2" ];
+    Fetch_util.Byte_buf.contents b
+  in
+  let img, asm = image_of ~rodata pic_table_items in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  let f = Hashtbl.find res.funcs (label asm "f") in
+  check Alcotest.bool "no unresolved" false f.unresolved_indirect_jump;
+  match f.table_targets with
+  | [ (0x5000, targets) ] ->
+      check (Alcotest.list Alcotest.int) "targets"
+        [ label asm "c0"; label asm "c1"; label asm "c2" ]
+        targets
+  | _ -> Alcotest.fail "expected one resolved table"
+
+let test_jump_table_opaque_register () =
+  (* jmp through a register whose value is no table load: stays
+     unresolved no matter the bound check *)
+  let items =
+    [
+      Asm.Label "f";
+      Asm.I (I.Arith (I.Cmp, I.W64, I.Reg Reg.Rdi, I.Imm 2));
+      Asm.I (I.Jcc (I.A, I.To_label "default"));
+      Asm.I (I.Mov (I.W64, I.Reg Reg.Rax, I.Reg Reg.Rdi));
+      Asm.I (I.Jmp_ind (I.Reg Reg.Rax));
+      Asm.Label "default";
+      Asm.I I.Ret;
+    ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let res = Recursive.run loaded ~seeds:[ label asm "f" ] in
+  let f = Hashtbl.find res.funcs (label asm "f") in
+  check Alcotest.bool "unresolved" true f.unresolved_indirect_jump
+
 (* --- calling convention --- *)
 
 let validate_items items =
@@ -394,6 +496,9 @@ let suite =
     Alcotest.test_case "jump table: absolute form" `Quick test_jump_table_absolute;
     Alcotest.test_case "jump table: needs bound check" `Quick test_jump_table_unresolved_without_bound;
     Alcotest.test_case "jump table: bad targets rejected" `Quick test_jump_table_rejects_bad_targets;
+    Alcotest.test_case "jump table: register-load form" `Quick test_jump_table_register_load;
+    Alcotest.test_case "jump table: PIC add form" `Quick test_jump_table_pic_add;
+    Alcotest.test_case "jump table: opaque register unresolved" `Quick test_jump_table_opaque_register;
     Alcotest.test_case "callconv: arguments allowed" `Quick test_callconv_accepts_args;
     Alcotest.test_case "callconv: uninit read rejected" `Quick test_callconv_rejects_uninit_read;
     Alcotest.test_case "callconv: push is a save" `Quick test_callconv_push_is_save_not_use;
