@@ -5,20 +5,52 @@
    Usage:
      main.exe                 run everything on the full 1,432-binary corpus
      main.exe --scale 0.1     shrink the corpus (fraction of programs)
+     main.exe --domains 4     domain count for the parallel perf run
      main.exe table1|table2|fig5|errors|table3|table4|ablation|pe|perf|micro *)
 
 let scale = ref 1.0
+let domains = ref 0 (* 0 = Fetch_par.Pool.default_domains () *)
 let sections = ref []
+
+(* Every name [want] is queried with below, including the aliases —
+   a misspelled section must be an error, not a silent no-op run. *)
+let known_sections =
+  [
+    "table1"; "table2"; "q1"; "fig5"; "q2"; "q3"; "errors"; "xref"; "alg1";
+    "rop"; "table3"; "table5"; "table4"; "ablation"; "pe"; "perf"; "micro";
+  ]
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "error: %s\n" msg;
+      Printf.eprintf "usage: main.exe [--scale FRACTION] [--domains N] [SECTION]...\n";
+      Printf.eprintf "sections: %s\n" (String.concat " " known_sections);
+      exit 2)
+    fmt
 
 let () =
   let rec parse = function
     | [] -> ()
-    | "--scale" :: v :: rest ->
-        scale := float_of_string v;
-        parse rest
-    | s :: rest ->
+    | "--scale" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s > 0.0 && s <= 1.0 ->
+            scale := s;
+            parse rest
+        | Some _ -> usage_error "--scale %s is out of range (0, 1]" v
+        | None -> usage_error "--scale expects a number, got %S" v)
+    | [ "--scale" ] -> usage_error "--scale expects a value"
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            domains := n;
+            parse rest
+        | _ -> usage_error "--domains expects a positive integer, got %S" v)
+    | [ "--domains" ] -> usage_error "--domains expects a value"
+    | s :: rest when List.mem s known_sections ->
         sections := s :: !sections;
         parse rest
+    | s :: _ -> usage_error "unknown section %S" s
   in
   parse (List.tl (Array.to_list Sys.argv))
 
@@ -36,23 +68,70 @@ let time name f =
 
 (* ------------------------------------------------------------------ *)
 (* Per-stage pipeline perf snapshot: run the instrumented FETCH        *)
-(* pipeline over the corpus and write the per-stage wall-clock totals  *)
-(* to BENCH_pipeline.json so later PRs can compare trajectories.       *)
+(* pipeline over the corpus — once sequentially, once on a domain pool *)
+(* — verify the parallel run reproduces the sequential results, and    *)
+(* write per-stage totals plus both wall clocks to BENCH_pipeline.json *)
+(* so later PRs can compare trajectories.                              *)
 (* ------------------------------------------------------------------ *)
 
 let snapshot_file = "BENCH_pipeline.json"
 
 let perf () =
-  let binaries = ref 0 in
-  let (), report =
-    Fetch_obs.Trace.with_run (fun () ->
-        Fetch_eval.Corpus.fold_selfbuilt ~scale:!scale ~init:() (fun () bin ->
-            incr binaries;
-            let stripped = Fetch_elf.Image.strip bin.built.image in
-            let loaded = Fetch_analysis.Loaded.load stripped in
-            ignore (Fetch_core.Pipeline.run_loaded loaded)))
+  let analyze (bin : Fetch_eval.Corpus.binary) =
+    let r, report =
+      Fetch_obs.Trace.with_run (fun () ->
+          let stripped = Fetch_elf.Image.strip bin.built.image in
+          let loaded = Fetch_analysis.Loaded.load stripped in
+          Fetch_core.Pipeline.run_loaded loaded)
+    in
+    (bin.id, r.Fetch_core.Pipeline.starts, report)
   in
-  let aggs = Fetch_obs.Report.aggregate_spans report in
+  let jobs = Fetch_eval.Corpus.jobs_selfbuilt ~scale:!scale () in
+  let binaries = List.length jobs in
+  let n_domains =
+    if !domains > 0 then !domains else Fetch_par.Pool.default_domains ()
+  in
+  Printf.printf "sequential baseline (%d binaries)...\n%!" binaries;
+  let seq, seq_wall =
+    Fetch_obs.Clock.time_s (fun () ->
+        List.map (fun (j : Fetch_eval.Corpus.job) -> analyze (j.build ())) jobs)
+  in
+  Printf.printf "parallel run (%d domains)...\n%!" n_domains;
+  let par_outcomes, par_wall =
+    Fetch_obs.Clock.time_s (fun () ->
+        Fetch_par.Pool.with_pool ~domains:n_domains (fun pool ->
+            Fetch_eval.Corpus.map_selfbuilt_par pool ~scale:!scale analyze))
+  in
+  let par =
+    List.map
+      (function
+        | Ok v -> v
+        | Error f ->
+            Printf.eprintf "parallel corpus run failed:\n%s\n"
+              (Fetch_par.Pool.failure_to_string f);
+            exit 1)
+      par_outcomes
+  in
+  (* the parallel run must be a drop-in replacement: same binaries, same
+     per-binary starts, same merged counter totals *)
+  let key (id, starts, _) = (id, starts) in
+  if List.map key seq <> List.map key par then begin
+    Printf.eprintf "parallel per-binary results differ from sequential run\n";
+    exit 1
+  end;
+  let merged l = Fetch_obs.Trace.merge (List.map (fun (_, _, r) -> r) l) in
+  let seq_merged = merged seq and par_merged = merged par in
+  if seq_merged.Fetch_obs.Trace.counters <> par_merged.Fetch_obs.Trace.counters
+  then begin
+    Printf.eprintf "merged parallel counters differ from sequential run\n";
+    exit 1
+  end;
+  Printf.printf
+    "sequential %.3fs, parallel %.3fs on %d domains (speedup %.2fx); \
+     per-binary results and merged counters identical\n"
+    seq_wall par_wall n_domains
+    (seq_wall /. par_wall);
+  let aggs = Fetch_obs.Report.aggregate_spans seq_merged in
   let pipeline_total_ns =
     List.fold_left
       (fun acc (a : Fetch_obs.Report.agg) ->
@@ -62,9 +141,16 @@ let perf () =
   let buf = Buffer.create 4096 in
   let str = Fetch_obs.Report.json_string in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"fetch-bench-pipeline/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"fetch-bench-pipeline/2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" !scale);
-  Buffer.add_string buf (Printf.sprintf "  \"binaries\": %d,\n" !binaries);
+  Buffer.add_string buf (Printf.sprintf "  \"binaries\": %d,\n" binaries);
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" n_domains);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"seq_wall_s\": %.3f,\n" seq_wall);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"par_wall_s\": %.3f,\n" par_wall);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup\": %.2f,\n" (seq_wall /. par_wall));
   Buffer.add_string buf
     (Printf.sprintf "  \"pipeline_total_ms\": %.3f,\n"
        (Int64.to_float pipeline_total_ns /. 1e6));
@@ -77,12 +163,12 @@ let perf () =
             \"mean_ms_per_binary\": %.3f}%s\n"
            (str a.agg_name) a.agg_calls
            (Int64.to_float a.agg_total_ns /. 1e6)
-           (Int64.to_float a.agg_total_ns /. 1e6 /. float_of_int !binaries)
+           (Int64.to_float a.agg_total_ns /. 1e6 /. float_of_int binaries)
            (if i = List.length aggs - 1 then "" else ",")))
     aggs;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"counters\": [\n";
-  let counters = report.Fetch_obs.Trace.counters in
+  let counters = seq_merged.Fetch_obs.Trace.counters in
   List.iteri
     (fun i (n, v) ->
       Buffer.add_string buf
@@ -93,8 +179,8 @@ let perf () =
   let oc = open_out snapshot_file in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s (%d binaries)\n" snapshot_file !binaries;
-  print_string (Fetch_obs.Report.text report)
+  Printf.printf "wrote %s (%d binaries)\n" snapshot_file binaries;
+  print_string (Fetch_obs.Report.text seq_merged)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table.           *)

@@ -7,7 +7,8 @@
      compare    run every tool model on a binary and score against truth
      unwind     show FDE records and CFI stack-height tables
      handlers   list LSDA call sites and landing pads
-     lint       cross-layer consistency check of a FETCH run *)
+     lint       cross-layer consistency check of a FETCH run
+     batch      run the pipeline over many binaries on a domain pool *)
 
 open Cmdliner
 
@@ -331,6 +332,53 @@ let lint path json stats fail_on =
   in
   if gate then exit 1
 
+(* ---- batch ---- *)
+
+(* An explicitly-listed path is always analyzed (failures show up as
+   per-binary failure records); a directory is scanned one level deep
+   for files that look like ELF, so truth manifests and reports sitting
+   next to the binaries don't become noise. *)
+let looks_like_elf path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      let r =
+        match really_input_string ic 4 with
+        | magic -> magic = "\x7fELF"
+        | exception End_of_file -> false
+      in
+      close_in ic;
+      r
+
+let batch_files paths =
+  List.concat_map
+    (fun p ->
+      if Sys.file_exists p && Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.filter_map (fun f ->
+               let full = Filename.concat p f in
+               if (not (Sys.is_directory full)) && looks_like_elf full then
+                 Some full
+               else None)
+      else [ p ])
+    paths
+
+let batch paths domains json no_timings no_lint fail_on_failure =
+  let files = batch_files paths in
+  if files = [] then begin
+    Printf.eprintf "error: no binaries to analyze\n";
+    exit 2
+  end;
+  let domains = if domains <= 0 then None else Some domains in
+  let t =
+    Fetch_core.Batch.run ?domains ~lint:(not no_lint)
+      (List.map Fetch_core.Batch.item_of_file files)
+  in
+  print_string
+    (if json then Fetch_core.Batch.json_lines ~timings:(not no_timings) t
+     else Fetch_core.Batch.text t);
+  if fail_on_failure && t.n_failed > 0 then exit 1
+
 (* ---- cmdliner wiring ---- *)
 
 let path_arg =
@@ -418,6 +466,55 @@ let lint_cmd =
        ~doc:"Cross-check a FETCH run's layers and report inconsistencies")
     Term.(const lint $ path_arg $ json $ stats $ fail_on)
 
+let batch_cmd =
+  let paths =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"ELF binaries, or directories scanned (one level) for ELF files.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domain count (default: the runtime's recommended count).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON lines instead of text.")
+  in
+  let no_timings =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:
+            "Omit wall-clock, stage-timing and domain-count fields so the \
+             report is a deterministic function of the inputs (byte-identical \
+             across domain counts).")
+  in
+  let no_lint =
+    Arg.(
+      value & flag
+      & info [ "no-lint" ] ~doc:"Skip the per-binary cross-layer lint.")
+  in
+  let fail_on_failure =
+    Arg.(
+      value & flag
+      & info [ "fail-on-failure" ]
+          ~doc:"Exit non-zero when any binary's analysis failed.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze many binaries concurrently on a fixed-size domain pool; a \
+          failure on one binary becomes a structured record, never aborting \
+          the batch")
+    Term.(
+      const batch $ paths $ domains $ json $ no_timings $ no_lint
+      $ fail_on_failure)
+
 let () =
   let doc = "function detection with exception handling information" in
   exit
@@ -425,5 +522,5 @@ let () =
        (Cmd.group (Cmd.info "fetch" ~doc)
           [
             generate_cmd; analyze_cmd; disasm_cmd; compare_cmd; unwind_cmd;
-            handlers_cmd; lint_cmd;
+            handlers_cmd; lint_cmd; batch_cmd;
           ]))

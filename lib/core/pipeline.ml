@@ -35,6 +35,21 @@ let default_config =
     engine = Recursive.safe_config;
   }
 
+(* The seed set both detection passes start from: FDE starts plus
+   (optionally) symbol starts, minus [excluding], deduped and sorted.
+   [excluding] membership goes through a hash set — the callconv check
+   can reject many starts and [List.mem] made this quadratic. *)
+let seed_set ?(excluding = []) ~use_symbols loaded =
+  let excluded =
+    let tbl = Hashtbl.create (List.length excluding) in
+    List.iter (fun s -> Hashtbl.replace tbl s ()) excluding;
+    tbl
+  in
+  loaded.Loaded.fde_starts
+  @ (if use_symbols then loaded.Loaded.symbol_starts else [])
+  |> List.filter (fun s -> not (Hashtbl.mem excluded s))
+  |> List.sort_uniq compare
+
 type result = {
   starts : int list;  (** final detected function starts, ascending *)
   eh_frame : Fetch_dwarf.Eh_frame.decoded;
@@ -61,9 +76,7 @@ let run_loaded ?(config = default_config) loaded =
     Obs.add c_seeds_fde (List.length loaded.Loaded.fde_starts);
     if config.use_symbols then
       Obs.add c_seeds_symbol (List.length loaded.Loaded.symbol_starts);
-    loaded.Loaded.fde_starts
-    @ (if config.use_symbols then loaded.Loaded.symbol_starts else [])
-    |> List.sort_uniq compare
+    seed_set ~use_symbols:config.use_symbols loaded
   in
   (* 2-3. safe recursive disassembly, with pointer detection iterating *)
   let res, seeds =
@@ -119,11 +132,7 @@ let run_loaded ?(config = default_config) loaded =
       else begin
         (* drop them and re-run detection without those seeds *)
         let seeds' =
-          List.filter
-            (fun s -> not (List.mem s invalid))
-            (loaded.Loaded.fde_starts
-            @ if config.use_symbols then loaded.Loaded.symbol_starts else [])
-          |> List.sort_uniq compare
+          seed_set ~excluding:invalid ~use_symbols:config.use_symbols loaded
         in
         let res', seeds' =
           if config.xref then

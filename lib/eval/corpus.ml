@@ -101,28 +101,35 @@ let spec_for rng (p : project) =
 let broken_fde_programs =
   [ ("Glibc-2.27", 0); ("Openssl-1.1.0l", 0); ("Nginx-1.15.0", 0) ]
 
-(** Fold [f] over the self-built corpus.  [scale] in (0, 1] shrinks each
-    project's program count (at least one program each). *)
-let fold_selfbuilt ?(scale = 1.0) ?only ~init f =
+type job = { job_id : string; build : unit -> binary }
+
+(** Enumerate the self-built corpus as deterministic build jobs without
+    building anything: each job's [build] derives its binary from the
+    job's own sub-seed, so jobs can run in any order — or on any domain
+    of a {!Fetch_par.Pool} — and still produce identical binaries.  Job
+    order is the traversal order of {!fold_selfbuilt}. *)
+let jobs_selfbuilt ?(scale = 1.0) ?only () =
   let selected =
     match only with
     | None -> projects
     | Some names -> List.filter (fun p -> List.mem p.pname names) projects
   in
-  List.fold_left
-    (fun acc p ->
+  List.concat_map
+    (fun p ->
       let n_prog = max 1 (int_of_float (float_of_int p.n_programs *. scale)) in
-      let rec progs acc i =
-        if i >= n_prog then acc
-        else
-          let acc =
-            List.fold_left
-              (fun acc compiler ->
-                List.fold_left
-                  (fun acc opt ->
-                    let seed = bin_seed ~pname:p.pname ~prog:i ~compiler ~opt in
+      List.concat_map
+        (fun i ->
+          List.concat_map
+            (fun compiler ->
+              List.map
+                (fun opt ->
+                  let seed = bin_seed ~pname:p.pname ~prog:i ~compiler ~opt in
+                  let profile = Profile.make compiler opt in
+                  let id =
+                    Printf.sprintf "%s/%d-%s" p.pname i (Profile.name profile)
+                  in
+                  let build () =
                     let rng = Fetch_util.Prng.create seed in
-                    let profile = Profile.make compiler opt in
                     let spec = spec_for rng p in
                     let spec =
                       if
@@ -134,18 +141,31 @@ let fold_selfbuilt ?(scale = 1.0) ?only ~init f =
                     in
                     let program = Gen.program rng profile spec in
                     let built = Link.build ~profile ~rng program in
-                    let id =
-                      Printf.sprintf "%s/%d-%s" p.pname i (Profile.name profile)
-                    in
-                    f acc { id; project = p; profile; built })
-                  acc Profile.all_opts)
-              acc
-              [ Profile.Synthgcc; Profile.Synthllvm ]
-          in
-          progs acc (i + 1)
-      in
-      progs acc 0)
-    init selected
+                    { id; project = p; profile; built }
+                  in
+                  { job_id = id; build })
+                Profile.all_opts)
+            [ Profile.Synthgcc; Profile.Synthllvm ])
+        (List.init n_prog Fun.id))
+    selected
+
+(** Fold [f] over the self-built corpus.  [scale] in (0, 1] shrinks each
+    project's program count (at least one program each). *)
+let fold_selfbuilt ?scale ?only ~init f =
+  List.fold_left
+    (fun acc j -> f acc (j.build ()))
+    init
+    (jobs_selfbuilt ?scale ?only ())
+
+(** Map [f] over the self-built corpus on a domain pool: every job
+    (generation + [f]) runs as one isolated task.  Results are in
+    {!fold_selfbuilt} traversal order; a task that raises yields an
+    [Error] carrying the binary id, never aborting the rest. *)
+let map_selfbuilt_par pool ?scale ?only f =
+  Fetch_par.Pool.map pool
+    ~label:(fun _ j -> j.job_id)
+    (fun j -> f (j.build ()))
+    (jobs_selfbuilt ?scale ?only ())
 
 let count_selfbuilt ?(scale = 1.0) () =
   List.fold_left

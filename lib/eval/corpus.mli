@@ -30,6 +30,15 @@ type binary = {
 
 val master_seed : int
 
+(** One deterministic build job: [build] derives the binary from the
+    job's own sub-seed, so jobs run in any order — or on any domain —
+    and produce identical binaries. *)
+type job = { job_id : string; build : unit -> binary }
+
+(** Enumerate the self-built corpus as build jobs without building
+    anything, in {!fold_selfbuilt} traversal order. *)
+val jobs_selfbuilt : ?scale:float -> ?only:string list -> unit -> job list
+
 (** Fold over the self-built corpus.  [scale] in (0, 1] shrinks each
     project's program count (at least one program each); [only] restricts
     to the named projects.  Binaries are generated on the fly and never
@@ -40,6 +49,17 @@ val fold_selfbuilt :
   init:'a ->
   ('a -> binary -> 'a) ->
   'a
+
+(** Map over the self-built corpus on a domain pool: each job
+    (generation + the callback) is one isolated task.  Results are in
+    {!fold_selfbuilt} traversal order; a raising task yields an [Error]
+    labelled with the binary id instead of aborting the batch. *)
+val map_selfbuilt_par :
+  Fetch_par.Pool.t ->
+  ?scale:float ->
+  ?only:string list ->
+  (binary -> 'b) ->
+  ('b, Fetch_par.Pool.failure) result list
 
 (** Number of binaries a [fold_selfbuilt] at this scale visits. *)
 val count_selfbuilt : ?scale:float -> unit -> int

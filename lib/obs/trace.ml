@@ -1,17 +1,17 @@
 (** Ambient recorder for spans, counters and histograms.  See the mli
-    for the design constraints (zero-cost-when-disabled, single
-    thread). *)
+    for the design constraints (zero-cost-when-disabled, domain-local
+    recording, deterministic merge). *)
 
 type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
-type counter = { c_name : string; mutable c_value : int }
 
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_min : int;
-  mutable h_max : int;
-}
+(* Instrument handles are immutable and interned by name in a global,
+   mutex-protected registry: [c_id]/[h_id] index the per-domain value
+   arrays.  Registration normally happens at module initialisation on
+   the primary domain, but a worker domain registering lazily is also
+   safe — the registry lock serialises id assignment, and every domain
+   grows its value arrays on demand. *)
+type counter = { c_name : string; c_id : int }
+type histogram = { h_name : string; h_id : int }
 
 type hist_stats = { count : int; sum : int; min : int; max : int }
 
@@ -21,67 +21,141 @@ type report = {
   histograms : (string * hist_stats) list;
 }
 
-(* ---- registries (interned by name, registration order preserved) ---- *)
+(* ---- global registry (names and ids only; no recorded values) ---- *)
 
+let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let rev_counters : counter list ref = ref []
+let rev_counter_names : string list ref = ref []
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let rev_histograms : histogram list ref = ref []
+let rev_histogram_names : string list ref = ref []
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
 let counter name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; c_value = 0 } in
+      let c = { c_name = name; c_id = Hashtbl.length counters } in
       Hashtbl.replace counters name c;
-      rev_counters := c :: !rev_counters;
+      rev_counter_names := name :: !rev_counter_names;
       c
 
 let histogram name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
-      let h = { h_name = name; h_count = 0; h_sum = 0; h_min = 0; h_max = 0 } in
+      let h = { h_name = name; h_id = Hashtbl.length histograms } in
       Hashtbl.replace histograms name h;
-      rev_histograms := h :: !rev_histograms;
+      rev_histogram_names := name :: !rev_histogram_names;
       h
 
-(* ---- run state ---- *)
+(* ---- per-domain run state ---- *)
 
-let enabled_flag = ref false
-let epoch = ref 0L
-let completed : span list ref = ref []
-let depth = ref 0
+type hcell = {
+  mutable hc_count : int;
+  mutable hc_sum : int;
+  mutable hc_min : int;
+  mutable hc_max : int;
+}
 
-let enabled () = !enabled_flag
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
-let value c = c.c_value
+(* One recording context per domain, reached through domain-local
+   storage.  Only the owning domain ever touches its context, so none
+   of these fields need synchronisation. *)
+type ctx = {
+  mutable live : bool;
+  mutable epoch : int64;
+  mutable depth : int;
+  mutable completed : span list;
+  mutable counts : int array;  (** indexed by [c_id] *)
+  mutable hists : hcell array;  (** indexed by [h_id] *)
+}
 
-let observe h v =
-  if !enabled_flag then begin
-    if h.h_count = 0 || v < h.h_min then h.h_min <- v;
-    if h.h_count = 0 || v > h.h_max then h.h_max <- v;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        live = false;
+        epoch = 0L;
+        depth = 0;
+        completed = [];
+        counts = [||];
+        hists = [||];
+      })
+
+let ctx () = Domain.DLS.get ctx_key
+let fresh_hcell () = { hc_count = 0; hc_sum = 0; hc_min = 0; hc_max = 0 }
+
+(* Lazily size the context's value arrays to the registry: a handle
+   registered after this domain's [start] still records correctly. *)
+let count_slot t (c : counter) =
+  if c.c_id >= Array.length t.counts then begin
+    let a = Array.make (c.c_id + 1) 0 in
+    Array.blit t.counts 0 a 0 (Array.length t.counts);
+    t.counts <- a
+  end;
+  c.c_id
+
+let hist_slot t (h : histogram) =
+  if h.h_id >= Array.length t.hists then begin
+    let a = Array.init (h.h_id + 1) (fun _ -> fresh_hcell ()) in
+    Array.blit t.hists 0 a 0 (Array.length t.hists);
+    t.hists <- a
+  end;
+  t.hists.(h.h_id)
+
+let enabled () = (ctx ()).live
+
+let incr c =
+  let t = ctx () in
+  if t.live then begin
+    let i = count_slot t c in
+    t.counts.(i) <- t.counts.(i) + 1
   end
 
+let add c n =
+  let t = ctx () in
+  if t.live then begin
+    let i = count_slot t c in
+    t.counts.(i) <- t.counts.(i) + n
+  end
+
+let value c =
+  let t = ctx () in
+  if c.c_id < Array.length t.counts then t.counts.(c.c_id) else 0
+
+let observe h v =
+  let t = ctx () in
+  if t.live then begin
+    let cell = hist_slot t h in
+    if cell.hc_count = 0 || v < cell.hc_min then cell.hc_min <- v;
+    if cell.hc_count = 0 || v > cell.hc_max then cell.hc_max <- v;
+    cell.hc_count <- cell.hc_count + 1;
+    cell.hc_sum <- cell.hc_sum + v
+  end
+
+let registered_sizes () =
+  with_registry @@ fun () ->
+  ( Hashtbl.length counters,
+    List.rev !rev_counter_names,
+    Hashtbl.length histograms,
+    List.rev !rev_histogram_names )
+
 let start () =
-  List.iter (fun c -> c.c_value <- 0) !rev_counters;
-  List.iter
-    (fun h ->
-      h.h_count <- 0;
-      h.h_sum <- 0;
-      h.h_min <- 0;
-      h.h_max <- 0)
-    !rev_histograms;
-  completed := [];
-  depth := 0;
-  epoch := Clock.now_ns ();
-  enabled_flag := true
+  let t = ctx () in
+  let n_counters, _, n_hists, _ = registered_sizes () in
+  t.counts <- Array.make (max 1 n_counters) 0;
+  t.hists <- Array.init (max 1 n_hists) (fun _ -> fresh_hcell ());
+  t.completed <- [];
+  t.depth <- 0;
+  t.epoch <- Clock.now_ns ();
+  t.live <- true
 
 let stop () =
-  enabled_flag := false;
+  let t = ctx () in
+  t.live <- false;
   let spans =
     (* pre-order: by start time, parents (lower depth) before the
        children they opened at the same instant *)
@@ -90,37 +164,40 @@ let stop () =
         match Int64.compare a.start_ns b.start_ns with
         | 0 -> Stdlib.compare a.depth b.depth
         | c -> c)
-      (List.rev !completed)
+      (List.rev t.completed)
   in
-  completed := [];
+  t.completed <- [];
+  let _, counter_names, _, histogram_names = registered_sizes () in
+  let nth_count i = if i < Array.length t.counts then t.counts.(i) else 0 in
+  let nth_hist i =
+    if i < Array.length t.hists then
+      let c = t.hists.(i) in
+      { count = c.hc_count; sum = c.hc_sum; min = c.hc_min; max = c.hc_max }
+    else { count = 0; sum = 0; min = 0; max = 0 }
+  in
   {
     spans;
-    counters = List.rev_map (fun c -> (c.c_name, c.c_value)) !rev_counters;
-    histograms =
-      List.rev_map
-        (fun h ->
-          ( h.h_name,
-            { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
-          ))
-        !rev_histograms;
+    counters = List.mapi (fun i n -> (n, nth_count i)) counter_names;
+    histograms = List.mapi (fun i n -> (n, nth_hist i)) histogram_names;
   }
 
 let span name f =
-  if not !enabled_flag then f ()
+  let t = ctx () in
+  if not t.live then f ()
   else begin
-    let d = !depth in
-    depth := d + 1;
+    let d = t.depth in
+    t.depth <- d + 1;
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dur = Int64.sub (Clock.now_ns ()) t0 in
-        depth := d;
+        t.depth <- d;
         (* [stop] may have run inside [f] (or an exception unwound past
            it); only record into a live run *)
-        if !enabled_flag then
-          completed :=
-            { name; depth = d; start_ns = Int64.sub t0 !epoch; dur_ns = dur }
-            :: !completed)
+        if t.live then
+          t.completed <-
+            { name; depth = d; start_ns = Int64.sub t0 t.epoch; dur_ns = dur }
+            :: t.completed)
       f
   end
 
@@ -131,3 +208,40 @@ let with_run f =
   | exception e ->
       ignore (stop ());
       raise e
+
+(* ---- deterministic merge of per-run reports ---- *)
+
+let merge_hist (a : hist_stats) (b : hist_stats) =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    {
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+    }
+
+let merge reports =
+  let spans = List.concat_map (fun r -> r.spans) reports in
+  let sum_by_name get combine =
+    let order = ref [] in
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (n, v) ->
+            match Hashtbl.find_opt tbl n with
+            | Some prev -> Hashtbl.replace tbl n (combine prev v)
+            | None ->
+                Hashtbl.replace tbl n v;
+                order := n :: !order)
+          (get r))
+      reports;
+    List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
+  in
+  {
+    spans;
+    counters = sum_by_name (fun r -> r.counters) ( + );
+    histograms = sum_by_name (fun r -> r.histograms) merge_hist;
+  }

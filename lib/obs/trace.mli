@@ -4,14 +4,36 @@
 
     The design is ambient and zero-cost-when-disabled: counters and
     spans are module-level handles created once at module initialisation
-    (interned by name), and every recording operation is a single load
-    of a global flag plus a branch while no run is active — no clock
-    read, no allocation.  [start]/[stop] (or [with_run]) bracket an
-    instrumented run; [stop] snapshots every registered instrument into
-    an immutable {!report}.
+    (interned by name), and every recording operation is a domain-local
+    load plus a branch while no run is active — no clock read, no
+    allocation.  [start]/[stop] (or [with_run]) bracket an instrumented
+    run; [stop] snapshots every registered instrument into an immutable
+    {!report}.
 
-    The recorder is deliberately not thread-safe: the analyses are
-    single-threaded and the hot paths cannot afford synchronisation. *)
+    {2 Domain-safety contract}
+
+    Recording state is {e per-domain}: every domain owns an independent
+    trace context (reached through domain-local storage), and
+    [start]/[incr]/[observe]/[span]/[stop] only ever touch the calling
+    domain's context.  Two domains recording concurrently therefore
+    never contend, never corrupt each other's values, and produce
+    exactly the reports they would have produced running alone.  The
+    rules:
+
+    - Handles ({!counter}, {!histogram}) are immutable, globally
+      interned and freely shared across domains; registration is
+      serialised by a lock and may happen from any domain at any time.
+    - A run belongs to the domain that called [start]: [stop] must be
+      called on that same domain, and spans/increments recorded on other
+      domains land in {e their} contexts, not the run's.  To instrument
+      a parallel computation, bracket each task with [with_run] on its
+      worker domain and combine the per-task reports with {!merge}.
+    - [merge] is deterministic: given the same list of reports it
+      returns the same merged report, independent of how many domains
+      produced them or in what order they ran.  Counter merge is
+      addition, so linear counter invariants (e.g.
+      [xref.candidates_scanned = accepted + Σ rejects]) that hold for
+      every per-task report also hold for the merged report. *)
 
 (** A completed timing span.  [start_ns] is relative to the start of the
     enclosing run, so reports are stable across processes. *)
@@ -38,35 +60,48 @@ type report = {
     called [name]. *)
 val counter : string -> counter
 
-(** Increment by one.  No-op while disabled. *)
+(** Increment by one.  No-op while the calling domain has no live run. *)
 val incr : counter -> unit
 
-(** Increment by [n].  No-op while disabled. *)
+(** Increment by [n].  No-op while the calling domain has no live run. *)
 val add : counter -> int -> unit
 
-(** Current value (0 after [start]). *)
+(** Current value in the calling domain's context (0 after [start]). *)
 val value : counter -> int
 
 (** [histogram name] registers (or returns) the histogram called [name]. *)
 val histogram : string -> histogram
 
-(** Record one observation.  No-op while disabled. *)
+(** Record one observation.  No-op while the calling domain has no live
+    run. *)
 val observe : histogram -> int -> unit
 
-(** Is a run currently being recorded? *)
+(** Is a run currently being recorded on the calling domain? *)
 val enabled : unit -> bool
 
-(** Reset every registered instrument and begin recording. *)
+(** Reset every registered instrument and begin recording on the calling
+    domain. *)
 val start : unit -> unit
 
-(** Stop recording and snapshot the run. *)
+(** Stop recording on the calling domain and snapshot the run. *)
 val stop : unit -> report
 
 (** [span name f] times [f] as a span named [name], nested under any
-    span currently open.  While disabled this is exactly [f ()].  The
-    span is recorded even when [f] raises. *)
+    span currently open on this domain.  While disabled this is exactly
+    [f ()].  The span is recorded even when [f] raises. *)
 val span : string -> (unit -> 'a) -> 'a
 
 (** [with_run f] is [start]; [f ()]; [stop] — returning [f]'s result and
     the report.  Recording is switched off again if [f] raises. *)
 val with_run : (unit -> 'a) -> 'a * report
+
+(** [merge reports] combines per-task reports (e.g. one per binary of a
+    parallel batch) into one: spans are concatenated in report order
+    (each span's [start_ns] stays relative to its own run — aggregate
+    by name, don't compare across runs), counters are summed and
+    histograms are combined (count/sum added, min/max widened, empty
+    cells ignored).  Instrument order is first-appearance order across
+    the report list, which for reports produced by this module is
+    registration order.  Deterministic: independent of domain count and
+    scheduling. *)
+val merge : report list -> report

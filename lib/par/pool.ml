@@ -1,0 +1,129 @@
+(** Fixed-size domain pool with a work queue — semantics in the mli. *)
+
+type failure = {
+  f_index : int;
+  f_label : string;
+  f_exn : string;
+  f_backtrace : string;
+}
+
+let failure_to_string f =
+  Printf.sprintf "task %d (%s) raised: %s%s" f.f_index f.f_label f.f_exn
+    (if f.f_backtrace = "" then ""
+     else "\n" ^ String.trim f.f_backtrace)
+
+type t = {
+  mu : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = Array.length t.workers
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Workers loop pulling closures off the queue until shutdown drains it.
+   Task closures capture their own failures (see [map]), so a raise
+   escaping one here would be a pool bug; swallowing it keeps one broken
+   task from killing the worker and hanging every later [map]. *)
+let worker pool () =
+  let rec next () =
+    Mutex.lock pool.mu;
+    let rec await () =
+      match Queue.take_opt pool.queue with
+      | Some job -> Some job
+      | None ->
+          if pool.stopping then None
+          else begin
+            Condition.wait pool.work_available pool.mu;
+            await ()
+          end
+    in
+    let job = await () in
+    Mutex.unlock pool.mu;
+    match job with
+    | None -> ()
+    | Some job ->
+        (try job () with _ -> ());
+        next ()
+  in
+  next ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some n -> invalid_arg (Printf.sprintf "Pool.create: domains = %d" n)
+    | None -> default_domains ()
+  in
+  let pool =
+    {
+      mu = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init n (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mu;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map t ?(label = fun i _ -> string_of_int i) f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let pending = ref n in
+    let batch_mu = Mutex.create () in
+    let batch_done = Condition.create () in
+    let task i () =
+      let r =
+        match f xs.(i) with
+        | v -> Ok v
+        | exception e ->
+            let bt = Printexc.get_backtrace () in
+            Error
+              {
+                f_index = i;
+                f_label = label i xs.(i);
+                f_exn = Printexc.to_string e;
+                f_backtrace = bt;
+              }
+      in
+      Mutex.lock batch_mu;
+      results.(i) <- Some r;
+      Stdlib.decr pending;
+      if !pending = 0 then Condition.broadcast batch_done;
+      Mutex.unlock batch_mu
+    in
+    Mutex.lock t.mu;
+    if t.stopping then begin
+      Mutex.unlock t.mu;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mu;
+    Mutex.lock batch_mu;
+    while !pending > 0 do
+      Condition.wait batch_done batch_mu
+    done;
+    Mutex.unlock batch_mu;
+    Array.to_list (Array.map Option.get results)
+  end

@@ -1,0 +1,60 @@
+(** A fixed-size pool of OCaml domains draining a shared work queue.
+
+    Built for corpus-scale batch analysis: per-binary tasks are
+    embarrassingly parallel, each task is isolated (an exception in one
+    becomes a structured {!failure} record and never aborts the batch),
+    and results come back in {e submission order}, so a parallel run is
+    a drop-in replacement for the sequential loop it speeds up.
+
+    Tasks must not share mutable state: the observability layer is
+    per-domain ({!Fetch_obs.Trace}'s domain-safety contract), and each
+    task should bracket its own [Fetch_obs.Trace.with_run] if it wants a
+    report.  Nested use of the pool from inside a task is not
+    supported. *)
+
+type t
+
+(** One task's captured exception: the task's submission index, the
+    caller-supplied label (for attribution in reports), the printed
+    exception and the backtrace (possibly empty when backtrace recording
+    is off). *)
+type failure = {
+  f_index : int;
+  f_label : string;
+  f_exn : string;
+  f_backtrace : string;
+}
+
+val failure_to_string : failure -> string
+
+(** [create ~domains ()] spawns a pool of [domains] worker domains
+    (default {!default_domains}).  Raises [Invalid_argument] when
+    [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** [Domain.recommended_domain_count], at least 1. *)
+val default_domains : unit -> int
+
+(** Drain the queue, then stop and join every worker.  Idempotent.
+    Outstanding [map] calls finish first (their tasks are already
+    queued); new [map] calls after shutdown raise. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] is [f (create ~domains ())] with a guaranteed
+    [shutdown], even when [f] raises. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** [map t ~label f xs] runs [f x] for every element on the pool and
+    blocks until all complete.  The result list is in the order of [xs]
+    regardless of scheduling, one entry per element: [Ok (f x)], or
+    [Error failure] when [f x] raised — a raising task never affects the
+    others.  [label i x] names task [i] in its failure record. *)
+val map :
+  t ->
+  ?label:(int -> 'a -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, failure) result list

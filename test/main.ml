@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("elf", Test_elf.suite);
       ("x86", Test_x86.suite);
       ("dwarf", Test_dwarf.suite);
