@@ -6,11 +6,18 @@
      main.exe                 run everything on the full 1,432-binary corpus
      main.exe --scale 0.1     shrink the corpus (fraction of programs)
      main.exe --domains 4     domain count for the parallel perf run
+     main.exe perf --check BENCH_pipeline.json
+                              regression gate: rerun the perf section at the
+                              baseline's scale and fail on detection drift or
+                              speed-adjusted stage-time regressions
      main.exe table1|table2|fig5|errors|table3|table4|ablation|pe|perf|micro *)
 
 let scale = ref 1.0
+let scale_set = ref false
 let domains = ref 0 (* 0 = Fetch_par.Pool.default_domains () *)
 let sections = ref []
+let check_file = ref None
+let tolerance = ref 0.5
 
 (* Every name [want] is queried with below, including the aliases —
    a misspelled section must be an error, not a silent no-op run. *)
@@ -24,7 +31,9 @@ let usage_error fmt =
   Printf.ksprintf
     (fun msg ->
       Printf.eprintf "error: %s\n" msg;
-      Printf.eprintf "usage: main.exe [--scale FRACTION] [--domains N] [SECTION]...\n";
+      Printf.eprintf
+        "usage: main.exe [--scale FRACTION] [--domains N] [--check BASELINE \
+         [--tolerance T]] [SECTION]...\n";
       Printf.eprintf "sections: %s\n" (String.concat " " known_sections);
       exit 2)
     fmt
@@ -36,10 +45,23 @@ let () =
         match float_of_string_opt v with
         | Some s when s > 0.0 && s <= 1.0 ->
             scale := s;
+            scale_set := true;
             parse rest
         | Some _ -> usage_error "--scale %s is out of range (0, 1]" v
         | None -> usage_error "--scale expects a number, got %S" v)
     | [ "--scale" ] -> usage_error "--scale expects a value"
+    | "--check" :: v :: rest ->
+        check_file := Some v;
+        sections := "perf" :: !sections;
+        parse rest
+    | [ "--check" ] -> usage_error "--check expects a baseline file"
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 ->
+            tolerance := t;
+            parse rest
+        | _ -> usage_error "--tolerance expects a non-negative number, got %S" v)
+    | [ "--tolerance" ] -> usage_error "--tolerance expects a value"
     | "--domains" :: v :: rest -> (
         match int_of_string_opt v with
         | Some n when n >= 1 ->
@@ -76,7 +98,35 @@ let time name f =
 
 let snapshot_file = "BENCH_pipeline.json"
 
+module Gate = Fetch_obs.Bench_gate
+
+let read_baseline path =
+  match open_in_bin path with
+  | exception Sys_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Gate.of_json_string text with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "error: %s: %s\n" path e;
+          exit 2)
+
 let perf () =
+  let baseline = Option.map read_baseline !check_file in
+  (* gate runs must compare like with like: rerun at the baseline's
+     scale unless the user explicitly forced one *)
+  (match baseline with
+  | Some b when not !scale_set ->
+      scale := b.Gate.scale;
+      Printf.printf "checking against %s (scale %g, %d binaries)\n"
+        (Option.get !check_file) b.Gate.scale b.Gate.binaries
+  | _ -> ());
   let analyze (bin : Fetch_eval.Corpus.binary) =
     let r, report =
       Fetch_obs.Trace.with_run (fun () ->
@@ -138,49 +188,57 @@ let perf () =
         if a.agg_name = "pipeline" then Int64.add acc a.agg_total_ns else acc)
       0L aggs
   in
-  let buf = Buffer.create 4096 in
-  let str = Fetch_obs.Report.json_string in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"fetch-bench-pipeline/2\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" !scale);
-  Buffer.add_string buf (Printf.sprintf "  \"binaries\": %d,\n" binaries);
-  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" n_domains);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"seq_wall_s\": %.3f,\n" seq_wall);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"par_wall_s\": %.3f,\n" par_wall);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"speedup\": %.2f,\n" (seq_wall /. par_wall));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"pipeline_total_ms\": %.3f,\n"
-       (Int64.to_float pipeline_total_ns /. 1e6));
-  Buffer.add_string buf "  \"stages\": [\n";
-  List.iteri
-    (fun i (a : Fetch_obs.Report.agg) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": %s, \"calls\": %d, \"total_ms\": %.3f, \
-            \"mean_ms_per_binary\": %.3f}%s\n"
-           (str a.agg_name) a.agg_calls
-           (Int64.to_float a.agg_total_ns /. 1e6)
-           (Int64.to_float a.agg_total_ns /. 1e6 /. float_of_int binaries)
-           (if i = List.length aggs - 1 then "" else ",")))
-    aggs;
-  Buffer.add_string buf "  ],\n";
-  Buffer.add_string buf "  \"counters\": [\n";
-  let counters = seq_merged.Fetch_obs.Trace.counters in
-  List.iteri
-    (fun i (n, v) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": %s, \"value\": %d}%s\n" (str n) v
-           (if i = List.length counters - 1 then "" else ",")))
-    counters;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out snapshot_file in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Printf.printf "wrote %s (%d binaries)\n" snapshot_file binaries;
-  print_string (Fetch_obs.Report.text seq_merged)
+  let snapshot =
+    {
+      Gate.schema = Gate.schema_current;
+      scale = !scale;
+      binaries;
+      domains = n_domains;
+      host = Some (Gate.this_host ());
+      seq_wall_s = seq_wall;
+      par_wall_s = par_wall;
+      pipeline_total_ms = Int64.to_float pipeline_total_ns /. 1e6;
+      stages =
+        List.map
+          (fun (a : Fetch_obs.Report.agg) ->
+            {
+              Gate.s_name = a.agg_name;
+              s_calls = a.agg_calls;
+              s_total_ms = Int64.to_float a.agg_total_ns /. 1e6;
+              s_mean_ms =
+                Int64.to_float a.agg_total_ns /. 1e6 /. float_of_int binaries;
+            })
+          aggs;
+      counters = seq_merged.Fetch_obs.Trace.counters;
+      histograms =
+        List.filter
+          (fun (_, h) -> h.Fetch_obs.Trace.count > 0)
+          seq_merged.Fetch_obs.Trace.histograms;
+    }
+  in
+  match baseline with
+  | None ->
+      let oc = open_out snapshot_file in
+      output_string oc (Gate.to_json snapshot);
+      close_out oc;
+      Printf.printf "wrote %s (%d binaries)\n" snapshot_file binaries;
+      print_string (Fetch_obs.Report.text seq_merged)
+  | Some b -> (
+      match Gate.check ~tolerance:!tolerance ~baseline:b ~current:snapshot () with
+      | [] ->
+          Printf.printf
+            "gate passed: %d counters identical, stage means within %g%% \
+             (speed-adjusted)\n"
+            (List.length b.Gate.counters)
+            (!tolerance *. 100.0)
+      | issues ->
+          Printf.eprintf "bench gate FAILED (%d issue%s):\n"
+            (List.length issues)
+            (if List.length issues = 1 then "" else "s");
+          List.iter
+            (fun i -> Printf.eprintf "  %s\n" (Gate.issue_to_string i))
+            issues;
+          exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table.           *)

@@ -3,6 +3,7 @@
    Subcommands:
      generate   build a synthetic ELF binary (plus ground-truth manifest)
      analyze    run FETCH on an ELF binary and print detected starts
+     explain    replay the decision chain for one address
      disasm     linear disassembly of a binary's text section
      compare    run every tool model on a binary and score against truth
      unwind     show FDE records and CFI stack-height tables
@@ -90,17 +91,29 @@ let generate seed n_funcs compiler opt cxx keep_symbols out truth_out =
 
 (* ---- analyze ---- *)
 
-let analyze path verbose stats trace_json =
+let analyze path verbose stats trace_json trace_chrome provenance =
   let img = load_image path in
-  let instrumented = stats || trace_json <> None in
-  let r, report =
+  let instrumented = stats || trace_json <> None || trace_chrome <> None in
+  (* the ledger and the trace recorder are independent; bracket each
+     only when its output was asked for *)
+  let run_ledgered () =
+    if provenance = None then (Fetch_core.Pipeline.run img, [])
+    else Fetch_obs.Provenance.with_run (fun () -> Fetch_core.Pipeline.run img)
+  in
+  let (r, events), report =
     if instrumented then
-      let r, rep = Fetch_obs.Trace.with_run (fun () -> Fetch_core.Pipeline.run img) in
-      (r, Some rep)
-    else (Fetch_core.Pipeline.run img, None)
+      let v, rep = Fetch_obs.Trace.with_run run_ledgered in
+      (v, Some rep)
+    else (run_ledgered (), None)
   in
   Printf.printf "%d function starts detected:\n" (List.length r.starts);
   List.iter (fun s -> Printf.printf "  %#x\n" s) r.starts;
+  (match provenance with
+  | None -> ()
+  | Some file ->
+      write_file file (Fetch_obs.Provenance.to_json_lines events);
+      Printf.printf "wrote %d provenance events to %s\n" (List.length events)
+        file);
   (match report with
   | None -> ()
   | Some rep ->
@@ -109,6 +122,11 @@ let analyze path verbose stats trace_json =
       | Some file ->
           write_file file (Fetch_obs.Report.json_lines rep);
           Printf.printf "wrote trace to %s\n" file);
+      (match trace_chrome with
+      | None -> ()
+      | Some file ->
+          write_file file (Fetch_obs.Report.chrome_trace rep);
+          Printf.printf "wrote Chrome trace to %s (load in Perfetto)\n" file);
       if stats then begin
         print_newline ();
         print_string (Fetch_obs.Report.text rep);
@@ -149,6 +167,24 @@ let analyze path verbose stats trace_json =
       List.iter (fun s -> Printf.printf "  %#x\n" s) r.invalid_fde_starts
     end
   end
+
+(* ---- explain ---- *)
+
+let explain path addr_str =
+  let addr =
+    (* int_of_string accepts 0x-prefixed hex and plain decimal *)
+    match int_of_string_opt addr_str with
+    | Some a -> a
+    | None ->
+        Printf.eprintf "error: bad address %S (use decimal or 0x hex)\n"
+          addr_str;
+        exit 2
+  in
+  let img = load_image path in
+  let _r, events =
+    Fetch_obs.Provenance.with_run (fun () -> Fetch_core.Pipeline.run img)
+  in
+  print_string (Fetch_obs.Provenance.explain ~addr events)
 
 (* ---- disasm ---- *)
 
@@ -417,9 +453,40 @@ let analyze_cmd =
          & info [ "trace-json" ] ~docv:"FILE"
              ~doc:"Write the pipeline trace (spans and counters) as JSON lines to $(docv).")
   in
+  let trace_chrome =
+    Arg.(value & opt (some string) None
+         & info [ "trace-chrome" ] ~docv:"FILE"
+             ~doc:"Write the pipeline trace in Chrome trace-event format to \
+                   $(docv), loadable in Perfetto (ui.perfetto.dev) or \
+                   chrome://tracing.")
+  in
+  let provenance =
+    Arg.(value & opt (some string) None
+         & info [ "provenance" ] ~docv:"FILE"
+             ~doc:"Record the decision ledger and write it as JSON lines to \
+                   $(docv): one event per candidate-start decision (seed \
+                   origins, xref accept/reject with evidence, Algorithm 1 \
+                   verdicts, final starts).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Detect function starts with FETCH")
-    Term.(const analyze $ path_arg $ verbose $ stats $ trace_json)
+    Term.(
+      const analyze $ path_arg $ verbose $ stats $ trace_json $ trace_chrome
+      $ provenance)
+
+let explain_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"Address to explain (decimal or 0x hex).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay the pipeline's decision chain for one address: why it was \
+          (or was not) detected as a function start")
+    Term.(const explain $ path_arg $ addr)
 
 let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Linear disassembly of the text section")
@@ -521,6 +588,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "fetch" ~doc)
           [
-            generate_cmd; analyze_cmd; disasm_cmd; compare_cmd; unwind_cmd;
-            handlers_cmd; lint_cmd; batch_cmd;
+            generate_cmd; analyze_cmd; explain_cmd; disasm_cmd; compare_cmd;
+            unwind_cmd; handlers_cmd; lint_cmd; batch_cmd;
           ]))

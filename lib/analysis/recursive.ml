@@ -13,6 +13,7 @@
 
 open Fetch_x86
 module Obs = Fetch_obs.Trace
+module Prov = Fetch_obs.Provenance
 
 (* Stage instrumentation (no-ops unless a Fetch_obs run is active). *)
 let c_insns_decoded = Obs.counter "recursive.insns_decoded"
@@ -214,7 +215,7 @@ let disasm_function loaded cfg ~noreturn ~cond_noreturn ~is_start ~spans
               then Fetch_util.Interval_map.add spans ~lo:a ~hi:(a + l) ())
             insns);
       (* register discovered callees *)
-      List.iter (fun (_, t) -> new_entries t) f.calls;
+      List.iter (fun (site, t) -> new_entries ~site t) f.calls;
       let rev_insns = List.rev insns in
       let window = rev_insns @ inherited in
       let add_block ?(window = []) t =
@@ -294,18 +295,38 @@ let run ?(config = safe_config) loaded ~seeds =
   Obs.span "recursive" @@ fun () ->
   let noreturn = Hashtbl.create 16 in
   let cond_noreturn = Hashtbl.create 4 in
+  (* ledger: one [recursive.discover] per callee per engine run (the
+     noreturn fixpoint re-walks everything, so dedup lives outside
+     [iterate]); seeds are not "discovered" — their origin events come
+     from the caller (FDE/symbol/xref) *)
+  let prov_seen =
+    if Prov.enabled () then Some (Hashtbl.create 64) else None
+  in
+  let discover ~site t =
+    match prov_seen with
+    | None -> ()
+    | Some tbl ->
+        if (not (Hashtbl.mem tbl t)) && Loaded.in_text loaded t then begin
+          Hashtbl.replace tbl t ();
+          Prov.emit ~ev:"recursive.discover" ~addr:t [ ("site", Prov.I site) ]
+        end
+  in
   let iterate () =
     let funcs = Hashtbl.create 256 in
     let spans = Fetch_util.Interval_map.create () in
     let queue = Queue.create () in
     let known = Hashtbl.create 256 in
-    let new_entries t =
+    let register t =
       if (not (Hashtbl.mem known t)) && Loaded.in_text loaded t then begin
         Hashtbl.replace known t ();
         Queue.add t queue
       end
     in
-    List.iter new_entries seeds;
+    let new_entries ~site t =
+      discover ~site t;
+      register t
+    in
+    List.iter register seeds;
     let is_start a = Hashtbl.mem known a in
     while not (Queue.is_empty queue) do
       let e = Queue.pop queue in

@@ -23,6 +23,10 @@ let item_of_file path =
   (* read inside the task so file IO overlaps with analysis *)
   { id = path; load = (fun () -> load_raw path (read_file path)) }
 
+(* Per-binary wall time, observed inside each task's run so the merged
+   batch report carries the cross-binary distribution (p50/p90/p99). *)
+let h_binary_wall_ms = Obs.histogram "batch.binary_wall_ms"
+
 type analysis = {
   starts : int list;
   n_seeds : int;
@@ -47,10 +51,15 @@ type t = {
 let analyze ?config ~lint item =
   let (r, findings), report =
     Obs.with_run (fun () ->
-        let loaded = item.load () in
-        let r = Pipeline.run_loaded ?config loaded in
-        let findings = if lint then Lint.run r else [] in
-        (r, findings))
+        let out, secs =
+          Fetch_obs.Clock.time_s (fun () ->
+              let loaded = item.load () in
+              let r = Pipeline.run_loaded ?config loaded in
+              let findings = if lint then Lint.run r else [] in
+              (r, findings))
+        in
+        Obs.observe h_binary_wall_ms (int_of_float (secs *. 1e3));
+        out)
   in
   {
     starts = r.Pipeline.starts;
@@ -170,6 +179,13 @@ let json_lines ?(timings = true) t =
              (str a.agg_name) a.agg_calls
              (Int64.to_float a.agg_total_ns /. 1e6)))
       (Report.aggregate_spans t.merged);
+    (* distributions are timing-derived (binary wall time, xref round
+       cost), so they stay out of the deterministic no-timings report *)
+    List.iter
+      (fun (n, h) ->
+        if h.Obs.count > 0 then
+          Buffer.add_string buf (Report.histogram_json n h ^ "\n"))
+      t.merged.Obs.histograms;
     Buffer.add_string buf
       (Printf.sprintf
          "{\"type\":\"summary\",\"binaries\":%d,\"ok\":%d,\"failed\":%d,\"domains\":%d,\"wall_s\":%.3f}\n"

@@ -59,9 +59,12 @@ val text : t -> string
 
 (** Machine-readable report, one JSON object per line: per-binary lines
     (starts, parse health, diagnostics, findings — or the captured
-    error), merged counter lines, then stage-timing lines and a summary.
-    With [timings:false] the stage lines are dropped and the summary
-    carries no wall clock or domain count, making the output a
-    deterministic function of the input binaries — byte-identical
-    across domain counts, so reports can be diffed for equality. *)
+    error), merged counter lines, then stage-timing lines, populated
+    histogram lines (per-binary wall time [batch.binary_wall_ms],
+    [xref.rounds], [xref.round_cost_ms] … with p50/p90/p99) and a
+    summary.  With [timings:false] the stage and histogram lines are
+    dropped and the summary carries no wall clock or domain count,
+    making the output a deterministic function of the input binaries —
+    byte-identical across domain counts, so reports can be diffed for
+    equality. *)
 val json_lines : ?timings:bool -> t -> string

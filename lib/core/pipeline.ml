@@ -6,6 +6,7 @@
 
 open Fetch_analysis
 module Obs = Fetch_obs.Trace
+module Prov = Fetch_obs.Provenance
 
 (* Stage instrumentation: seed-source contributions and the Fig. 6b
    hand-broken-FDE rejections. *)
@@ -76,6 +77,15 @@ let run_loaded ?(config = default_config) loaded =
     Obs.add c_seeds_fde (List.length loaded.Loaded.fde_starts);
     if config.use_symbols then
       Obs.add c_seeds_symbol (List.length loaded.Loaded.symbol_starts);
+    if Prov.enabled () then begin
+      List.iter
+        (fun s -> Prov.emit ~ev:"seed.fde" ~addr:s [])
+        loaded.Loaded.fde_starts;
+      if config.use_symbols then
+        List.iter
+          (fun s -> Prov.emit ~ev:"seed.symbol" ~addr:s [])
+          loaded.Loaded.symbol_starts
+    end;
     seed_set ~use_symbols:config.use_symbols loaded
   in
   (* 2-3. safe recursive disassembly, with pointer detection iterating *)
@@ -92,8 +102,15 @@ let run_loaded ?(config = default_config) loaded =
         seeds )
   in
   (* 4. fix FDE-introduced errors *)
+  (* one [verdict.start] per kept start closes every surviving subject's
+     chain in the ledger *)
+  let record_verdicts starts =
+    if Prov.enabled () then
+      List.iter (fun s -> Prov.emit ~ev:"verdict.start" ~addr:s []) starts
+  in
   if not config.fix_fde_errors then begin
     Obs.add c_seeds_final (List.length seeds);
+    record_verdicts (Recursive.starts res);
     {
       starts = Recursive.starts res;
       eh_frame = loaded.Loaded.eh_frame;
@@ -126,11 +143,34 @@ let run_loaded ?(config = default_config) loaded =
         refs0 )
     in
     Obs.add c_invalid_fde (List.length invalid);
+    if Prov.enabled () then
+      List.iter
+        (fun s ->
+          (* Fig. 6b: unreferenced + callconv-invalid FDE start; the
+             evidence costs a diagnostic walk, paid only here *)
+          let noreturn t = Hashtbl.mem res.Recursive.noreturn t in
+          let cond_noreturn t = Hashtbl.mem res.Recursive.cond_noreturn t in
+          let fields =
+            match Callconv.validate_diag ~noreturn ~cond_noreturn loaded s with
+            | Error (v : Callconv.violation) ->
+                ("viol_at", Prov.I v.at)
+                ::
+                (match v.reg with
+                | Some r -> [ ("viol_reg", Prov.S (Fetch_x86.Reg.name64 r)) ]
+                | None -> [ ("viol_reg", Prov.S "undecodable") ])
+            | Ok () -> []
+          in
+          Prov.emit ~ev:"fde.invalid" ~addr:s
+            (("why", Prov.S "unreferenced_callconv_violation") :: fields))
+        invalid;
     (* the census stays valid only when the detection result does *)
     let res, seeds, refs =
       if invalid = [] then (res, seeds, Some refs0)
       else begin
         (* drop them and re-run detection without those seeds *)
+        if Prov.enabled () then
+          Prov.emit ~ev:"pipeline.reseed" ~addr:0
+            [ ("dropped", Prov.I (List.length invalid)) ];
         let seeds' =
           seed_set ~excluding:invalid ~use_symbols:config.use_symbols loaded
         in
@@ -145,6 +185,7 @@ let run_loaded ?(config = default_config) loaded =
     Obs.add c_seeds_final (List.length seeds);
     (* 4b. Algorithm 1 *)
     let outcome = Tailcall.run ~heights:config.alg1_heights ?refs loaded res in
+    record_verdicts outcome.kept_starts;
     {
       starts = outcome.kept_starts;
       eh_frame = loaded.Loaded.eh_frame;

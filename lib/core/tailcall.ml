@@ -12,6 +12,7 @@
 
 open Fetch_analysis
 module Obs = Fetch_obs.Trace
+module Prov = Fetch_obs.Provenance
 
 (* Stage instrumentation: one (jump site, external target) pair is
    examined per height-resolved out-jump; each non-tail-call verdict is
@@ -86,7 +87,10 @@ let run ?(heights = Cfi_oracle) ?refs loaded (res : Recursive.result) =
                     entry)
           then begin
             Obs.incr c_skipped;
-            incr skipped
+            incr skipped;
+            if Prov.enabled () then
+              Prov.emit ~ev:"alg1.skip" ~addr:entry
+                [ ("reason", Prov.S "incomplete_cfi") ]
           end
           else
             List.iter
@@ -96,18 +100,30 @@ let run ?(heights = Cfi_oracle) ?refs loaded (res : Recursive.result) =
                   | None -> ()
                   | Some h ->
                       Obs.incr c_pairs;
+                      (* Algorithm 1 rule ids for the ledger: the
+                         subject of each event is the jump target (the
+                         candidate tail-callee / secondary part). *)
+                      let reject rule operands =
+                        if Prov.enabled () then
+                          Prov.emit ~ev:"alg1.reject" ~addr:t
+                            (("rule", Prov.S rule)
+                            :: ("site", Prov.I site) :: ("entry", Prov.I entry)
+                            :: operands)
+                      in
                       (* same short-circuit order as the paper's
                          conjunction; the first failing rule gets the
                          rejection *)
                       let is_tail =
                         if h <> 0 then begin
                           Obs.incr c_rej_height;
+                          reject "cfa_height" [ ("height", Prov.I h) ];
                           false
                         end
                         else if
                           not (Refs.referenced_outside_jumps_of refs ~entry t)
                         then begin
                           Obs.incr c_rej_refs;
+                          reject "jump_only_refs" [];
                           false
                         end
                         else if
@@ -118,12 +134,16 @@ let run ?(heights = Cfi_oracle) ?refs loaded (res : Recursive.result) =
                                loaded t)
                         then begin
                           Obs.incr c_rej_callconv;
+                          reject "callconv" [];
                           false
                         end
                         else true
                       in
                       if is_tail then begin
                         Obs.incr c_tail_calls;
+                        if Prov.enabled () then
+                          Prov.emit ~ev:"alg1.tail_call" ~addr:t
+                            [ ("site", Prov.I site); ("entry", Prov.I entry) ];
                         tail_calls := (site, t) :: !tail_calls
                       end
                       else if
@@ -133,6 +153,9 @@ let run ?(heights = Cfi_oracle) ?refs loaded (res : Recursive.result) =
                         && t <> entry
                       then begin
                         Obs.incr c_merges;
+                        if Prov.enabled () then
+                          Prov.emit ~ev:"alg1.merge" ~addr:t
+                            [ ("parent", Prov.I entry); ("site", Prov.I site) ];
                         Hashtbl.replace removed t entry;
                         merges := (t, entry) :: !merges
                       end)

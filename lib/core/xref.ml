@@ -16,6 +16,7 @@
 open Fetch_x86
 open Fetch_analysis
 module Obs = Fetch_obs.Trace
+module Prov = Fetch_obs.Provenance
 
 let max_spec_insns = 200
 let max_spec_blocks = 24
@@ -30,6 +31,12 @@ let c_rej_opcode = Obs.counter "xref.reject.invalid_opcode"
 let c_rej_mid = Obs.counter "xref.reject.mid_instruction"
 let c_rej_into = Obs.counter "xref.reject.into_function"
 let c_rej_callconv = Obs.counter "xref.reject.callconv"
+
+(* Per-binary distributions: how many rounds a binary needs, and what
+   each round costs — the attribution the incremental-xref work needs
+   (each accepted pointer buys one full re-disassembly round today). *)
+let h_rounds = Obs.histogram "xref.rounds"
+let h_round_cost_ms = Obs.histogram "xref.round_cost_ms"
 
 (* Instruction-boundary test against the committed disassembly. *)
 let mid_instruction (res : Recursive.result) loaded addr =
@@ -61,11 +68,25 @@ type reject =
   | Transfer_into_function
   | Bad_call_conv
 
-(** Validate [cand] as a function start against the committed results. *)
-let validate loaded (res : Recursive.result) ~extents cand =
-  if not (Loaded.in_text loaded cand) then Error Invalid_opcode
-  else if Hashtbl.mem res.funcs cand then Error Mid_instruction (* already known *)
-  else if mid_instruction res loaded cand then Error Mid_instruction
+let reject_name = function
+  | Invalid_opcode -> "invalid_opcode"
+  | Mid_instruction -> "mid_instruction"
+  | Transfer_into_function -> "into_function"
+  | Bad_call_conv -> "callconv"
+
+(** Validate [cand] as a function start against the committed results.
+    A rejection carries its §IV-E evidence operands for the ledger:
+    where the violation was observed ([at]), which function body a
+    transfer lands in ([into]), or the call-convention violation site
+    and register ([viol_at]/[viol_reg]). *)
+let validate loaded (res : Recursive.result) ~extents cand :
+    (unit, reject * (string * Prov.value) list) result =
+  if not (Loaded.in_text loaded cand) then
+    Error (Invalid_opcode, [ ("why", Prov.S "outside_text") ])
+  else if Hashtbl.mem res.funcs cand then
+    Error (Mid_instruction, [ ("why", Prov.S "already_function") ])
+    (* already known *)
+  else if mid_instruction res loaded cand then Error (Mid_instruction, [])
   else if
     (* a pointer into the body of a previously detected function is a
        control transfer into its middle (error iii) — jump-table entries
@@ -73,18 +94,26 @@ let validate loaded (res : Recursive.result) ~extents cand =
     match Fetch_util.Interval_map.find extents cand with
     | Some (_, _, entry) -> entry <> cand
     | None -> false
-  then Error Transfer_into_function
+  then
+    Error
+      ( Transfer_into_function,
+        match Fetch_util.Interval_map.find extents cand with
+        | Some (_, _, entry) -> [ ("into", Prov.I entry) ]
+        | None -> [] )
   else begin
     (* speculative conservative disassembly *)
     let visited = Hashtbl.create 16 in
-    let exception Reject of reject in
+    let exception Reject of reject * (string * Prov.value) list in
     let check_target t =
       if Hashtbl.mem res.funcs t then ()
       else begin
-        if mid_instruction res loaded t then raise (Reject Mid_instruction);
+        if mid_instruction res loaded t then
+          raise (Reject (Mid_instruction, [ ("at", Prov.I t) ]));
         match Fetch_util.Interval_map.find extents t with
         | Some (_, _, entry) when entry <> t ->
-            raise (Reject Transfer_into_function)
+            raise
+              (Reject
+                 (Transfer_into_function, [ ("at", Prov.I t); ("into", Prov.I entry) ]))
         | Some _ | None -> ()
       end
     in
@@ -93,9 +122,10 @@ let validate loaded (res : Recursive.result) ~extents cand =
       else if Hashtbl.mem res.funcs addr then frontier
       else
         match Loaded.insn_at loaded addr with
-        | None -> raise (Reject Invalid_opcode)
+        | None -> raise (Reject (Invalid_opcode, [ ("at", Prov.I addr) ]))
         | Some (insn, len) -> (
-            if mid_instruction res loaded addr then raise (Reject Mid_instruction);
+            if mid_instruction res loaded addr then
+              raise (Reject (Mid_instruction, [ ("at", Prov.I addr) ]));
             match Semantics.flow insn with
             | Semantics.Fall -> walk_block (fuel - 1) (addr + len) frontier
             | Semantics.Ret | Semantics.Halt -> frontier
@@ -128,10 +158,26 @@ let validate loaded (res : Recursive.result) ~extents cand =
       in
       bfs max_spec_blocks [ cand ];
       let noreturn t = Hashtbl.mem res.noreturn t in
-      if Callconv.validate ~noreturn ~cond_noreturn:(Hashtbl.mem res.cond_noreturn) loaded cand = Callconv.Invalid then
-        Error Bad_call_conv
+      let cond_noreturn t = Hashtbl.mem res.cond_noreturn t in
+      if Callconv.validate ~noreturn ~cond_noreturn loaded cand = Callconv.Invalid
+      then
+        (* the evidence costs a second (diagnostic) walk; gather it only
+           when the ledger is recording *)
+        let fields =
+          if not (Prov.enabled ()) then []
+          else
+            match Callconv.validate_diag ~noreturn ~cond_noreturn loaded cand with
+            | Error (v : Callconv.violation) ->
+                ("viol_at", Prov.I v.at)
+                ::
+                (match v.reg with
+                | Some r -> [ ("viol_reg", Prov.S (Reg.name64 r)) ]
+                | None -> [ ("viol_reg", Prov.S "undecodable") ])
+            | Ok () -> []
+        in
+        Error (Bad_call_conv, fields)
       else Ok ()
-    with Reject r -> Error r
+    with Reject (r, fields) -> Error (r, fields)
   end
 
 (** First acceptable candidate in ascending order, or [None]. *)
@@ -143,35 +189,81 @@ let first_accepted loaded (res : Recursive.result) =
     | cand :: rest -> (
         Obs.incr c_candidates;
         match validate loaded res ~extents cand with
-        | Ok () -> Some cand
-        | Error r ->
+        | Ok () ->
+            if Prov.enabled () then begin
+              let origin =
+                match Refs.refs_to refs cand with
+                | Refs.Data_pointer a :: _ ->
+                    [ ("via", Prov.S "data"); ("site", Prov.I a) ]
+                | Refs.Code_constant a :: _ ->
+                    [ ("via", Prov.S "code"); ("site", Prov.I a) ]
+                | Refs.Call_target a :: _ ->
+                    [ ("via", Prov.S "call"); ("site", Prov.I a) ]
+                | Refs.Jump_target (a, e) :: _ ->
+                    [ ("via", Prov.S "jump"); ("site", Prov.I a); ("entry", Prov.I e) ]
+                | [] -> []
+              in
+              Prov.emit ~ev:"xref.accept" ~addr:cand origin
+            end;
+            Some cand
+        | Error (r, fields) ->
             Obs.incr
               (match r with
               | Invalid_opcode -> c_rej_opcode
               | Mid_instruction -> c_rej_mid
               | Transfer_into_function -> c_rej_into
               | Bad_call_conv -> c_rej_callconv);
+            if Prov.enabled () then
+              Prov.emit ~ev:"xref.reject" ~addr:cand
+                (("reason", Prov.S (reject_name r)) :: fields);
             go rest)
   in
   go (Refs.pointer_candidates refs)
 
 (** Iterated detection (§IV-E): accept one legitimate pointer at a time and
     immediately refresh the disassembly and the pointer collection with it,
-    so later candidates are judged against the updated function extents. *)
+    so later candidates are judged against the updated function extents.
+
+    Each round runs under an ["xref.round"] span carrying the round
+    index and (when one is found) the accepted pointer, inside a ledger
+    scope adding [round] to every §IV-E event, and is observed into the
+    [xref.round_cost_ms] histogram; the per-binary round count goes to
+    the [xref.rounds] histogram. *)
 let detect ?(config = Recursive.safe_config) loaded ~seeds =
   Obs.span "xref" @@ fun () ->
+  let rounds = ref 0 in
   let rec loop budget seeds res =
     if budget <= 0 then (res, seeds)
     else begin
       Obs.incr c_rounds;
-      match first_accepted loaded res with
+      incr rounds;
+      let k = !rounds in
+      let outcome =
+        Prov.with_scope [ ("round", Prov.I k) ] @@ fun () ->
+        Obs.span ~args:[ ("round", string_of_int k) ] "xref.round" @@ fun () ->
+        let t0 = if Obs.enabled () then Fetch_obs.Clock.now_ns () else 0L in
+        let r =
+          match first_accepted loaded res with
+          | None -> None
+          | Some cand ->
+              Obs.incr c_accepted;
+              Obs.set_arg "accepted" (Printf.sprintf "%#x" cand);
+              let seeds' = List.sort_uniq compare (cand :: seeds) in
+              let res' = Recursive.run ~config loaded ~seeds:seeds' in
+              Some (seeds', res')
+        in
+        if Obs.enabled () then
+          Obs.observe h_round_cost_ms
+            (Int64.to_int
+               (Int64.div (Int64.sub (Fetch_obs.Clock.now_ns ()) t0) 1_000_000L));
+        r
+      in
+      match outcome with
       | None -> (res, seeds)
-      | Some cand ->
-          Obs.incr c_accepted;
-          let seeds' = List.sort_uniq compare (cand :: seeds) in
-          let res' = Recursive.run ~config loaded ~seeds:seeds' in
-          loop (budget - 1) seeds' res'
+      | Some (seeds', res') -> loop (budget - 1) seeds' res'
     end
   in
   let res0 = Recursive.run ~config loaded ~seeds in
-  loop 64 seeds res0
+  let result = loop 64 seeds res0 in
+  if Obs.enabled () then Obs.observe h_rounds !rounds;
+  result

@@ -12,17 +12,23 @@ type reject =
   | Transfer_into_function  (** error (iii) *)
   | Bad_call_conv  (** error (iv) *)
 
+(** The stable rejection id used in counters and ledger events
+    ([invalid_opcode], [mid_instruction], [into_function], [callconv]). *)
+val reject_name : reject -> string
+
 (** Interval map from committed block bytes to their owning entry. *)
 val function_extents :
   Fetch_analysis.Recursive.result -> int Fetch_util.Interval_map.t
 
-(** Validate one candidate against the committed results. *)
+(** Validate one candidate against the committed results.  A rejection
+    carries its evidence operands for the decision ledger (violation
+    site, entered function, call-convention violation register). *)
 val validate :
   Fetch_analysis.Loaded.t ->
   Fetch_analysis.Recursive.result ->
   extents:int Fetch_util.Interval_map.t ->
   int ->
-  (unit, reject) result
+  (unit, reject * (string * Fetch_obs.Provenance.value) list) result
 
 (** Iterated detection: run the engine from [seeds], accept legitimate
     pointers one at a time until none remains; returns the final engine

@@ -1,0 +1,86 @@
+(** The pipeline bench snapshot ([BENCH_pipeline.json]) as a typed
+    value, and the regression gate that compares a fresh run against
+    the committed baseline ([bench perf --check]).
+
+    Schema [fetch-bench-pipeline/3] adds to /2: a ["host"] object
+    ([cores_available] from [Domain.recommended_domain_count], OS type,
+    word size, OCaml version) so single-core snapshots are
+    self-explaining, and a ["histograms"] array with log-2 buckets and
+    p50/p90/p99.  {!of_json_string} still reads /2 files (no host, no
+    histograms).
+
+    {2 Gate semantics}
+
+    Detection results must not drift at all: every counter present in
+    the baseline must exist in the current snapshot with exactly the
+    same value (the corpus is deterministic, so [xref.accepted],
+    [tailcall.merges], [pipeline.seeds.final] … pin the detection
+    outcome).  Counters only the current snapshot has are new
+    instrumentation and pass.
+
+    Stage means are timing, so they are compared after machine-speed
+    normalisation: every stage mean is scaled by the ratio of the two
+    snapshots' ["pipeline"] stage means, which cancels a uniformly
+    faster or slower machine and leaves exactly the per-stage {e share}
+    regressions the ROADMAP's xref work needs to guard.  A stage fails
+    when its normalised mean exceeds the baseline by more than
+    [tolerance] (relative, default 0.5).  Stages with a baseline mean
+    below [min_stage_ms] (default 0.1 ms/binary) are too noisy to gate
+    and are skipped.  Pass [absolute:true] to skip normalisation
+    (same-machine comparisons). *)
+
+type host = {
+  cores : int;  (** [Domain.recommended_domain_count] at snapshot time *)
+  os_type : string;
+  word_size : int;
+  ocaml_version : string;
+}
+
+(** The host this process runs on. *)
+val this_host : unit -> host
+
+type stage = {
+  s_name : string;
+  s_calls : int;
+  s_total_ms : float;
+  s_mean_ms : float;  (** per binary *)
+}
+
+type snapshot = {
+  schema : string;
+  scale : float;
+  binaries : int;
+  domains : int;
+  host : host option;  (** [None] when read from a /2 file *)
+  seq_wall_s : float;
+  par_wall_s : float;
+  pipeline_total_ms : float;
+  stages : stage list;
+  counters : (string * int) list;
+  histograms : (string * Trace.hist_stats) list;
+}
+
+(** Current schema id written by {!to_json}. *)
+val schema_current : string
+
+(** Pretty-printed JSON document (the [BENCH_pipeline.json] format). *)
+val to_json : snapshot -> string
+
+(** Parse a /2 or /3 snapshot document. *)
+val of_json_string : string -> (snapshot, string) result
+
+(** One comparison failure, human-readable. *)
+type issue = { what : string; detail : string }
+
+val issue_to_string : issue -> string
+
+(** Compare [current] against [baseline]; empty list means the gate
+    passes. *)
+val check :
+  ?tolerance:float ->
+  ?min_stage_ms:float ->
+  ?absolute:bool ->
+  baseline:snapshot ->
+  current:snapshot ->
+  unit ->
+  issue list

@@ -73,14 +73,22 @@ let text (r : Trace.report) =
     Buffer.add_string buf "Histograms\n";
     Buffer.add_string buf
       (Fetch_util.Text_table.render
-         ~header:[ "histogram"; "count"; "sum"; "min"; "max"; "mean" ]
+         ~header:
+           [ "histogram"; "count"; "sum"; "min"; "p50"; "p90"; "p99"; "max"; "mean" ]
          (List.map
             (fun (n, (h : Trace.hist_stats)) ->
+              let pct p =
+                if h.count = 0 then "-"
+                else string_of_int (Trace.percentile h p)
+              in
               [
                 n;
                 string_of_int h.count;
                 string_of_int h.sum;
                 string_of_int h.min;
+                pct 50.0;
+                pct 90.0;
+                pct 99.0;
                 string_of_int h.max;
                 (if h.count = 0 then "-"
                  else
@@ -91,23 +99,40 @@ let text (r : Trace.report) =
   end;
   Buffer.contents buf
 
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
+let json_string = Fetch_util.Json.escape
+
+(* Sparse bucket rendering: [[bucket, count], ...] for occupied buckets
+   only, so empty histograms stay one short line. *)
+let buckets_json (h : Trace.hist_stats) =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf (Printf.sprintf "[%d,%d]" i c)
+      end)
+    h.buckets;
+  Buffer.add_char buf ']';
   Buffer.contents buf
+
+let span_args_json args =
+  if args = [] then ""
+  else
+    Printf.sprintf ",\"args\":{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v))
+            args))
+
+let histogram_json name (h : Trace.hist_stats) =
+  let pct p = Trace.percentile h p in
+  Printf.sprintf
+    "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"buckets\":%s}"
+    (json_string name) h.count h.sum h.min h.max (pct 50.0) (pct 90.0)
+    (pct 99.0) (buckets_json h)
 
 let json_lines (r : Trace.report) =
   let buf = Buffer.create 4096 in
@@ -115,8 +140,9 @@ let json_lines (r : Trace.report) =
     (fun (s : Trace.span) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"type\":\"span\",\"name\":%s,\"depth\":%d,\"start_ns\":%Ld,\"dur_ns\":%Ld}\n"
-           (json_string s.name) s.depth s.start_ns s.dur_ns))
+           "{\"type\":\"span\",\"name\":%s,\"depth\":%d,\"start_ns\":%Ld,\"dur_ns\":%Ld,\"run\":%d%s}\n"
+           (json_string s.name) s.depth s.start_ns s.dur_ns s.run
+           (span_args_json s.args)))
     r.spans;
   List.iter
     (fun (n, v) ->
@@ -126,17 +152,71 @@ let json_lines (r : Trace.report) =
     r.counters;
   List.iter
     (fun (n, (h : Trace.hist_stats)) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d}\n"
-           (json_string n) h.count h.sum h.min h.max))
+      Buffer.add_string buf (histogram_json n h);
+      Buffer.add_char buf '\n')
     r.histograms;
+  Buffer.contents buf
+
+(* ---- Chrome trace-event (Perfetto-loadable) exporter ---- *)
+
+(* One complete event ("ph":"X") per span, timestamps in microseconds;
+   each run becomes its own track ("tid" = the span's run id), so a
+   merged report of a parallel batch renders as one track per binary.
+   Counters become counter events ("ph":"C") and histograms instant
+   events ("ph":"i") on tid 0. *)
+let chrome_trace (r : Trace.report) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let event s =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf s
+  in
+  let us ns = Int64.to_float ns /. 1e3 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let args =
+        match s.args with
+        | [] -> ""
+        | args ->
+            Printf.sprintf ",\"args\":{%s}"
+              (String.concat ","
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf "%s:%s" (json_string k) (json_string v))
+                    args))
+      in
+      event
+        (Printf.sprintf
+           "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d%s}"
+           (json_string s.name) (us s.start_ns) (us s.dur_ns) s.run args))
+    r.spans;
+  List.iter
+    (fun (n, v) ->
+      event
+        (Printf.sprintf
+           "{\"name\":%s,\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"value\":%d}}"
+           (json_string n) v))
+    r.counters;
+  List.iter
+    (fun (n, (h : Trace.hist_stats)) ->
+      let pct p = Trace.percentile h p in
+      event
+        (Printf.sprintf
+           "{\"name\":%s,\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d}}"
+           (json_string n) h.count h.sum h.min h.max (pct 50.0) (pct 90.0)
+           (pct 99.0)))
+    r.histograms;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf
 
 type sink =
   | Noop
   | Text of out_channel
   | Json_lines of out_channel
+  | Chrome of out_channel
   | Multi of sink list
 
 let rec emit sink report =
@@ -147,6 +227,9 @@ let rec emit sink report =
       flush oc
   | Json_lines oc ->
       output_string oc (json_lines report);
+      flush oc
+  | Chrome oc ->
+      output_string oc (chrome_trace report);
       flush oc
   | Multi sinks -> List.iter (fun s -> emit s report) sinks
 

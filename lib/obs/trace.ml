@@ -2,7 +2,14 @@
     for the design constraints (zero-cost-when-disabled, domain-local
     recording, deterministic merge). *)
 
-type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+type span = {
+  name : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  run : int;
+  args : (string * string) list;
+}
 
 (* Instrument handles are immutable and interned by name in a global,
    mutex-protected registry: [c_id]/[h_id] index the per-domain value
@@ -13,7 +20,84 @@ type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
 type counter = { c_name : string; c_id : int }
 type histogram = { h_name : string; h_id : int }
 
-type hist_stats = { count : int; sum : int; min : int; max : int }
+(* Histograms bucket observations on a log-2 scale: bucket 0 holds
+   values <= 0, bucket i (1 <= i <= 62) holds [2^(i-1), 2^i), and the
+   last bucket is a catch-all.  63 buckets cover the whole int range. *)
+let n_buckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and x = ref v in
+    while !x > 0 do
+      incr i;
+      x := !x lsr 1
+    done;
+    min !i (n_buckets - 1)
+  end
+
+(* Inclusive value range of bucket [i] (for percentile interpolation). *)
+let bucket_bounds i =
+  if i = 0 then (0, 0)
+  else if i = n_buckets - 1 then (1 lsl (i - 1), max_int)
+  else (1 lsl (i - 1), (1 lsl i) - 1)
+
+type hist_stats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : int array;  (** log-2 bucket occupancy, length {!n_buckets} *)
+}
+
+let empty_hist_stats =
+  { count = 0; sum = 0; min = 0; max = 0; buckets = Array.make n_buckets 0 }
+
+let hist_stats_of_values vs =
+  List.fold_left
+    (fun h v ->
+      let buckets = Array.copy h.buckets in
+      buckets.(bucket_of v) <- buckets.(bucket_of v) + 1;
+      {
+        count = h.count + 1;
+        sum = h.sum + v;
+        min = (if h.count = 0 || v < h.min then v else h.min);
+        max = (if h.count = 0 || v > h.max then v else h.max);
+        buckets;
+      })
+    empty_hist_stats vs
+
+(* Nearest-rank percentile estimated from the buckets: find the bucket
+   holding the rank-th observation, interpolate linearly inside its
+   value range by rank position, clamp to the recorded [min, max]. *)
+let percentile (h : hist_stats) p =
+  if h.count = 0 then 0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.count)))
+    in
+    let est = ref h.max in
+    (try
+       let cum = ref 0 in
+       for i = 0 to n_buckets - 1 do
+         let cb = h.buckets.(i) in
+         if cb > 0 then begin
+           if rank <= !cum + cb then begin
+             let lo, hi = bucket_bounds i in
+             let frac = float_of_int (rank - !cum) /. float_of_int cb in
+             est :=
+               lo
+               + int_of_float
+                   (Float.round (frac *. float_of_int (Stdlib.min hi h.max - lo)));
+             raise Exit
+           end;
+           cum := !cum + cb
+         end
+       done
+     with Exit -> ());
+    Stdlib.max h.min (Stdlib.min h.max !est)
+  end
 
 type report = {
   spans : span list;
@@ -60,6 +144,16 @@ type hcell = {
   mutable hc_sum : int;
   mutable hc_min : int;
   mutable hc_max : int;
+  hc_buckets : int array;
+}
+
+(* An open (not yet completed) span: args can still be attached to it
+   through [set_arg] until it closes. *)
+type open_span = {
+  os_name : string;
+  os_depth : int;
+  os_start : int64;
+  mutable os_args : (string * string) list;
 }
 
 (* One recording context per domain, reached through domain-local
@@ -69,6 +163,8 @@ type ctx = {
   mutable live : bool;
   mutable epoch : int64;
   mutable depth : int;
+  mutable run_id : int;
+  mutable open_spans : open_span list;  (** innermost first *)
   mutable completed : span list;
   mutable counts : int array;  (** indexed by [c_id] *)
   mutable hists : hcell array;  (** indexed by [h_id] *)
@@ -80,13 +176,23 @@ let ctx_key =
         live = false;
         epoch = 0L;
         depth = 0;
+        run_id = 0;
+        open_spans = [];
         completed = [];
         counts = [||];
         hists = [||];
       })
 
 let ctx () = Domain.DLS.get ctx_key
-let fresh_hcell () = { hc_count = 0; hc_sum = 0; hc_min = 0; hc_max = 0 }
+
+let fresh_hcell () =
+  {
+    hc_count = 0;
+    hc_sum = 0;
+    hc_min = 0;
+    hc_max = 0;
+    hc_buckets = Array.make n_buckets 0;
+  }
 
 (* Lazily size the context's value arrays to the registry: a handle
    registered after this domain's [start] still records correctly. *)
@@ -133,7 +239,9 @@ let observe h v =
     if cell.hc_count = 0 || v < cell.hc_min then cell.hc_min <- v;
     if cell.hc_count = 0 || v > cell.hc_max then cell.hc_max <- v;
     cell.hc_count <- cell.hc_count + 1;
-    cell.hc_sum <- cell.hc_sum + v
+    cell.hc_sum <- cell.hc_sum + v;
+    let b = bucket_of v in
+    cell.hc_buckets.(b) <- cell.hc_buckets.(b) + 1
   end
 
 let registered_sizes () =
@@ -143,19 +251,27 @@ let registered_sizes () =
     Hashtbl.length histograms,
     List.rev !rev_histogram_names )
 
+(* Run identifiers tag every span of one [start]..[stop] bracket, so
+   spans from different runs stay distinguishable after {!merge}
+   (the Chrome exporter renders each run as its own track). *)
+let run_counter = Atomic.make 1
+
 let start () =
   let t = ctx () in
   let n_counters, _, n_hists, _ = registered_sizes () in
   t.counts <- Array.make (max 1 n_counters) 0;
   t.hists <- Array.init (max 1 n_hists) (fun _ -> fresh_hcell ());
   t.completed <- [];
+  t.open_spans <- [];
   t.depth <- 0;
+  t.run_id <- Atomic.fetch_and_add run_counter 1;
   t.epoch <- Clock.now_ns ();
   t.live <- true
 
 let stop () =
   let t = ctx () in
   t.live <- false;
+  t.open_spans <- [];
   let spans =
     (* pre-order: by start time, parents (lower depth) before the
        children they opened at the same instant *)
@@ -172,8 +288,14 @@ let stop () =
   let nth_hist i =
     if i < Array.length t.hists then
       let c = t.hists.(i) in
-      { count = c.hc_count; sum = c.hc_sum; min = c.hc_min; max = c.hc_max }
-    else { count = 0; sum = 0; min = 0; max = 0 }
+      {
+        count = c.hc_count;
+        sum = c.hc_sum;
+        min = c.hc_min;
+        max = c.hc_max;
+        buckets = Array.copy c.hc_buckets;
+      }
+    else empty_hist_stats
   in
   {
     spans;
@@ -181,25 +303,48 @@ let stop () =
     histograms = List.mapi (fun i n -> (n, nth_hist i)) histogram_names;
   }
 
-let span name f =
+let span ?(args = []) name f =
   let t = ctx () in
   if not t.live then f ()
   else begin
-    let d = t.depth in
-    t.depth <- d + 1;
-    let t0 = Clock.now_ns () in
+    let os =
+      { os_name = name; os_depth = t.depth; os_start = Clock.now_ns (); os_args = args }
+    in
+    t.depth <- os.os_depth + 1;
+    t.open_spans <- os :: t.open_spans;
     Fun.protect
       ~finally:(fun () ->
-        let dur = Int64.sub (Clock.now_ns ()) t0 in
-        t.depth <- d;
+        let dur = Int64.sub (Clock.now_ns ()) os.os_start in
+        t.depth <- os.os_depth;
+        (match t.open_spans with
+        | o :: rest when o == os -> t.open_spans <- rest
+        | _ -> (* [stop] ran inside [f] and cleared the stack *) ());
         (* [stop] may have run inside [f] (or an exception unwound past
            it); only record into a live run *)
         if t.live then
           t.completed <-
-            { name; depth = d; start_ns = Int64.sub t0 t.epoch; dur_ns = dur }
+            {
+              name;
+              depth = os.os_depth;
+              start_ns = Int64.sub os.os_start t.epoch;
+              dur_ns = dur;
+              run = t.run_id;
+              args = List.rev os.os_args;
+            }
             :: t.completed)
       f
   end
+
+let set_arg k v =
+  let t = ctx () in
+  if t.live then
+    match t.open_spans with
+    | os :: _ ->
+        os.os_args <-
+          (if List.mem_assoc k os.os_args then
+             List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) os.os_args
+           else (k, v) :: os.os_args)
+    | [] -> ()
 
 let with_run f =
   start ();
@@ -220,6 +365,7 @@ let merge_hist (a : hist_stats) (b : hist_stats) =
       sum = a.sum + b.sum;
       min = Stdlib.min a.min b.min;
       max = Stdlib.max a.max b.max;
+      buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
     }
 
 let merge reports =

@@ -36,16 +36,58 @@
       every per-task report also hold for the merged report. *)
 
 (** A completed timing span.  [start_ns] is relative to the start of the
-    enclosing run, so reports are stable across processes. *)
-type span = { name : string; depth : int; start_ns : int64; dur_ns : int64 }
+    enclosing run, so reports are stable across processes.  [run] is the
+    process-unique id of the [start]..[stop] bracket that recorded the
+    span (so merged reports keep runs apart — the Chrome exporter gives
+    each run its own track); [args] are key/value annotations attached
+    at open time or via {!set_arg}. *)
+type span = {
+  name : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  run : int;
+  args : (string * string) list;
+}
 
 (** A named monotonically increasing counter. *)
 type counter
 
-(** A named value distribution (count / sum / min / max). *)
+(** A named value distribution: count / sum / min / max plus log-2
+    bucket occupancy for percentile estimation. *)
 type histogram
 
-type hist_stats = { count : int; sum : int; min : int; max : int }
+(** Number of log-2 buckets: bucket 0 holds values [<= 0], bucket [i]
+    ([1 <= i < n_buckets - 1]) holds [2^(i-1) .. 2^i - 1], the last
+    bucket is a catch-all up to [max_int]. *)
+val n_buckets : int
+
+(** The bucket an observation lands in. *)
+val bucket_of : int -> int
+
+(** Inclusive value range of a bucket. *)
+val bucket_bounds : int -> int * int
+
+type hist_stats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : int array;  (** length {!n_buckets} *)
+}
+
+(** All-zero stats (the snapshot of a never-observed histogram). *)
+val empty_hist_stats : hist_stats
+
+(** Build stats from raw observations (for tests and goldens). *)
+val hist_stats_of_values : int list -> hist_stats
+
+(** [percentile h p] estimates the [p]-th percentile ([0..100],
+    nearest-rank) from the log-2 buckets, linearly interpolated inside
+    the bucket and clamped to [[h.min, h.max]] — so it is exact for
+    [p = 100], within a factor of 2 elsewhere, and always inside the
+    observed range.  0 when the histogram is empty. *)
+val percentile : hist_stats -> float -> int
 
 (** Snapshot of one instrumented run.  Spans are in pre-order (start
     time, then depth); counters and histograms are in registration
@@ -88,8 +130,17 @@ val stop : unit -> report
 
 (** [span name f] times [f] as a span named [name], nested under any
     span currently open on this domain.  While disabled this is exactly
-    [f ()].  The span is recorded even when [f] raises. *)
-val span : string -> (unit -> 'a) -> 'a
+    [f ()].  The span is recorded even when [f] raises.  [args]
+    annotates the span at open time; more can be attached while it is
+    open with {!set_arg}. *)
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [set_arg k v] attaches (or overwrites) argument [k] on the
+    innermost span currently open on this domain.  No-op when no run is
+    live or no span is open — so instrumentation can annotate spans
+    (e.g. the xref round span with the pointer that round accepted)
+    without owning the span bracket. *)
+val set_arg : string -> string -> unit
 
 (** [with_run f] is [start]; [f ()]; [stop] — returning [f]'s result and
     the report.  Recording is switched off again if [f] raises. *)

@@ -1,0 +1,249 @@
+(** Minimal JSON: recursive-descent parser and compact printer (mli). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of string
+
+(* ---- parser ---- *)
+
+type state = { s : string; mutable pos : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun m -> raise (Fail (Printf.sprintf "at %d: %s" st.pos m))) fmt
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st "expected %c, got %c" c c'
+  | None -> fail st "expected %c, got end of input" c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st "invalid literal"
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.s then fail st "bad \\u escape";
+                let hex = String.sub st.s st.pos 4 in
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> fail st "bad \\u escape %S" hex
+                in
+                st.pos <- st.pos + 4;
+                (* encode the code point as UTF-8; surrogate pairs are
+                   passed through as two 3-byte sequences, which is all
+                   the escaping side of this project ever produces *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> fail st "invalid escape \\%c" c);
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> num_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail st "invalid number %S" text
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail st "expected , or } in object"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail st "expected , or ] in array"
+        in
+        List (elements [])
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st "unexpected character %c" c
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "at %d: trailing garbage" st.pos)
+      else Ok v
+  | exception Fail m -> Error m
+
+(* ---- printer ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s -> Buffer.add_string buf (escape s)
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape k);
+          Buffer.add_char buf ':';
+          write buf v)
+        members;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ---- accessors ---- *)
+
+let member k = function
+  | Obj members -> List.assoc_opt k members
+  | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 2. ** 53. ->
+      Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a total parser and a printer.
+
+    The repo deliberately has no third-party JSON dependency; this
+    module covers what the observability layer needs — parsing bench
+    snapshots ([BENCH_pipeline.json]) and provenance/trace JSON lines
+    back into values for gating and round-trip tests.  Numbers are kept
+    as [float]; integral values survive exactly up to 2^53, far beyond
+    any address or counter this project emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members in source order *)
+
+(** [parse s] parses exactly one JSON value (surrounded by optional
+    whitespace); trailing garbage is an error.  Never raises. *)
+val parse : string -> (t, string) result
+
+(** Serialize (compact, no spaces).  Integral numbers print without a
+    decimal point, so [parse] ∘ [to_string] round-trips counter values
+    textually. *)
+val to_string : t -> string
+
+(** [member k j] is the value of field [k] when [j] is an object. *)
+val member : string -> t -> t option
+
+(** Typed accessors; [None] on shape mismatch.  [to_int] accepts only
+    integral numbers. *)
+val to_int : t -> int option
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+(** String escaping per RFC 8259 (quotes included). *)
+val escape : string -> string

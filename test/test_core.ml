@@ -269,9 +269,127 @@ let test_all_profiles_no_fp () =
         Profile.all_opts)
     [ Profile.Synthgcc; Profile.Synthllvm ]
 
+(* End-to-end decision ledger: one pipeline run under the provenance
+   recorder must leave a complete chain for every verdict — an origin
+   event for each seed, an [xref.accept] with its round for each
+   accepted pointer, Algorithm 1 rejections with rule ids — and
+   [explain] must replay them (this is what `fetch explain` prints). *)
+let test_provenance_end_to_end () =
+  let module Prov = Fetch_obs.Provenance in
+  (* seed 2026: this corpus exercises every chain the ledger must close —
+     xref acceptances, Algorithm 1 rejections, merges and tail calls *)
+  let b = Link.build_random ~profile ~seed:2026 spec in
+  let r, events = Prov.with_run (fun () -> Pipeline.run b.image) in
+  check Alcotest.bool "recorder off again" false (Prov.enabled ());
+  let of_ev ev = List.filter (fun (e : Prov.event) -> e.Prov.ev = ev) events in
+  let has ev addr =
+    List.exists (fun (e : Prov.event) -> e.Prov.ev = ev && e.Prov.addr = addr) events
+  in
+  (* every FDE start has its origin event *)
+  List.iter
+    (fun s ->
+      if not (has "seed.fde" s) then
+        Alcotest.failf "FDE start %#x has no seed.fde event" s)
+    r.fde_starts;
+  (* every kept start has a verdict event closing its chain *)
+  List.iter
+    (fun s ->
+      if not (has "verdict.start" s) then
+        Alcotest.failf "kept start %#x has no verdict.start event" s)
+    r.starts;
+  (* xref acceptances: present (the corpus has pointer-only functions),
+     each carrying the accepting round and landing in the final seeds *)
+  let accepts = of_ev "xref.accept" in
+  check Alcotest.bool "at least one xref acceptance" true (accepts <> []);
+  List.iter
+    (fun (e : Prov.event) ->
+      (match List.assoc_opt "round" e.Prov.fields with
+      | Some (Prov.I k) when k >= 1 -> ()
+      | _ -> Alcotest.failf "xref.accept %#x lacks a round >= 1" e.Prov.addr);
+      if not (List.mem_assoc "via" e.Prov.fields) then
+        Alcotest.failf "xref.accept %#x lacks its via origin" e.Prov.addr;
+      if not (List.mem e.Prov.addr r.final_seeds) then
+        Alcotest.failf "accepted pointer %#x not in final seeds" e.Prov.addr)
+    accepts;
+  (* §IV-E rejections carry a reason from the fixed vocabulary *)
+  let reject_reasons = [ "invalid_opcode"; "mid_instruction"; "into_function"; "callconv" ] in
+  List.iter
+    (fun (e : Prov.event) ->
+      match List.assoc_opt "reason" e.Prov.fields with
+      | Some (Prov.S reason) when List.mem reason reject_reasons -> ()
+      | _ -> Alcotest.failf "xref.reject %#x has no known reason" e.Prov.addr)
+    (of_ev "xref.reject");
+  (* Algorithm 1 rejections are present and name one of the three rules *)
+  let alg1_rejects = of_ev "alg1.reject" in
+  check Alcotest.bool "at least one Algorithm 1 rejection" true
+    (alg1_rejects <> []);
+  List.iter
+    (fun (e : Prov.event) ->
+      (match List.assoc_opt "rule" e.Prov.fields with
+      | Some (Prov.S ("cfa_height" | "jump_only_refs" | "callconv")) -> ()
+      | _ -> Alcotest.failf "alg1.reject %#x has no known rule" e.Prov.addr);
+      if not (List.mem_assoc "site" e.Prov.fields) then
+        Alcotest.failf "alg1.reject %#x lacks its jump site" e.Prov.addr)
+    alg1_rejects;
+  (* a cfa_height rejection carries the offending height operand *)
+  (match
+     List.find_opt
+       (fun (e : Prov.event) ->
+         List.assoc_opt "rule" e.Prov.fields = Some (Prov.S "cfa_height"))
+       alg1_rejects
+   with
+  | Some e ->
+      check Alcotest.bool "cfa_height carries its height" true
+        (match List.assoc_opt "height" e.Prov.fields with
+        | Some (Prov.I h) -> h <> 0
+        | _ -> false)
+  | None -> ());
+  (* merged parts chain to their parent and are not kept *)
+  (match r.tailcall with
+  | None -> ()
+  | Some o ->
+      List.iter
+        (fun (part, parent) ->
+          match
+            List.find_opt
+              (fun (e : Prov.event) ->
+                e.Prov.ev = "alg1.merge" && e.Prov.addr = part)
+              events
+          with
+          | None -> Alcotest.failf "merge of %#x left no alg1.merge event" part
+          | Some e ->
+              check Alcotest.bool "merge names its parent" true
+                (List.assoc_opt "parent" e.Prov.fields = Some (Prov.I parent));
+              check Alcotest.bool "merged part not kept" false
+                (List.mem part r.starts))
+        o.merges);
+  (* explain replays the three chains `fetch explain` must reproduce *)
+  let fde_kept =
+    List.find (fun s -> List.mem s r.starts) r.fde_starts
+  in
+  let explain addr = Prov.explain ~addr events in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  check Alcotest.bool "explain: accepted FDE seed" true
+    (let out = explain fde_kept in
+     contains out "seed.fde"
+     && contains out "verdict: detected function start");
+  let accepted = (List.hd accepts).Prov.addr in
+  check Alcotest.bool "explain: xref-accepted start shows its round" true
+    (let out = explain accepted in
+     contains out "xref.accept" && contains out "round=");
+  let rejected = (List.hd alg1_rejects).Prov.addr in
+  check Alcotest.bool "explain: Algorithm 1 rejection shows its rule" true
+    (let out = explain rejected in
+     contains out "alg1.reject" && contains out "rule=")
+
 let suite =
   [
     Alcotest.test_case "FDE-only coverage (Q1)" `Quick test_fde_only;
+    Alcotest.test_case "provenance ledger end-to-end" `Quick test_provenance_end_to_end;
     Alcotest.test_case "full pipeline accuracy" `Quick test_full_pipeline_accuracy;
     Alcotest.test_case "pipeline from raw bytes" `Quick test_pipeline_on_encoded_bytes;
     Alcotest.test_case "Algorithm 1 merges cold parts" `Quick test_algorithm1_removes_cold_fps;

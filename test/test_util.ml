@@ -161,9 +161,48 @@ let test_text_table () =
   check Alcotest.string "pct" "50.00" (Text_table.pct 1 2);
   check Alcotest.string "thousands" "1.50" (Text_table.thousands 1500)
 
+let test_json_parse () =
+  let ok text =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "%S should parse: %s" text e
+  in
+  let fails text =
+    match Json.parse text with
+    | Ok _ -> Alcotest.failf "%S should not parse" text
+    | Error _ -> ()
+  in
+  check Alcotest.bool "null" true (ok "null" = Json.Null);
+  check Alcotest.bool "bools" true
+    (ok "true" = Json.Bool true && ok " false " = Json.Bool false);
+  check Alcotest.bool "numbers" true
+    (Json.to_int (ok "42") = Some 42
+    && Json.to_int (ok "-7") = Some (-7)
+    && Json.to_float (ok "2.5") = Some 2.5
+    && Json.to_float (ok "1e3") = Some 1000.0);
+  check Alcotest.bool "non-integral to_int is None" true
+    (Json.to_int (ok "2.5") = None);
+  check Alcotest.bool "strings with escapes" true
+    (Json.to_str (ok "\"a\\\"b\\n\\u0041\"") = Some "a\"b\nA");
+  check Alcotest.bool "arrays" true
+    (match Json.to_list (ok "[1, 2, 3]") with
+    | Some l -> List.filter_map Json.to_int l = [ 1; 2; 3 ]
+    | None -> false);
+  let obj = ok "{\"a\": 1, \"b\": {\"c\": [true]}}" in
+  check Alcotest.bool "nested member access" true
+    (Option.bind (Json.member "b" obj) (Json.member "c") <> None);
+  check Alcotest.bool "missing member is None" true (Json.member "z" obj = None);
+  List.iter fails
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ];
+  (* escape/parse roundtrip *)
+  let s = "quote \" backslash \\ newline \n tab \t nul \x00 high \x1f" in
+  check Alcotest.bool "escape roundtrips" true
+    (Json.to_str (ok (Json.escape s)) = Some s)
+
 let suite =
   [
     Alcotest.test_case "byte buf/cursor roundtrip" `Quick test_buf_roundtrip;
+    Alcotest.test_case "json parser" `Quick test_json_parse;
     Alcotest.test_case "byte buf patching" `Quick test_patch;
     Alcotest.test_case "cstring roundtrip" `Quick test_cstring;
     Alcotest.test_case "cursor bounds checking" `Quick test_out_of_bounds;
