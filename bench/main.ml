@@ -253,6 +253,9 @@ let micro () =
   in
   let stripped = Fetch_elf.Image.strip built.image in
   let loaded = Fetch_analysis.Loaded.load stripped in
+  let xref_seeds =
+    List.filteri (fun i _ -> i mod 2 = 0) loaded.Fetch_analysis.Loaded.fde_starts
+  in
   let tests =
     [
       (* Table I/II kernel: eh_frame parsing *)
@@ -287,6 +290,20 @@ let micro () =
                    (Fetch_rop.Gadget.in_range loaded ~depth:3 ~lo
                       ~hi:(min hi (lo + 512))))
                (Fetch_analysis.Loaded.text_ranges loaded)));
+      (* §IV-E kernel, both substrates: the incremental driver
+         (extend + persistent refs) against the from-scratch rescan it
+         replaced, with half the FDE seeds withheld so pointer rounds
+         actually iterate *)
+      Test.make ~name:"xref/incremental"
+        (Staged.stage (fun () ->
+             ignore
+               (Fetch_core.Xref.detect ~strategy:Fetch_core.Xref.Incremental
+                  loaded ~seeds:xref_seeds)));
+      Test.make ~name:"xref/rescan"
+        (Staged.stage (fun () ->
+             ignore
+               (Fetch_core.Xref.detect ~strategy:Fetch_core.Xref.Rescan loaded
+                  ~seeds:xref_seeds)));
       (* Table V kernel: synthetic compiler end-to-end *)
       Test.make ~name:"table5/synth_build"
         (Staged.stage (fun () ->

@@ -89,6 +89,19 @@ let text_ranges t =
     (fun (s : Image.section) -> (s.addr, s.addr + String.length s.data))
     t.exec
 
+(** Smallest and one-past-largest executable address, if any executable
+    section exists.  A single min/max pair is enough for the cheap "could
+    this 8-byte constant be a text pointer at all?" prefilter — the exact
+    per-section containment check runs only on survivors. *)
+let text_bounds t =
+  match text_ranges t with
+  | [] -> None
+  | (lo, hi) :: rest ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) (l, h) -> (min lo l, max hi h))
+           (lo, hi) rest)
+
 (** The FDE whose range contains [addr], if any. *)
 let fde_at t addr =
   List.find_opt

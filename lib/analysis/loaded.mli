@@ -26,6 +26,10 @@ val in_text : t -> int -> bool
 (** Executable address ranges, ascending. *)
 val text_ranges : t -> (int * int) list
 
+(** [(lo, hi)] spanning all executable sections ([hi] exclusive), or
+    [None] when there are none.  Coarse bound for pointer prefilters. *)
+val text_bounds : t -> (int * int) option
+
 (** The FDE whose range contains the address, if any. *)
 val fde_at : t -> int -> Fetch_dwarf.Eh_frame.fde option
 

@@ -20,6 +20,8 @@ let c_insns_decoded = Obs.counter "recursive.insns_decoded"
 let c_funcs_disassembled = Obs.counter "recursive.functions_disassembled"
 let c_tables_resolved = Obs.counter "recursive.jump_tables_resolved"
 let c_noreturn_iters = Obs.counter "recursive.noreturn_iters"
+let c_extend_runs = Obs.counter "recursive.extend_runs"
+let c_extend_funcs = Obs.counter "recursive.extend_funcs"
 let h_block_insns = Obs.histogram "recursive.block_insns"
 
 type config = {
@@ -290,56 +292,12 @@ let compute_returns funcs =
   done;
   returns
 
-(** Run the engine from the given seed entries. *)
-let run ?(config = safe_config) loaded ~seeds =
-  Obs.span "recursive" @@ fun () ->
-  let noreturn = Hashtbl.create 16 in
-  let cond_noreturn = Hashtbl.create 4 in
-  (* ledger: one [recursive.discover] per callee per engine run (the
-     noreturn fixpoint re-walks everything, so dedup lives outside
-     [iterate]); seeds are not "discovered" — their origin events come
-     from the caller (FDE/symbol/xref) *)
-  let prov_seen =
-    if Prov.enabled () then Some (Hashtbl.create 64) else None
-  in
-  let discover ~site t =
-    match prov_seen with
-    | None -> ()
-    | Some tbl ->
-        if (not (Hashtbl.mem tbl t)) && Loaded.in_text loaded t then begin
-          Hashtbl.replace tbl t ();
-          Prov.emit ~ev:"recursive.discover" ~addr:t [ ("site", Prov.I site) ]
-        end
-  in
-  let iterate () =
-    let funcs = Hashtbl.create 256 in
-    let spans = Fetch_util.Interval_map.create () in
-    let queue = Queue.create () in
-    let known = Hashtbl.create 256 in
-    let register t =
-      if (not (Hashtbl.mem known t)) && Loaded.in_text loaded t then begin
-        Hashtbl.replace known t ();
-        Queue.add t queue
-      end
-    in
-    let new_entries ~site t =
-      discover ~site t;
-      register t
-    in
-    List.iter register seeds;
-    let is_start a = Hashtbl.mem known a in
-    while not (Queue.is_empty queue) do
-      let e = Queue.pop queue in
-      if not (Hashtbl.mem funcs e) then begin
-        let f =
-          disasm_function loaded config ~noreturn ~cond_noreturn ~is_start
-            ~spans ~new_entries e
-        in
-        Hashtbl.replace funcs e f
-      end
-    done;
-    (funcs, spans)
-  in
+(* Noreturn fixpoint driver shared by [run] and [extend]: re-run [iterate]
+   until the noreturn / cond-noreturn fact tables stop growing or the
+   iteration budget runs out.  [iterate] must rebuild (funcs, spans) from
+   its own starting state on every call — newly learned facts can shrink
+   blocks, so stale spans cannot be patched in place. *)
+let solve (config : config) loaded ~noreturn ~cond_noreturn iterate =
   let rec fixpoint i (funcs, spans) =
     if (not config.noreturn_aware) || i >= config.max_noreturn_iters then
       (funcs, spans)
@@ -374,6 +332,114 @@ let run ?(config = safe_config) loaded ~seeds =
   in
   let funcs, spans = fixpoint 0 (iterate ()) in
   { funcs; noreturn; cond_noreturn; insn_spans = spans }
+
+(* Ledger helper: one [recursive.discover] per callee per engine run (the
+   noreturn fixpoint re-walks everything, so dedup lives outside the
+   iteration); seeds are not "discovered" — their origin events come from
+   the caller (FDE/symbol/xref). *)
+let make_discover loaded ~already_known =
+  let prov_seen = if Prov.enabled () then Some (Hashtbl.create 64) else None in
+  (match prov_seen with
+  | Some tbl -> List.iter (fun e -> Hashtbl.replace tbl e ()) already_known
+  | None -> ());
+  fun ~site t ->
+    match prov_seen with
+    | None -> ()
+    | Some tbl ->
+        if (not (Hashtbl.mem tbl t)) && Loaded.in_text loaded t then begin
+          Hashtbl.replace tbl t ();
+          Prov.emit ~ev:"recursive.discover" ~addr:t [ ("site", Prov.I site) ]
+        end
+
+(** Run the engine from the given seed entries. *)
+let run ?(config = safe_config) loaded ~seeds =
+  Obs.span "recursive" @@ fun () ->
+  let noreturn = Hashtbl.create 16 in
+  let cond_noreturn = Hashtbl.create 4 in
+  let discover = make_discover loaded ~already_known:[] in
+  let iterate () =
+    let funcs = Hashtbl.create 256 in
+    let spans = Fetch_util.Interval_map.create () in
+    let queue = Queue.create () in
+    let known = Hashtbl.create 256 in
+    let register t =
+      if (not (Hashtbl.mem known t)) && Loaded.in_text loaded t then begin
+        Hashtbl.replace known t ();
+        Queue.add t queue
+      end
+    in
+    let new_entries ~site t =
+      discover ~site t;
+      register t
+    in
+    List.iter register seeds;
+    let is_start a = Hashtbl.mem known a in
+    while not (Queue.is_empty queue) do
+      let e = Queue.pop queue in
+      if not (Hashtbl.mem funcs e) then begin
+        let f =
+          disasm_function loaded config ~noreturn ~cond_noreturn ~is_start
+            ~spans ~new_entries e
+        in
+        Hashtbl.replace funcs e f
+      end
+    done;
+    (funcs, spans)
+  in
+  solve config loaded ~noreturn ~cond_noreturn iterate
+
+(** Resume a prior result with extra seed entries, disassembling only the
+    delta reachable from the fresh seeds.
+
+    Soundness precondition (guaranteed by xref validation for accepted
+    pointers, see DESIGN.md "Incremental xref"): no committed function
+    transfers control to a fresh seed, and no fresh function transfers
+    into the committed extents other than by calling / tail-jumping a
+    committed *entry*.  Under that precondition the committed funcs,
+    spans and noreturn facts are stable, so every (re-)iteration forks
+    them — [Hashtbl.copy] for funcs and facts, O(1)
+    [Interval_map.copy] for spans — and only the delta is re-decoded
+    when a noreturn fact learned about a *new* function shrinks its
+    blocks. *)
+let extend ?(config = safe_config) loaded ~prior ~seeds =
+  Obs.span "recursive.extend" @@ fun () ->
+  Obs.incr c_extend_runs;
+  let noreturn = Hashtbl.copy prior.noreturn in
+  let cond_noreturn = Hashtbl.copy prior.cond_noreturn in
+  let already_known = Hashtbl.fold (fun e _ acc -> e :: acc) prior.funcs [] in
+  let discover = make_discover loaded ~already_known in
+  let iterate () =
+    let funcs = Hashtbl.copy prior.funcs in
+    let spans = Fetch_util.Interval_map.copy prior.insn_spans in
+    let queue = Queue.create () in
+    let known = Hashtbl.create 64 in
+    Hashtbl.iter (fun e _ -> Hashtbl.replace known e ()) prior.funcs;
+    let register t =
+      if (not (Hashtbl.mem known t)) && Loaded.in_text loaded t then begin
+        Hashtbl.replace known t ();
+        Queue.add t queue
+      end
+    in
+    let new_entries ~site t =
+      discover ~site t;
+      register t
+    in
+    List.iter register seeds;
+    let is_start a = Hashtbl.mem known a in
+    while not (Queue.is_empty queue) do
+      let e = Queue.pop queue in
+      if not (Hashtbl.mem funcs e) then begin
+        let f =
+          disasm_function loaded config ~noreturn ~cond_noreturn ~is_start
+            ~spans ~new_entries e
+        in
+        Hashtbl.replace funcs e f;
+        Obs.incr c_extend_funcs
+      end
+    done;
+    (funcs, spans)
+  in
+  solve config loaded ~noreturn ~cond_noreturn iterate
 
 (** Detected function starts, ascending. *)
 let starts result =

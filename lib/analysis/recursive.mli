@@ -56,5 +56,14 @@ val detect_cond_noreturn : Loaded.t -> int -> bool
 (** Run the engine from the given seed entries. *)
 val run : ?config:config -> Loaded.t -> seeds:int list -> result
 
+(** [extend loaded ~prior ~seeds] resumes [prior] with extra seeds,
+    disassembling only the delta reachable from them; [prior] is not
+    mutated.  Equivalent to re-running from scratch with the union of
+    seeds *provided* no committed function transfers control to a fresh
+    seed and no fresh function transfers into the committed extents
+    except at a committed entry — exactly what xref validation
+    guarantees for accepted function pointers (§IV-E). *)
+val extend : ?config:config -> Loaded.t -> prior:result -> seeds:int list -> result
+
 (** Detected function starts, ascending. *)
 val starts : result -> int list

@@ -24,6 +24,9 @@ type config = {
       (** stack-height source for Algorithm 1 (CFI oracle in the paper;
           a static analysis for the §V-B ablation) *)
   engine : Recursive.config;
+  xref_strategy : Xref.strategy;
+      (** incremental per-round extension (default) or the from-scratch
+          rescan it is differentially tested against *)
 }
 
 let default_config =
@@ -34,6 +37,7 @@ let default_config =
     fix_fde_errors = true;
     alg1_heights = Tailcall.Cfi_oracle;
     engine = Recursive.safe_config;
+    xref_strategy = Xref.Incremental;
   }
 
 (* The seed set both detection passes start from: FDE starts plus
@@ -91,7 +95,9 @@ let run_loaded ?(config = default_config) loaded =
   (* 2-3. safe recursive disassembly, with pointer detection iterating *)
   let res, seeds =
     if config.recursive then
-      if config.xref then Xref.detect ~config:config.engine loaded ~seeds
+      if config.xref then
+        Xref.detect ~config:config.engine ~strategy:config.xref_strategy loaded
+          ~seeds
       else (Recursive.run ~config:config.engine loaded ~seeds, seeds)
     else
       (* degenerate engine run that only registers the seed entries *)
@@ -176,7 +182,8 @@ let run_loaded ?(config = default_config) loaded =
         in
         let res', seeds' =
           if config.xref then
-            Xref.detect ~config:config.engine loaded ~seeds:seeds'
+            Xref.detect ~config:config.engine ~strategy:config.xref_strategy
+              loaded ~seeds:seeds'
           else (Recursive.run ~config:config.engine loaded ~seeds:seeds', seeds')
         in
         (res', seeds', None)

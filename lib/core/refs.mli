@@ -21,6 +21,21 @@ val refs_to : t -> int -> kind list
 (** Collect all references in the binary given the current disassembly. *)
 val collect : Fetch_analysis.Loaded.t -> Fetch_analysis.Recursive.result -> t
 
+(** Accumulator for incremental collection across xref rounds: the
+    data-section window refs (computed once, with a rolling unsafe-read
+    prefilter) plus the code refs of every span / function seen so far. *)
+type incr
+
+(** Create the accumulator and run the one-time data-section window
+    scan. *)
+val incr_create : Fetch_analysis.Loaded.t -> incr
+
+(** Fold the refs of a (monotonically grown) result into the accumulated
+    table and return it.  Sound only when successive results only add
+    spans and functions — what {!Fetch_analysis.Recursive.extend}
+    guarantees; then the result equals [collect loaded res]. *)
+val incr_refresh : incr -> Fetch_analysis.Recursive.result -> t
+
 (** Candidate pointers for §IV-E validation: data pointers and code
     constants only (call/jump targets are already handled by the
     recursion), ascending. *)

@@ -11,7 +11,16 @@
           initialization).
 
     Survivors become new function starts; the pointer collection is then
-    refreshed from the enlarged disassembly and the process repeats. *)
+    refreshed from the enlarged disassembly and the process repeats.
+
+    The iteration is incremental by default ({!Incremental}): each
+    accepted pointer extends the committed disassembly via
+    {!Fetch_analysis.Recursive.extend} instead of re-running every seed,
+    the ref table is folded forward via {!Refs.incr_refresh} instead of
+    re-collected, and rejection verdicts that cannot change while the
+    committed state only grows are cached.  {!Rescan} re-runs everything
+    from scratch each round — kept as the executable specification the
+    differential property test checks the incremental engine against. *)
 
 open Fetch_x86
 open Fetch_analysis
@@ -21,9 +30,13 @@ module Prov = Fetch_obs.Provenance
 let max_spec_insns = 200
 let max_spec_blocks = 24
 
-(* Stage instrumentation: every candidate validation ends in exactly one
-   of accepted / the four §IV-E rejection classes, so
-   [candidates_scanned = accepted + Σ rejects] holds for a run. *)
+(* Stage instrumentation: every *fresh* candidate validation ends in
+   exactly one of accepted / the four §IV-E rejection classes, so
+   [candidates_scanned = accepted + Σ rejects] holds for a run.
+   Candidates skipped without validation are counted separately:
+   already-detected entries under [known_entries_skipped] (they are not
+   §IV-E validations at all) and cached permanent rejections under
+   [reject_cache_hits]. *)
 let c_candidates = Obs.counter "xref.candidates_scanned"
 let c_accepted = Obs.counter "xref.accepted"
 let c_rounds = Obs.counter "xref.rounds"
@@ -31,35 +44,43 @@ let c_rej_opcode = Obs.counter "xref.reject.invalid_opcode"
 let c_rej_mid = Obs.counter "xref.reject.mid_instruction"
 let c_rej_into = Obs.counter "xref.reject.into_function"
 let c_rej_callconv = Obs.counter "xref.reject.callconv"
+let c_known = Obs.counter "xref.known_entries_skipped"
+let c_cache_hits = Obs.counter "xref.reject_cache_hits"
+let c_budget = Obs.counter "xref.budget_exhausted"
 
-(* Per-binary distributions: how many rounds a binary needs, and what
-   each round costs — the attribution the incremental-xref work needs
-   (each accepted pointer buys one full re-disassembly round today). *)
+(* Per-binary distributions: how many rounds a binary needs and what each
+   round costs. *)
 let h_rounds = Obs.histogram "xref.rounds"
 let h_round_cost_ms = Obs.histogram "xref.round_cost_ms"
 
-(* Instruction-boundary test against the committed disassembly. *)
-let mid_instruction (res : Recursive.result) loaded addr =
+(* Instruction-boundary test against the committed disassembly.  The span
+   map holds one interval per decoded instruction, so it already *is* a
+   memoized boundary index: an address is mid-instruction iff its
+   containing interval does not start there.  (The previous
+   implementation re-walked the span through the decoder — O(span
+   length) — and was vacuous besides: the walk started at the containing
+   instruction and could never stop strictly below [addr], so error (ii)
+   never fired and mid-instruction pointers were only caught later as
+   transfers into function bodies.) *)
+let mid_instruction (res : Recursive.result) addr =
   match Fetch_util.Interval_map.find res.insn_spans addr with
   | None -> false
-  | Some (lo, _, ()) ->
-      (* walk the span's instruction boundaries *)
-      let rec walk a = a < addr && (match Loaded.insn_at loaded a with
-        | Some (_, len) -> walk (a + len)
-        | None -> true)
-      in
-      if addr = lo then false else walk lo
+  | Some (lo, _, ()) -> addr <> lo
 
-(* Function-extent map: committed blocks of every detected function. *)
+(* Function-extent map: committed blocks of every detected function.
+   Entries are folded in ascending order — [add_override] keeps the last
+   writer on overlap, so unordered [Hashtbl.iter] made the recorded
+   [into] attribution depend on hash iteration order (and differ between
+   1- and 4-domain batch runs). *)
 let function_extents (res : Recursive.result) =
   let m = Fetch_util.Interval_map.create () in
-  Hashtbl.iter
-    (fun entry (f : Recursive.func) ->
-      List.iter
-        (fun (lo, hi) ->
-          if hi > lo then Fetch_util.Interval_map.add_override m ~lo ~hi entry)
-        f.blocks)
-    res.funcs;
+  Hashtbl.fold (fun entry f acc -> (entry, f) :: acc) res.funcs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (entry, (f : Recursive.func)) ->
+         List.iter
+           (fun (lo, hi) ->
+             if hi > lo then Fetch_util.Interval_map.add_override m ~lo ~hi entry)
+           f.blocks);
   m
 
 type reject =
@@ -74,151 +95,139 @@ let reject_name = function
   | Transfer_into_function -> "into_function"
   | Bad_call_conv -> "callconv"
 
+type verdict =
+  | Accept
+  | Known_function
+  | Rejected of {
+      reason : reject;
+      fields : (string * Prov.value) list;
+      permanent : bool;
+    }
+
 (** Validate [cand] as a function start against the committed results.
-    A rejection carries its §IV-E evidence operands for the ledger:
+    A rejection carries its §IV-E evidence operands for the ledger —
     where the violation was observed ([at]), which function body a
     transfer lands in ([into]), or the call-convention violation site
-    and register ([viol_at]/[viol_reg]). *)
-let validate loaded (res : Recursive.result) ~extents cand :
-    (unit, reject * (string * Prov.value) list) result =
+    and register ([viol_at]/[viol_reg]) — plus whether it is [permanent]:
+    the shallow rejections (outside text, candidate itself mid-instruction
+    or inside a committed body) can never flip while the committed state
+    only grows, whereas speculative-walk and calling-convention verdicts
+    can (a newly detected function can stop the walk earlier). *)
+let validate loaded (res : Recursive.result) ~extents cand : verdict =
   if not (Loaded.in_text loaded cand) then
-    Error (Invalid_opcode, [ ("why", Prov.S "outside_text") ])
+    Rejected
+      {
+        reason = Invalid_opcode;
+        fields = [ ("why", Prov.S "outside_text") ];
+        permanent = true;
+      }
   else if Hashtbl.mem res.funcs cand then
-    Error (Mid_instruction, [ ("why", Prov.S "already_function") ])
-    (* already known *)
-  else if mid_instruction res loaded cand then Error (Mid_instruction, [])
-  else if
-    (* a pointer into the body of a previously detected function is a
-       control transfer into its middle (error iii) — jump-table entries
-       land here, for example *)
+    (* an already-detected entry is not a §IV-E validation subject *)
+    Known_function
+  else if mid_instruction res cand then
+    Rejected { reason = Mid_instruction; fields = []; permanent = true }
+  else
     match Fetch_util.Interval_map.find extents cand with
-    | Some (_, _, entry) -> entry <> cand
-    | None -> false
-  then
-    Error
-      ( Transfer_into_function,
-        match Fetch_util.Interval_map.find extents cand with
-        | Some (_, _, entry) -> [ ("into", Prov.I entry) ]
-        | None -> [] )
-  else begin
-    (* speculative conservative disassembly *)
-    let visited = Hashtbl.create 16 in
-    let exception Reject of reject * (string * Prov.value) list in
-    let check_target t =
-      if Hashtbl.mem res.funcs t then ()
-      else begin
-        if mid_instruction res loaded t then
-          raise (Reject (Mid_instruction, [ ("at", Prov.I t) ]));
-        match Fetch_util.Interval_map.find extents t with
-        | Some (_, _, entry) when entry <> t ->
-            raise
-              (Reject
-                 (Transfer_into_function, [ ("at", Prov.I t); ("into", Prov.I entry) ]))
-        | Some _ | None -> ()
-      end
-    in
-    let rec walk_block fuel addr frontier =
-      if fuel <= 0 then frontier
-      else if Hashtbl.mem res.funcs addr then frontier
-      else
-        match Loaded.insn_at loaded addr with
-        | None -> raise (Reject (Invalid_opcode, [ ("at", Prov.I addr) ]))
-        | Some (insn, len) -> (
-            if mid_instruction res loaded addr then
-              raise (Reject (Mid_instruction, [ ("at", Prov.I addr) ]));
-            match Semantics.flow insn with
-            | Semantics.Fall -> walk_block (fuel - 1) (addr + len) frontier
-            | Semantics.Ret | Semantics.Halt -> frontier
-            | Semantics.Jump (Semantics.Direct t) ->
-                check_target t;
-                if Loaded.in_text loaded t then t :: frontier else frontier
-            | Semantics.Cond t ->
-                check_target t;
-                walk_block (fuel - 1) (addr + len)
-                  (if Loaded.in_text loaded t then t :: frontier else frontier)
-            | Semantics.Jump (Semantics.Indirect _) -> frontier
-            | Semantics.Callf (Semantics.Direct t) ->
-                check_target t;
-                walk_block (fuel - 1) (addr + len) frontier
-            | Semantics.Callf (Semantics.Indirect _) ->
-                walk_block (fuel - 1) (addr + len) frontier)
-    in
-    try
-      let rec bfs blocks frontier =
-        match frontier with
-        | [] -> ()
-        | addr :: rest ->
-            if blocks <= 0 then ()
-            else if Hashtbl.mem visited addr then bfs blocks rest
-            else begin
-              Hashtbl.replace visited addr ();
-              let extra = walk_block max_spec_insns addr [] in
-              bfs (blocks - 1) (extra @ rest)
-            end
-      in
-      bfs max_spec_blocks [ cand ];
-      let noreturn t = Hashtbl.mem res.noreturn t in
-      let cond_noreturn t = Hashtbl.mem res.cond_noreturn t in
-      if Callconv.validate ~noreturn ~cond_noreturn loaded cand = Callconv.Invalid
-      then
-        (* the evidence costs a second (diagnostic) walk; gather it only
-           when the ledger is recording *)
-        let fields =
-          if not (Prov.enabled ()) then []
-          else
-            match Callconv.validate_diag ~noreturn ~cond_noreturn loaded cand with
-            | Error (v : Callconv.violation) ->
-                ("viol_at", Prov.I v.at)
-                ::
-                (match v.reg with
-                | Some r -> [ ("viol_reg", Prov.S (Reg.name64 r)) ]
-                | None -> [ ("viol_reg", Prov.S "undecodable") ])
-            | Ok () -> []
+    | Some (_, _, entry) when entry <> cand ->
+        (* a pointer into the body of a previously detected function is a
+           control transfer into its middle (error iii) — jump-table
+           entries land here, for example *)
+        Rejected
+          {
+            reason = Transfer_into_function;
+            fields = [ ("into", Prov.I entry) ];
+            permanent = true;
+          }
+    | Some _ | None -> begin
+        (* speculative conservative disassembly *)
+        let visited = Hashtbl.create 16 in
+        let exception Reject of reject * (string * Prov.value) list in
+        let check_target t =
+          if Hashtbl.mem res.funcs t then ()
+          else begin
+            if mid_instruction res t then
+              raise (Reject (Mid_instruction, [ ("at", Prov.I t) ]));
+            match Fetch_util.Interval_map.find extents t with
+            | Some (_, _, entry) when entry <> t ->
+                raise
+                  (Reject
+                     ( Transfer_into_function,
+                       [ ("at", Prov.I t); ("into", Prov.I entry) ] ))
+            | Some _ | None -> ()
+          end
         in
-        Error (Bad_call_conv, fields)
-      else Ok ()
-    with Reject (r, fields) -> Error (r, fields)
-  end
+        let rec walk_block fuel addr frontier =
+          if fuel <= 0 then frontier
+          else if Hashtbl.mem res.funcs addr then frontier
+          else
+            match Loaded.insn_at loaded addr with
+            | None -> raise (Reject (Invalid_opcode, [ ("at", Prov.I addr) ]))
+            | Some (insn, len) -> (
+                if mid_instruction res addr then
+                  raise (Reject (Mid_instruction, [ ("at", Prov.I addr) ]));
+                match Semantics.flow insn with
+                | Semantics.Fall -> walk_block (fuel - 1) (addr + len) frontier
+                | Semantics.Ret | Semantics.Halt -> frontier
+                | Semantics.Jump (Semantics.Direct t) ->
+                    check_target t;
+                    if Loaded.in_text loaded t then t :: frontier else frontier
+                | Semantics.Cond t ->
+                    check_target t;
+                    walk_block (fuel - 1) (addr + len)
+                      (if Loaded.in_text loaded t then t :: frontier
+                       else frontier)
+                | Semantics.Jump (Semantics.Indirect _) -> frontier
+                | Semantics.Callf (Semantics.Direct t) ->
+                    check_target t;
+                    walk_block (fuel - 1) (addr + len) frontier
+                | Semantics.Callf (Semantics.Indirect _) ->
+                    walk_block (fuel - 1) (addr + len) frontier)
+        in
+        try
+          let rec bfs blocks frontier =
+            match frontier with
+            | [] -> ()
+            | addr :: rest ->
+                if blocks <= 0 then ()
+                else if Hashtbl.mem visited addr then bfs blocks rest
+                else begin
+                  Hashtbl.replace visited addr ();
+                  let extra = walk_block max_spec_insns addr [] in
+                  bfs (blocks - 1) (extra @ rest)
+                end
+          in
+          bfs max_spec_blocks [ cand ];
+          let noreturn t = Hashtbl.mem res.noreturn t in
+          let cond_noreturn t = Hashtbl.mem res.cond_noreturn t in
+          if
+            Callconv.validate ~noreturn ~cond_noreturn loaded cand
+            = Callconv.Invalid
+          then
+            (* the evidence costs a second (diagnostic) walk; gather it
+               only when the ledger is recording *)
+            let fields =
+              if not (Prov.enabled ()) then []
+              else
+                match
+                  Callconv.validate_diag ~noreturn ~cond_noreturn loaded cand
+                with
+                | Error (v : Callconv.violation) ->
+                    ("viol_at", Prov.I v.at)
+                    ::
+                    (match v.reg with
+                    | Some r -> [ ("viol_reg", Prov.S (Reg.name64 r)) ]
+                    | None -> [ ("viol_reg", Prov.S "undecodable") ])
+                | Ok () -> []
+            in
+            Rejected { reason = Bad_call_conv; fields; permanent = false }
+          else Accept
+        with Reject (reason, fields) ->
+          Rejected { reason; fields; permanent = false }
+      end
 
-(** First acceptable candidate in ascending order, or [None]. *)
-let first_accepted loaded (res : Recursive.result) =
-  let refs = Refs.collect loaded res in
-  let extents = function_extents res in
-  let rec go = function
-    | [] -> None
-    | cand :: rest -> (
-        Obs.incr c_candidates;
-        match validate loaded res ~extents cand with
-        | Ok () ->
-            if Prov.enabled () then begin
-              let origin =
-                match Refs.refs_to refs cand with
-                | Refs.Data_pointer a :: _ ->
-                    [ ("via", Prov.S "data"); ("site", Prov.I a) ]
-                | Refs.Code_constant a :: _ ->
-                    [ ("via", Prov.S "code"); ("site", Prov.I a) ]
-                | Refs.Call_target a :: _ ->
-                    [ ("via", Prov.S "call"); ("site", Prov.I a) ]
-                | Refs.Jump_target (a, e) :: _ ->
-                    [ ("via", Prov.S "jump"); ("site", Prov.I a); ("entry", Prov.I e) ]
-                | [] -> []
-              in
-              Prov.emit ~ev:"xref.accept" ~addr:cand origin
-            end;
-            Some cand
-        | Error (r, fields) ->
-            Obs.incr
-              (match r with
-              | Invalid_opcode -> c_rej_opcode
-              | Mid_instruction -> c_rej_mid
-              | Transfer_into_function -> c_rej_into
-              | Bad_call_conv -> c_rej_callconv);
-            if Prov.enabled () then
-              Prov.emit ~ev:"xref.reject" ~addr:cand
-                (("reason", Prov.S (reject_name r)) :: fields);
-            go rest)
-  in
-  go (Refs.pointer_candidates refs)
+type strategy = Incremental | Rescan
+
+let strategy_name = function Incremental -> "incremental" | Rescan -> "rescan"
 
 (** Iterated detection (§IV-E): accept one legitimate pointer at a time and
     immediately refresh the disassembly and the pointer collection with it,
@@ -228,12 +237,119 @@ let first_accepted loaded (res : Recursive.result) =
     index and (when one is found) the accepted pointer, inside a ledger
     scope adding [round] to every §IV-E event, and is observed into the
     [xref.round_cost_ms] histogram; the per-binary round count goes to
-    the [xref.rounds] histogram. *)
-let detect ?(config = Recursive.safe_config) loaded ~seeds =
-  Obs.span "xref" @@ fun () ->
+    the [xref.rounds] histogram.
+
+    Validation, counting and the permanent-reject cache are shared
+    between the two strategies — only the substrate differs (extend +
+    incremental refs vs full re-run + re-collect) — so the §IV-E
+    counters and the accept/reject event stream are strategy-invariant
+    by construction. *)
+let detect ?(config = Recursive.safe_config) ?(strategy = Incremental)
+    ?(max_rounds = 64) loaded ~seeds =
+  (* the initial seed disassembly is stage-2 work and reports under its
+     own "recursive" span; the "xref" stage below times §IV-E pointer
+     detection only, so its mean is the cost of the rounds, not of the
+     base disassembly they extend *)
+  let res0 = Recursive.run ~config loaded ~seeds in
+  Obs.span ~args:[ ("strategy", strategy_name strategy) ] "xref" @@ fun () ->
+  let incr_refs =
+    match strategy with
+    | Incremental -> Some (Refs.incr_create loaded)
+    | Rescan -> None
+  in
+  let refresh res =
+    match incr_refs with
+    | Some inc -> Refs.incr_refresh inc res
+    | None -> Refs.collect loaded res
+  in
+  (* permanent rejections survive rounds: the committed state only grows,
+     so these candidates can never flip to acceptable (they can still
+     become detected *entries* via recursion — which is why the
+     known-function check precedes the cache lookup) *)
+  let reject_cache : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let accept_one res =
+    let refs = refresh res in
+    let extents = function_extents res in
+    let rec go = function
+      | [] -> None
+      | cand :: rest ->
+          if Hashtbl.mem res.Recursive.funcs cand then begin
+            Obs.incr c_known;
+            go rest
+          end
+          else if Hashtbl.mem reject_cache cand then begin
+            Obs.incr c_cache_hits;
+            go rest
+          end
+          else begin
+            Obs.incr c_candidates;
+            match validate loaded res ~extents cand with
+            | Known_function ->
+                (* unreachable: filtered above before counting *)
+                Obs.incr c_known;
+                go rest
+            | Accept ->
+                if Prov.enabled () then begin
+                  let origin =
+                    match Refs.refs_to refs cand with
+                    | Refs.Data_pointer a :: _ ->
+                        [ ("via", Prov.S "data"); ("site", Prov.I a) ]
+                    | Refs.Code_constant a :: _ ->
+                        [ ("via", Prov.S "code"); ("site", Prov.I a) ]
+                    | Refs.Call_target a :: _ ->
+                        [ ("via", Prov.S "call"); ("site", Prov.I a) ]
+                    | Refs.Jump_target (a, e) :: _ ->
+                        [
+                          ("via", Prov.S "jump");
+                          ("site", Prov.I a);
+                          ("entry", Prov.I e);
+                        ]
+                    | [] -> []
+                  in
+                  Prov.emit ~ev:"xref.accept" ~addr:cand origin
+                end;
+                Some cand
+            | Rejected { reason; fields; permanent } ->
+                Obs.incr
+                  (match reason with
+                  | Invalid_opcode -> c_rej_opcode
+                  | Mid_instruction -> c_rej_mid
+                  | Transfer_into_function -> c_rej_into
+                  | Bad_call_conv -> c_rej_callconv);
+                if Prov.enabled () then
+                  Prov.emit ~ev:"xref.reject" ~addr:cand
+                    (("reason", Prov.S (reject_name reason)) :: fields);
+                if permanent then Hashtbl.replace reject_cache cand ();
+                go rest
+          end
+    in
+    go (Refs.pointer_candidates refs)
+  in
   let rounds = ref 0 in
   let rec loop budget seeds res =
-    if budget <= 0 then (res, seeds)
+    if budget <= 0 then begin
+      (* the budget ran out right after an acceptance, so candidates we
+         never re-examined may still be acceptable: detection is being
+         truncated, not finished.  Say so instead of stopping silently. *)
+      let refs = refresh res in
+      let pending =
+        List.filter
+          (fun c ->
+            (not (Hashtbl.mem res.Recursive.funcs c))
+            && not (Hashtbl.mem reject_cache c))
+          (Refs.pointer_candidates refs)
+      in
+      if pending <> [] then begin
+        Obs.incr c_budget;
+        if Prov.enabled () then
+          Prov.emit ~ev:"xref.budget_exhausted" ~addr:(List.hd pending)
+            [
+              ("pending", Prov.I (List.length pending));
+              ("rounds", Prov.I !rounds);
+            ]
+      end;
+      (res, seeds)
+    end
     else begin
       Obs.incr c_rounds;
       incr rounds;
@@ -243,19 +359,26 @@ let detect ?(config = Recursive.safe_config) loaded ~seeds =
         Obs.span ~args:[ ("round", string_of_int k) ] "xref.round" @@ fun () ->
         let t0 = if Obs.enabled () then Fetch_obs.Clock.now_ns () else 0L in
         let r =
-          match first_accepted loaded res with
+          match accept_one res with
           | None -> None
           | Some cand ->
               Obs.incr c_accepted;
               Obs.set_arg "accepted" (Printf.sprintf "%#x" cand);
               let seeds' = List.sort_uniq compare (cand :: seeds) in
-              let res' = Recursive.run ~config loaded ~seeds:seeds' in
+              let res' =
+                match strategy with
+                | Incremental ->
+                    Recursive.extend ~config loaded ~prior:res ~seeds:[ cand ]
+                | Rescan -> Recursive.run ~config loaded ~seeds:seeds'
+              in
               Some (seeds', res')
         in
         if Obs.enabled () then
           Obs.observe h_round_cost_ms
             (Int64.to_int
-               (Int64.div (Int64.sub (Fetch_obs.Clock.now_ns ()) t0) 1_000_000L));
+               (Int64.div
+                  (Int64.sub (Fetch_obs.Clock.now_ns ()) t0)
+                  1_000_000L));
         r
       in
       match outcome with
@@ -263,7 +386,6 @@ let detect ?(config = Recursive.safe_config) loaded ~seeds =
       | Some (seeds', res') -> loop (budget - 1) seeds' res'
     end
   in
-  let res0 = Recursive.run ~config loaded ~seeds in
-  let result = loop 64 seeds res0 in
+  let result = loop max_rounds seeds res0 in
   if Obs.enabled () then Obs.observe h_rounds !rounds;
   result

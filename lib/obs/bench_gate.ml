@@ -38,7 +38,11 @@ type snapshot = {
   histograms : (string * Trace.hist_stats) list;
 }
 
-let schema_current = "fetch-bench-pipeline/3"
+(* /4: xref counters re-based — known entries are no longer miscounted as
+   mid_instruction rejects, the boundary index made mid_instruction real,
+   and the incremental engine added its own meters — so /3 baselines are
+   not comparable and must be re-captured. *)
+let schema_current = "fetch-bench-pipeline/4"
 
 (* ---- writer ---- *)
 

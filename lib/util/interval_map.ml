@@ -11,6 +11,13 @@ type 'a t = { mutable m : (int * 'a) Imap.t }
 (* key = lo, payload = (hi, value) *)
 
 let create () = { m = Imap.empty }
+
+(** O(1) snapshot: the backing map is persistent, so a copy shares all
+    existing bindings and diverges only on subsequent mutation.  This is
+    what lets the incremental engine fork a round's span map without
+    paying for its size. *)
+let copy t = { m = t.m }
+
 let is_empty t = Imap.is_empty t.m
 let cardinal t = Imap.cardinal t.m
 

@@ -9,6 +9,11 @@
 type 'a t
 
 val create : unit -> 'a t
+
+(** O(1) independent snapshot (the backing map is persistent): mutations
+    of either the copy or the original are invisible to the other. *)
+val copy : 'a t -> 'a t
+
 val is_empty : 'a t -> bool
 val cardinal : 'a t -> int
 

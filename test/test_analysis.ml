@@ -137,6 +137,118 @@ let test_rec_intra_jump_extends () =
   check Alcotest.bool "inside is a block" true
     (List.exists (fun (lo, _) -> lo = label asm "inside") a.blocks)
 
+(* --- incremental extension --- *)
+
+(* Everything [Xref.detect] compares between rounds: starts, spans and
+   the noreturn fact tables. *)
+let result_signature (res : Recursive.result) =
+  let keys tbl = List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) tbl []) in
+  ( Recursive.starts res,
+    Fetch_util.Interval_map.to_list res.insn_spans,
+    keys res.noreturn,
+    keys res.cond_noreturn )
+
+let extend_items =
+  [
+    Asm.Label "a";
+    Asm.I (I.Call (I.To_label "b"));
+    Asm.I I.Ret;
+    Asm.Align 16;
+    Asm.Label "b";
+    Asm.I I.Ret;
+    Asm.Align 16;
+    Asm.Label "g";
+    Asm.I (I.Call (I.To_label "h"));
+    Asm.I I.Ret;
+    Asm.Align 16;
+    Asm.Label "h";
+    Asm.I I.Ret;
+  ]
+
+let test_extend_equals_run () =
+  (* g/h are unreachable from a: extending the a-run with seed g must
+     equal running both seeds from scratch, and must leave prior alone *)
+  let img, asm = image_of extend_items in
+  let loaded = Loaded.load img in
+  let prior = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  let prior_sig = result_signature prior in
+  let ext = Recursive.extend loaded ~prior ~seeds:[ label asm "g" ] in
+  let scratch = Recursive.run loaded ~seeds:[ label asm "a"; label asm "g" ] in
+  check Alcotest.bool "extend == from-scratch" true
+    (result_signature ext = result_signature scratch);
+  check Alcotest.bool "callee h discovered by the delta" true
+    (Hashtbl.mem ext.funcs (label asm "h"));
+  check Alcotest.bool "prior untouched" true
+    (result_signature prior = prior_sig)
+
+let test_extend_known_seed_noop () =
+  let img, asm = image_of extend_items in
+  let loaded = Loaded.load img in
+  let prior = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  let ext = Recursive.extend loaded ~prior ~seeds:[ label asm "a"; label asm "b" ] in
+  check Alcotest.bool "already-known seeds change nothing" true
+    (result_signature ext = result_signature prior)
+
+let test_extend_uses_noreturn_facts () =
+  (* the prior run learns dead is noreturn; the delta function calls it
+     with junk after the call and must stop there, exactly as a
+     from-scratch run over both seeds would *)
+  let items =
+    [
+      Asm.Label "a";
+      Asm.I (I.Call (I.To_label "dead"));
+      Asm.Raw "\xff\xff\xff\xff";
+      Asm.Align 16;
+      Asm.Label "dead";
+      Asm.I I.Ud2;
+      Asm.Align 16;
+      Asm.Label "g";
+      Asm.I (I.Call (I.To_label "dead"));
+      Asm.Raw "\xff\xff\xff\xff";
+    ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let prior = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  check Alcotest.bool "prior learned dead is noreturn" true
+    (Hashtbl.mem prior.noreturn (label asm "dead"));
+  let ext = Recursive.extend loaded ~prior ~seeds:[ label asm "g" ] in
+  let g = Hashtbl.find ext.funcs (label asm "g") in
+  check Alcotest.bool "delta stopped at the noreturn call" false g.decode_error;
+  let scratch = Recursive.run loaded ~seeds:[ label asm "a"; label asm "g" ] in
+  check Alcotest.bool "extend == from-scratch" true
+    (result_signature ext = result_signature scratch)
+
+let test_extend_refixpoints_delta_noreturn () =
+  (* the delta itself introduces a new noreturn function: g calls k
+     (both fresh), k never returns, so the fixpoint inside extend must
+     re-iterate and shrink g past the call *)
+  let items =
+    [
+      Asm.Label "a";
+      Asm.I I.Ret;
+      Asm.Align 16;
+      Asm.Label "g";
+      Asm.I (I.Call (I.To_label "k"));
+      Asm.Raw "\xff\xff\xff\xff";
+      Asm.Align 16;
+      Asm.Label "k";
+      Asm.I I.Ud2;
+    ]
+  in
+  let img, asm = image_of items in
+  let loaded = Loaded.load img in
+  let prior = Recursive.run loaded ~seeds:[ label asm "a" ] in
+  let ext = Recursive.extend loaded ~prior ~seeds:[ label asm "g" ] in
+  check Alcotest.bool "k classified noreturn inside extend" true
+    (Hashtbl.mem ext.noreturn (label asm "k"));
+  let g = Hashtbl.find ext.funcs (label asm "g") in
+  check Alcotest.bool "g stopped at the call after re-iteration" false
+    g.decode_error;
+  let scratch = Recursive.run loaded ~seeds:[ label asm "a"; label asm "g" ] in
+  check Alcotest.bool "extend == from-scratch" true
+    (result_signature ext = result_signature scratch)
+
 (* --- jump tables --- *)
 
 let abs_table_items =
@@ -493,6 +605,10 @@ let suite =
     Alcotest.test_case "rec: stops after noreturn call" `Quick test_rec_stops_at_noreturn_call;
     Alcotest.test_case "rec: no tail-call guessing" `Quick test_rec_no_tail_guessing;
     Alcotest.test_case "rec: intra jump extends function" `Quick test_rec_intra_jump_extends;
+    Alcotest.test_case "extend: equals from-scratch run" `Quick test_extend_equals_run;
+    Alcotest.test_case "extend: known seeds are a no-op" `Quick test_extend_known_seed_noop;
+    Alcotest.test_case "extend: consults prior noreturn facts" `Quick test_extend_uses_noreturn_facts;
+    Alcotest.test_case "extend: re-fixpoints delta noreturn" `Quick test_extend_refixpoints_delta_noreturn;
     Alcotest.test_case "jump table: absolute form" `Quick test_jump_table_absolute;
     Alcotest.test_case "jump table: needs bound check" `Quick test_jump_table_unresolved_without_bound;
     Alcotest.test_case "jump table: bad targets rejected" `Quick test_jump_table_rejects_bad_targets;

@@ -386,9 +386,291 @@ let test_provenance_end_to_end () =
     (let out = explain rejected in
      contains out "alg1.reject" && contains out "rule=")
 
+(* ---- incremental xref: bugfix fixtures and the differential property ---- *)
+
+module Obs = Fetch_obs.Trace
+module Prov = Fetch_obs.Provenance
+module An = Fetch_analysis
+module X86 = Fetch_x86
+module XI = Fetch_x86.Insn
+
+(* Minimal hand-assembled image: text at 0x1000, optional rodata at
+   0x5000 (the same shape as test_analysis, local to keep the xref
+   fixtures self-contained). *)
+let xref_image ?(rodata = "") items =
+  let asm = X86.Asm.assemble ~base:0x1000 items in
+  let open Fetch_elf.Image in
+  let sections =
+    [
+      {
+        sec_name = ".text";
+        kind = Progbits;
+        flags = shf_alloc lor shf_execinstr;
+        addr = 0x1000;
+        data = asm.code;
+        addralign = 16;
+        entsize = 0;
+      };
+    ]
+    @
+    if rodata = "" then []
+    else
+      [
+        {
+          sec_name = ".rodata";
+          kind = Progbits;
+          flags = shf_alloc;
+          addr = 0x5000;
+          data = rodata;
+          addralign = 8;
+          entsize = 0;
+        };
+      ]
+  in
+  (An.Loaded.load { entry = 0x1000; sections; symbols = [] }, asm)
+
+let u64s vs =
+  let b = Fetch_util.Byte_buf.create () in
+  List.iter (fun v -> Fetch_util.Byte_buf.u64 b v) vs;
+  Fetch_util.Byte_buf.contents b
+
+let counter (rep : Obs.report) n =
+  Option.value ~default:0 (List.assoc_opt n rep.Obs.counters)
+
+(* Regression (error ii was vacuous): a data pointer into the middle of a
+   committed instruction must be rejected as [mid_instruction], not fall
+   through to the extents check and be misfiled as [into_function]. *)
+let test_xref_mid_instruction_reject () =
+  let items =
+    [
+      X86.Asm.Label "a";
+      X86.Asm.I (XI.Mov (XI.W64, XI.Reg X86.Reg.Rax, XI.Imm 7));
+      X86.Asm.I XI.Ret;
+    ]
+  in
+  (* 0x1001 is strictly inside a's first (multi-byte) instruction *)
+  let loaded, _ = xref_image ~rodata:(u64s [ 0x1001 ]) items in
+  let (res, seeds'), rep =
+    Obs.with_run (fun () -> Xref.detect loaded ~seeds:[ 0x1000 ])
+  in
+  check Alcotest.int "one fresh validation" 1
+    (counter rep "xref.candidates_scanned");
+  check Alcotest.int "rejected as mid_instruction" 1
+    (counter rep "xref.reject.mid_instruction");
+  check Alcotest.int "not misfiled as into_function" 0
+    (counter rep "xref.reject.into_function");
+  check Alcotest.int "nothing accepted" 0 (counter rep "xref.accepted");
+  check Alcotest.bool "mid-instruction pointer not detected" false
+    (List.mem 0x1001 (An.Recursive.starts res));
+  check (Alcotest.list Alcotest.int) "seeds unchanged" [ 0x1000 ] seeds'
+
+(* Regression: a pointer to an already-detected entry used to be counted
+   as a scanned candidate and a mid_instruction reject every round; it is
+   now skipped under its own non-§IV-E counter. *)
+let test_xref_known_entry_accounting () =
+  let items = [ X86.Asm.Label "a"; X86.Asm.I XI.Ret ] in
+  let loaded, _ = xref_image ~rodata:(u64s [ 0x1000 ]) items in
+  let (res, _), rep =
+    Obs.with_run (fun () -> Xref.detect loaded ~seeds:[ 0x1000 ])
+  in
+  check Alcotest.int "known entry skipped, not validated" 1
+    (counter rep "xref.known_entries_skipped");
+  check Alcotest.int "no fresh validations" 0
+    (counter rep "xref.candidates_scanned");
+  check Alcotest.int "no mid_instruction inflation" 0
+    (counter rep "xref.reject.mid_instruction");
+  check (Alcotest.list Alcotest.int) "a detected exactly once" [ 0x1000 ]
+    (An.Recursive.starts res)
+
+(* Regression: the round budget used to exhaust silently; now it is
+   announced by a counter and a ledger event carrying the pending count —
+   and both strategies agree on the truncated outcome. *)
+let test_xref_budget_exhaustion () =
+  let items =
+    [
+      X86.Asm.Label "a";
+      X86.Asm.I XI.Ret;
+      X86.Asm.Align 16;
+      X86.Asm.Label "g1";
+      X86.Asm.I XI.Ret;
+      X86.Asm.Align 16;
+      X86.Asm.Label "g2";
+      X86.Asm.I XI.Ret;
+    ]
+  in
+  let _, asm0 = xref_image items in
+  let l = X86.Asm.label_addr asm0 in
+  let loaded, _ = xref_image ~rodata:(u64s [ l "g1"; l "g2" ]) items in
+  let run strategy max_rounds =
+    Obs.with_run (fun () ->
+        Prov.with_run (fun () ->
+            Xref.detect ~strategy ~max_rounds loaded ~seeds:[ l "a" ]))
+  in
+  let ((res, _), events), rep = run Xref.Incremental 1 in
+  check Alcotest.int "one pointer accepted before the budget" 1
+    (counter rep "xref.accepted");
+  check Alcotest.int "exhaustion counted" 1
+    (counter rep "xref.budget_exhausted");
+  check Alcotest.bool "g2 left undetected by the truncated run" false
+    (List.mem (l "g2") (An.Recursive.starts res));
+  (match
+     List.find_opt
+       (fun (e : Prov.event) -> e.Prov.ev = "xref.budget_exhausted")
+       events
+   with
+  | None -> Alcotest.fail "no xref.budget_exhausted ledger event"
+  | Some e ->
+      check Alcotest.bool "event names the pending candidate" true
+        (e.Prov.addr = l "g2");
+      check Alcotest.bool "event carries the pending count" true
+        (List.assoc_opt "pending" e.Prov.fields = Some (Prov.I 1)));
+  (* the rescan strategy reports the identical truncated outcome *)
+  let ((res_r, _), _), rep_r = run Xref.Rescan 1 in
+  check Alcotest.bool "strategies agree when truncated" true
+    (An.Recursive.starts res = An.Recursive.starts res_r);
+  check Alcotest.int "rescan counts the exhaustion too" 1
+    (counter rep_r "xref.budget_exhausted");
+  (* with the default budget both pointers land and nothing is pending *)
+  let ((res_full, _), _), rep_full = run Xref.Incremental 64 in
+  check Alcotest.int "full run accepts both" 2 (counter rep_full "xref.accepted");
+  check Alcotest.int "full run exhausts nothing" 0
+    (counter rep_full "xref.budget_exhausted");
+  check Alcotest.bool "g2 detected with the full budget" true
+    (List.mem (l "g2") (An.Recursive.starts res_full))
+
+(* Regression: a decode-cache inconsistency mid-span used to abandon the
+   rest of the span scan silently; now it resyncs and counts. *)
+let test_refs_scan_resync () =
+  let items =
+    [
+      X86.Asm.Label "a";
+      X86.Asm.I (XI.Mov (XI.W64, XI.Reg X86.Reg.Rax, XI.Imm 7));
+      X86.Asm.I XI.Ret;
+    ]
+  in
+  let loaded, _ = xref_image items in
+  let res = An.Recursive.run loaded ~seeds:[ 0x1000 ] in
+  let _, rep = Obs.with_run (fun () -> Refs.collect loaded res) in
+  check Alcotest.int "clean scan needs no resync" 0
+    (counter rep "refs.scan_resync");
+  (* poison the memoized decode under a committed span *)
+  Hashtbl.replace loaded.An.Loaded.cache 0x1000 None;
+  let _, rep = Obs.with_run (fun () -> Refs.collect loaded res) in
+  check Alcotest.bool "poisoned decode resyncs and counts" true
+    (counter rep "refs.scan_resync" >= 1)
+
+(* Regression: extent overlap attribution used to follow hash iteration
+   order; the fold is sorted now, so the winner is a function of the
+   result alone. *)
+let test_xref_extents_deterministic () =
+  let mk entry blocks : An.Recursive.func =
+    {
+      entry;
+      blocks;
+      calls = [];
+      out_jumps = [];
+      all_jump_sites = [];
+      table_targets = [];
+      unresolved_indirect_jump = false;
+      has_ret = true;
+      has_indirect_call = false;
+      decode_error = false;
+    }
+  in
+  let result_of fns : An.Recursive.result =
+    let funcs = Hashtbl.create 8 in
+    List.iter (fun (f : An.Recursive.func) -> Hashtbl.replace funcs f.entry f) fns;
+    {
+      funcs;
+      noreturn = Hashtbl.create 1;
+      cond_noreturn = Hashtbl.create 1;
+      insn_spans = Fetch_util.Interval_map.create ();
+    }
+  in
+  let f1 = mk 0x1000 [ (0x1000, 0x1020) ]
+  and f2 = mk 0x1010 [ (0x1010, 0x1030) ]
+  and f3 = mk 0x1040 [ (0x1040, 0x1050) ] in
+  let l1 =
+    Fetch_util.Interval_map.to_list (Xref.function_extents (result_of [ f1; f2; f3 ]))
+  in
+  let l2 =
+    Fetch_util.Interval_map.to_list (Xref.function_extents (result_of [ f3; f2; f1 ]))
+  in
+  check Alcotest.bool "extents independent of table order" true (l1 = l2);
+  (* ascending fold: the later entry's override wins the overlap *)
+  check Alcotest.bool "overlap attribution is canonical" true
+    (l1 = [ (0x1010, 0x1030, 0x1010); (0x1040, 0x1050, 0x1040) ])
+
+(* The acceptance property of the whole refactor: the incremental engine
+   and the from-scratch rescan are indistinguishable — same final seeds,
+   same starts, same spans, same noreturn facts, same §IV-E counters —
+   over random corpora with random FDE-seed subsets removed (removed
+   seeds turn their functions into xref's problem, forcing deep
+   extension chains). *)
+let prop_xref_strategy_differential =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* compiler = oneofl [ Profile.Synthgcc; Profile.Synthllvm ] in
+      let* n_funcs = int_range 10 40 in
+      let* pointer = int_bound 3 in
+      let* code_ptr = int_bound 2 in
+      let* drop = int_bound 3 in
+      return (seed, compiler, n_funcs, pointer, code_ptr, drop))
+  in
+  QCheck.Test.make ~name:"xref: incremental == rescan" ~count:10
+    (QCheck.make gen
+       ~print:(fun (seed, c, n, p, cp, d) ->
+         Printf.sprintf "seed=%d %s n=%d ptr=%d codeptr=%d drop=%d" seed
+           (Profile.compiler_name c) n p cp d))
+    (fun (seed, compiler, n_funcs, pointer, code_ptr, drop) ->
+      let profile = Profile.make compiler Profile.O2 in
+      let spec' =
+        {
+          Gen.default_spec with
+          n_funcs;
+          n_asm_pointer = pointer;
+          n_asm_code_ptr = code_ptr;
+          n_asm_called = 1;
+          n_asm_unreachable = 1;
+        }
+      in
+      let b = Link.build_random ~profile ~seed spec' in
+      let loaded = An.Loaded.load b.image in
+      let seeds =
+        List.filteri (fun i _ -> i mod 4 >= drop) loaded.An.Loaded.fde_starts
+      in
+      let detect strategy =
+        Obs.with_run (fun () -> Xref.detect ~strategy loaded ~seeds)
+      in
+      let (res_i, seeds_i), rep_i = detect Xref.Incremental in
+      let (res_r, seeds_r), rep_r = detect Xref.Rescan in
+      let xref_counters (rep : Obs.report) =
+        List.filter
+          (fun (n, _) -> String.length n >= 5 && String.sub n 0 5 = "xref.")
+          rep.Obs.counters
+        |> List.sort compare
+      in
+      let keys tbl =
+        List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) tbl [])
+      in
+      seeds_i = seeds_r
+      && An.Recursive.starts res_i = An.Recursive.starts res_r
+      && Fetch_util.Interval_map.to_list res_i.An.Recursive.insn_spans
+         = Fetch_util.Interval_map.to_list res_r.An.Recursive.insn_spans
+      && keys res_i.An.Recursive.noreturn = keys res_r.An.Recursive.noreturn
+      && keys res_i.An.Recursive.cond_noreturn
+         = keys res_r.An.Recursive.cond_noreturn
+      && xref_counters rep_i = xref_counters rep_r)
+
 let suite =
   [
     Alcotest.test_case "FDE-only coverage (Q1)" `Quick test_fde_only;
+    Alcotest.test_case "xref: mid-instruction pointer rejected" `Quick test_xref_mid_instruction_reject;
+    Alcotest.test_case "xref: known entries skipped in accounting" `Quick test_xref_known_entry_accounting;
+    Alcotest.test_case "xref: budget exhaustion announced" `Quick test_xref_budget_exhaustion;
+    Alcotest.test_case "refs: span scan resyncs on bad decode" `Quick test_refs_scan_resync;
+    Alcotest.test_case "xref: extents attribution deterministic" `Quick test_xref_extents_deterministic;
     Alcotest.test_case "provenance ledger end-to-end" `Quick test_provenance_end_to_end;
     Alcotest.test_case "full pipeline accuracy" `Quick test_full_pipeline_accuracy;
     Alcotest.test_case "pipeline from raw bytes" `Quick test_pipeline_on_encoded_bytes;
@@ -440,4 +722,9 @@ let prop_fetch_invariants =
       List.for_all (acceptable_residual_fp r b.truth) fp
       && List.for_all (acceptable_miss r b.truth) fn)
 
-let suite = suite @ [ QCheck_alcotest.to_alcotest prop_fetch_invariants ]
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_fetch_invariants;
+      QCheck_alcotest.to_alcotest prop_xref_strategy_differential;
+    ]

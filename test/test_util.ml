@@ -92,6 +92,19 @@ let test_interval_override () =
   check Alcotest.bool "c covers 12" true
     (match Interval_map.find m 12 with Some (5, 15, "c") -> true | _ -> false)
 
+let test_interval_copy () =
+  (* copies are independent in both directions: the incremental engine
+     forks a round's span map and mutates only the fork *)
+  let m = Interval_map.create () in
+  Interval_map.add m ~lo:0 ~hi:10 "a";
+  let c = Interval_map.copy m in
+  Interval_map.add c ~lo:10 ~hi:20 "b";
+  Interval_map.remove m 0;
+  check Alcotest.int "copy kept a and gained b" 2 (Interval_map.cardinal c);
+  check Alcotest.int "original lost a and never saw b" 0 (Interval_map.cardinal m);
+  check Alcotest.bool "copy still finds a" true (Interval_map.mem c 5);
+  check Alcotest.bool "original does not see b" false (Interval_map.mem m 15)
+
 let test_interval_next_from () =
   let m = Interval_map.create () in
   Interval_map.add m ~lo:100 ~hi:110 ();
@@ -209,6 +222,7 @@ let suite =
     Alcotest.test_case "pad_to alignment" `Quick test_pad_align;
     Alcotest.test_case "interval map basics" `Quick test_interval_basic;
     Alcotest.test_case "interval map override" `Quick test_interval_override;
+    Alcotest.test_case "interval map copy independence" `Quick test_interval_copy;
     Alcotest.test_case "interval map next_from" `Quick test_interval_next_from;
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
     Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
