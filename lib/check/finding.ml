@@ -18,11 +18,20 @@ let severity_label = function
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
+(* Total order: severity, then address, then rule, with [related] and
+   [message] as final tiebreakers so reports are byte-stable however the
+   findings were produced. *)
 let compare a b =
   match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
   | 0 -> (
       match Stdlib.compare a.addr b.addr with
-      | 0 -> Stdlib.compare a.rule b.rule
+      | 0 -> (
+          match Stdlib.compare a.rule b.rule with
+          | 0 -> (
+              match Stdlib.compare a.related b.related with
+              | 0 -> Stdlib.compare a.message b.message
+              | c -> c)
+          | c -> c)
       | c -> c)
   | c -> c
 

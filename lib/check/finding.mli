@@ -26,7 +26,10 @@ type t = {
 
 val severity_label : severity -> string
 
-(** Order by severity (most severe first), then address, then rule. *)
+(** Total order: severity (most severe first), then address, then rule,
+    then related address and message — equal findings compare equal and
+    nothing else does, so sorted reports are byte-stable regardless of
+    emission order. *)
 val compare : t -> t -> int
 
 (** One human-readable line, e.g.

@@ -1,0 +1,200 @@
+(** Lint rules as a declarative program — see the interface. *)
+
+open Fetch_facts
+open Rule
+
+(* ---- jump-mid-insn ----
+   The imperative rule walks every function's jumps and probes the
+   committed-span interval map.  Declaratively: project jump targets
+   that land in an executable section, then join against instruction
+   spans that strictly contain them.  Committed spans are disjoint, so
+   each target pairs with at most one instruction and set semantics
+   reproduces the imperative (site, target) dedup for free. *)
+let jump_mid_insn_rules =
+  [
+    make "jump-text-target"
+      (atom Schema.jump_text_target [ v "T" ])
+      [
+        Pos (atom Schema.jump [ v "S"; v "T"; v "E" ]);
+        Pos (atom Schema.text [ v "Lo"; v "Hi" ]);
+        guard "Lo<=T<Hi" (fun b ->
+            iv b "Lo" <= iv b "T" && iv b "T" < iv b "Hi");
+      ];
+    make "jump-mid-insn"
+      (atom Schema.jump_mid_insn [ v "T"; v "ILo" ])
+      [
+        Pos (atom Schema.jump_text_target [ v "T" ]);
+        Pos (atom Schema.insn [ v "ILo"; v "IHi" ]);
+        guard "ILo<T<IHi" (fun b ->
+            iv b "ILo" < iv b "T" && iv b "T" < iv b "IHi");
+      ];
+    make "jump-mid-insn-at"
+      (atom Schema.jump_mid_insn_at [ v "S"; v "T"; v "ILo" ])
+      [
+        Pos (atom Schema.jump [ v "S"; v "T"; v "E" ]);
+        Pos (atom Schema.jump_mid_insn [ v "T"; v "ILo" ]);
+      ];
+  ]
+
+(* ---- fde-unreached / fde-partial ----
+   The imperative rule sums covered bytes over the FDE range and
+   classifies 0 / partial / full.  Bottom-up, byte counting becomes two
+   negations over finitely many {e probe points}: the FDE start plus
+   every instruction end inside the range.  Committed spans are
+   disjoint, so the range is fully covered iff every probe point lies
+   inside some instruction — were a byte [u] uncovered with all probe
+   points covered, the least such [u] is either the FDE start (a
+   covered probe point, contradiction) or is preceded by a covered byte
+   whose instruction must end exactly at [u], making [u] a covered
+   probe point too. *)
+let fde_rules =
+  [
+    make "fde-touched"
+      (atom Schema.fde_touched [ v "F" ])
+      [
+        Pos (atom Schema.fde [ v "F"; v "FHi" ]);
+        Pos (atom Schema.insn [ v "Lo"; v "Hi" ]);
+        guard "overlap" (fun b ->
+            iv b "FHi" > iv b "F"
+            && iv b "Lo" < iv b "FHi"
+            && iv b "Hi" > iv b "F");
+      ];
+    make "cand-point-start"
+      (atom Schema.cand_point [ v "F"; v "F" ])
+      [
+        Pos (atom Schema.fde [ v "F"; v "FHi" ]);
+        guard "FHi>F" (fun b -> iv b "FHi" > iv b "F");
+      ];
+    make "cand-point-insn-end"
+      (atom Schema.cand_point [ v "F"; v "IHi" ])
+      [
+        Pos (atom Schema.fde [ v "F"; v "FHi" ]);
+        Pos (atom Schema.insn [ v "ILo"; v "IHi" ]);
+        guard "F<=IHi<FHi" (fun b ->
+            iv b "F" <= iv b "IHi" && iv b "IHi" < iv b "FHi");
+      ];
+    (* Disjointness makes the coverage test of an instruction-end probe
+       point an equality join: a span covering byte [A] with [Lo < A]
+       would share byte [A-1] with the instruction ending at [A], so
+       the covering span must start exactly at [A].  Only the FDE-start
+       probe point (which need not be a boundary at all) still needs
+       the containment scan — and there are few FDEs. *)
+    make "covered-point-at-boundary"
+      (atom Schema.covered_point [ v "F"; v "A" ])
+      [
+        Pos (atom Schema.cand_point [ v "F"; v "A" ]);
+        Pos (atom Schema.insn [ v "A"; v "Hi2" ]);
+      ];
+    make "covered-point-fde-start"
+      (atom Schema.covered_point [ v "F"; v "F" ])
+      [
+        Pos (atom Schema.fde [ v "F"; v "FHi" ]);
+        Pos (atom Schema.insn [ v "Lo"; v "Hi" ]);
+        guard "FHi>F, Lo<=F<Hi" (fun b ->
+            iv b "FHi" > iv b "F"
+            && iv b "Lo" <= iv b "F"
+            && iv b "F" < iv b "Hi");
+      ];
+    make "fde-gap"
+      (atom Schema.fde_gap [ v "F" ])
+      [
+        Pos (atom Schema.cand_point [ v "F"; v "A" ]);
+        Neg (atom Schema.covered_point [ v "F"; v "A" ]);
+      ];
+    make "fde-unreached"
+      (atom Schema.fde_unreached [ v "F"; v "FHi" ])
+      [
+        Pos (atom Schema.fde [ v "F"; v "FHi" ]);
+        guard "FHi>F" (fun b -> iv b "FHi" > iv b "F");
+        Neg (atom Schema.fde_touched [ v "F" ]);
+      ];
+    make "fde-partial"
+      (atom Schema.fde_partial [ v "F"; v "FHi" ])
+      [
+        Pos (atom Schema.fde [ v "F"; v "FHi" ]);
+        Pos (atom Schema.fde_touched [ v "F" ]);
+        Pos (atom Schema.fde_gap [ v "F" ]);
+      ];
+  ]
+
+let program = jump_mid_insn_rules @ fde_rules
+
+(* ---- rendering derived tuples as findings ---- *)
+
+let ints tup = Array.map (function Fact.I n -> n | Fact.S _ -> -1) tup
+
+(* Exact covered-byte count for the fde-partial message (committed
+   spans are disjoint, so overlaps sum without double counting). *)
+let covered_bytes store ~lo ~hi =
+  Store.fold store Schema.insn
+    (fun tup acc ->
+      let a = ints tup in
+      acc + max 0 (min a.(1) hi - max a.(0) lo))
+    0
+
+let findings_of_store store =
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  Store.fold store Schema.jump_mid_insn_at
+    (fun tup () ->
+      let a = ints tup in
+      emit
+        {
+          Finding.rule = "jump-mid-insn";
+          severity = Finding.Error;
+          addr = a.(1);
+          related = Some a.(0);
+          message =
+            Printf.sprintf "jump target lands inside the instruction at %#x"
+              a.(2);
+        })
+    ();
+  Store.fold store Schema.fde_unreached
+    (fun tup () ->
+      let a = ints tup in
+      emit
+        {
+          Finding.rule = "fde-unreached";
+          severity = Finding.Warning;
+          addr = a.(0);
+          related = None;
+          message =
+            Printf.sprintf
+              "FDE covers [%#x, %#x) but no instruction there was decoded"
+              a.(0) a.(1);
+        })
+    ();
+  Store.fold store Schema.fde_partial
+    (fun tup () ->
+      let a = ints tup in
+      emit
+        {
+          Finding.rule = "fde-unreached";
+          severity = Finding.Info;
+          addr = a.(0);
+          related = None;
+          message =
+            Printf.sprintf
+              "FDE covers [%#x, %#x) but only %d of %d bytes were decoded"
+              a.(0) a.(1)
+              (covered_bytes store ~lo:a.(0) ~hi:a.(1))
+              (a.(1) - a.(0));
+        })
+    ();
+  Store.fold store Schema.split_fn_fde
+    (fun tup () ->
+      let a = ints tup in
+      emit
+        {
+          Finding.rule = "split-fn-fde";
+          severity = Finding.Warning;
+          addr = a.(0);
+          related = Some a.(2);
+          message =
+            Printf.sprintf
+              "FDE at %#x looks like a split-off fragment of %#x (only \
+               reached by its jumps, matching CFI height %d)"
+              a.(0) a.(1) a.(3);
+        })
+    ();
+  List.sort Finding.compare !acc

@@ -1,0 +1,19 @@
+(** The linter's ported rules as a {!Fetch_facts} program, plus the
+    finding renderer for every engine-derived diagnostic.
+
+    Two of the imperative {!Lint} rules are re-expressed bottom-up over
+    the fact {!Fetch_facts.Schema} — [jump-mid-insn] (an Error per jump
+    whose target lands strictly inside a committed instruction) and
+    [fde-unreached] (Warning for an FDE range the disassembly never
+    touched, Info for a partially decoded one).  The differential tests
+    assert the engine's findings equal the imperative linter's on the
+    same pipeline result, byte for byte.
+
+    [findings_of_store] renders every finding-shaped derived relation
+    currently in the store — the two ported rules plus
+    [split_fn_fde] from the cross-cutting program in
+    [Fetch_core.Fact_base] — sorted by {!Finding.compare}. *)
+
+val program : Fetch_facts.Rule.t list
+
+val findings_of_store : Fetch_facts.Store.t -> Finding.t list

@@ -1,0 +1,291 @@
+(** The declarative fact base: extraction of extensional relations from
+    a detection state, the Algorithm-1 / split-function rule program,
+    and the live incrementally-maintained session — see the interface. *)
+
+open Fetch_analysis
+open Fetch_facts
+module Obs = Fetch_obs.Trace
+
+let c_edb = Obs.counter "facts.edb_tuples"
+
+(* ------------------------------------------------------------------ *)
+(* The core rule program: Algorithm 1's criterion 3 and the            *)
+(* split-function detector.                                            *)
+
+let core_rules =
+  let open Rule in
+  [
+    (* A jump target inside its own function: either a byte of a
+       committed block, or the entry itself (the entry byte belongs to
+       the function even before its block is committed). *)
+    make "target-in-own-span"
+      (atom Schema.target_in_own [ v "E"; v "T" ])
+      [
+        Pos (atom Schema.jump [ v "S"; v "T"; v "E" ]);
+        Pos (atom Schema.span [ v "E"; v "Lo"; v "Hi" ]);
+        guard "Lo<=T<Hi" (fun b ->
+            iv b "Lo" <= iv b "T" && iv b "T" < iv b "Hi");
+      ];
+    make "target-in-own-entry"
+      (atom Schema.target_in_own [ v "E"; v "E" ])
+      [ Pos (atom Schema.jump [ v "S"; v "E"; v "E" ]) ];
+    make "out-jump"
+      (atom Schema.out_jump [ v "E"; v "S"; v "T" ])
+      [
+        Pos (atom Schema.jump [ v "S"; v "T"; v "E" ]);
+        Neg (atom Schema.target_in_own [ v "E"; v "T" ]);
+      ];
+    (* Criterion 3 of Algorithm 1: the target of an out-jump is
+       "referenced outside jumps of [E]" iff some hard (data / code /
+       call) reference hits it, or a jump owned by another function
+       does.  [jump_only_refs] is the negation, defined exactly on
+       out-jump pairs — the pairs Algorithm 1 asks about. *)
+    make "ref-outside-hard"
+      (atom Schema.ref_outside [ v "T"; v "E" ])
+      [
+        Pos (atom Schema.out_jump [ v "E"; v "S"; v "T" ]);
+        Pos (atom Schema.ref_hard [ v "T"; v "K"; v "Site" ]);
+      ];
+    make "ref-outside-jump"
+      (atom Schema.ref_outside [ v "T"; v "E" ])
+      [
+        Pos (atom Schema.out_jump [ v "E"; v "S"; v "T" ]);
+        Pos (atom Schema.ref_jump [ v "T"; v "Site"; v "O" ]);
+        guard "O<>E" (fun b -> iv b "O" <> iv b "E");
+      ];
+    make "jump-only-refs"
+      (atom Schema.jump_only_refs [ v "T"; v "E" ])
+      [
+        Pos (atom Schema.out_jump [ v "E"; v "S"; v "T" ]);
+        Neg (atom Schema.ref_outside [ v "T"; v "E" ]);
+      ];
+    make "fde-start"
+      (atom Schema.fde_start [ v "F" ])
+      [ Pos (atom Schema.fde [ v "F"; v "FHi" ]) ];
+    make "jump-height"
+      (atom Schema.jump_height [ v "S"; v "H" ])
+      [
+        Pos (atom Schema.jump [ v "S"; v "T"; v "E" ]);
+        Pos (atom Schema.cfi_row [ v "Lo"; v "Hi"; v "H" ]);
+        guard "Lo<=S<Hi" (fun b ->
+            iv b "Lo" <= iv b "S" && iv b "S" < iv b "Hi");
+      ];
+    (* Fig. 6b-style split-function detector, cross-cutting refs + CFI +
+       seeds: an out-jump target that is an FDE-derived seed (it carries
+       its own FDE), is reached by nothing but jumps of one function,
+       and whose FDE's entry-point CFI height is nonzero and equals the
+       height at the jump site — the parent's frame is still live and
+       never changed hands, so the FDE describes a split-off fragment of
+       [E], not a function.  The nonzero guard excludes genuine tail
+       calls (frame gone, both heights 0).  rbp-framed fragments have no
+       rsp-based entry height and stay silent (the paper's conservative
+       choice), as does any fragment with an outside reference. *)
+    make "split-fn-fde"
+      (atom Schema.split_fn_fde [ v "T"; v "E"; v "S"; v "H" ])
+      [
+        Pos (atom Schema.out_jump [ v "E"; v "S"; v "T" ]);
+        Pos (atom Schema.seed [ v "T"; s "fde" ]);
+        Pos (atom Schema.jump_height [ v "S"; v "H" ]);
+        Pos (atom Schema.fde_entry_height [ v "T"; v "H" ]);
+        guard "H<>0" (fun b -> iv b "H" <> 0);
+        Neg (atom Schema.ref_outside [ v "T"; v "E" ]);
+      ];
+  ]
+
+let program = Fetch_check.Rule_lint.program @ core_rules
+
+(* ------------------------------------------------------------------ *)
+(* Extraction of the extensional relations.                            *)
+
+let add_fact store rel tup =
+  if Store.add store rel tup then Obs.incr c_edb
+
+(* Binary-level facts: fixed for the binary's lifetime, asserted once. *)
+let base_facts store (loaded : Loaded.t) =
+  List.iter
+    (fun (lo, hi) -> add_fact store Schema.text [| Fact.I lo; Fact.I hi |])
+    (Loaded.text_ranges loaded);
+  List.iter
+    (fun (f : Fetch_dwarf.Eh_frame.fde) ->
+      add_fact store Schema.fde
+        [| Fact.I f.pc_begin; Fact.I (f.pc_begin + f.pc_range) |])
+    loaded.Loaded.fdes;
+  Fetch_dwarf.Height_oracle.iter_rows loaded.Loaded.oracle
+    (fun ~lo ~hi ~height ->
+      add_fact store Schema.cfi_row [| Fact.I lo; Fact.I hi; Fact.I height |]);
+  (* entry heights come from the raw CFI truth, not the completeness-
+     filtered rows above: a cold fragment's FDE starts mid-frame and so
+     never passes the §V-B test, but its entry height is exactly what
+     the split-function rule must match against the jump site *)
+  List.iter
+    (fun (f : Fetch_dwarf.Eh_frame.fde) ->
+      match
+        Fetch_dwarf.Height_oracle.height_at_unchecked loaded.Loaded.oracle
+          f.pc_begin
+      with
+      | Some h ->
+          add_fact store Schema.fde_entry_height
+            [| Fact.I f.pc_begin; Fact.I h |]
+      | None -> ())
+    loaded.Loaded.fdes;
+  List.iter
+    (fun a -> add_fact store Schema.seed [| Fact.I a; Fact.S "fde" |])
+    loaded.Loaded.fde_starts;
+  List.iter
+    (fun a -> add_fact store Schema.seed [| Fact.I a; Fact.S "symbol" |])
+    loaded.Loaded.symbol_starts
+
+let func_facts entry (f : Recursive.func) acc =
+  let acc = (Schema.func, [| Fact.I entry |]) :: acc in
+  let acc =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        if hi > lo then
+          (Schema.span, [| Fact.I entry; Fact.I lo; Fact.I hi |]) :: acc
+        else acc)
+      acc f.blocks
+  in
+  List.fold_left
+    (fun acc (site, _, target) ->
+      (Schema.jump, [| Fact.I site; Fact.I target; Fact.I entry |]) :: acc)
+    acc f.all_jump_sites
+
+let kind_fact target = function
+  | Refs.Data_pointer site ->
+      (Schema.ref_hard, [| Fact.I target; Fact.S "data"; Fact.I site |])
+  | Refs.Code_constant site ->
+      (Schema.ref_hard, [| Fact.I target; Fact.S "code"; Fact.I site |])
+  | Refs.Call_target site ->
+      (Schema.ref_hard, [| Fact.I target; Fact.S "call"; Fact.I site |])
+  | Refs.Jump_target (site, entry) ->
+      (Schema.ref_jump, [| Fact.I target; Fact.I site; Fact.I entry |])
+
+(* ------------------------------------------------------------------ *)
+(* One-shot build.                                                     *)
+
+let build ?fuel ?entries ?(xref_seeds = []) (loaded : Loaded.t)
+    (res : Recursive.result) refs =
+  Obs.span "facts.extract" @@ fun () ->
+  let store = Store.create () in
+  base_facts store loaded;
+  List.iter
+    (fun a -> add_fact store Schema.seed [| Fact.I a; Fact.S "xref" |])
+    xref_seeds;
+  let entries =
+    match entries with Some e -> e | None -> Recursive.starts res
+  in
+  List.iter
+    (fun entry ->
+      match Hashtbl.find_opt res.Recursive.funcs entry with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun (rel, tup) -> add_fact store rel tup)
+            (func_facts entry f []))
+    entries;
+  Fetch_util.Interval_map.iter res.Recursive.insn_spans (fun ~lo ~hi () ->
+      add_fact store Schema.insn [| Fact.I lo; Fact.I hi |]);
+  Refs.iter refs (fun target kinds ->
+      List.iter
+        (fun k ->
+          let rel, tup = kind_fact target k in
+          add_fact store rel tup)
+        kinds);
+  Engine.create ?fuel store program
+
+let of_result ?fuel (r : Pipeline.result) =
+  let loaded = r.Pipeline.loaded in
+  let res = r.Pipeline.rec_result in
+  let refs = Refs.collect loaded res in
+  let named = Hashtbl.create 256 in
+  List.iter (fun a -> Hashtbl.replace named a ()) loaded.Loaded.fde_starts;
+  List.iter (fun a -> Hashtbl.replace named a ()) loaded.Loaded.symbol_starts;
+  let xref_seeds =
+    List.filter (fun a -> not (Hashtbl.mem named a)) r.Pipeline.final_seeds
+  in
+  build ?fuel ~entries:r.Pipeline.starts ~xref_seeds loaded res refs
+
+let findings engine =
+  Fetch_check.Rule_lint.findings_of_store (Engine.store engine)
+
+let jump_only_refs engine ~entry t =
+  Store.mem (Engine.store engine) Schema.jump_only_refs
+    [| Fact.I t; Fact.I entry |]
+
+(* ------------------------------------------------------------------ *)
+(* Live session: the fact base kept current while xref detection       *)
+(* commits function starts one at a time.                              *)
+
+type live = {
+  loaded : Loaded.t;
+  engine : Engine.t;
+  inc : Refs.incr;
+  seen_funcs : (int, unit) Hashtbl.t;
+  seen_insns : (int, unit) Hashtbl.t;  (** by span lo *)
+  ref_counts : (int, int) Hashtbl.t;
+      (** kinds-list length already folded per target — [Refs] prepends,
+          so the new kinds of a round are a list prefix *)
+}
+
+let live_engine live = live.engine
+
+(* Everything committed since the last call, as an extensional delta.
+   Detection state only grows (and committed records never mutate —
+   the {!Fetch_analysis.Recursive.extend} contract), so the delta is
+   assert-only. *)
+let live_commit ?cand live (res : Recursive.result) =
+  Obs.span "facts.commit" @@ fun () ->
+  let refs = Refs.incr_refresh live.inc res in
+  let asserts = ref [] in
+  let push rel tup = asserts := (rel, tup) :: !asserts in
+  (match cand with
+  | Some c -> push Schema.seed [| Fact.I c; Fact.S "xref" |]
+  | None -> ());
+  Hashtbl.iter
+    (fun entry f ->
+      if not (Hashtbl.mem live.seen_funcs entry) then begin
+        Hashtbl.replace live.seen_funcs entry ();
+        asserts := func_facts entry f !asserts
+      end)
+    res.Recursive.funcs;
+  Fetch_util.Interval_map.iter res.Recursive.insn_spans (fun ~lo ~hi () ->
+      if not (Hashtbl.mem live.seen_insns lo) then begin
+        Hashtbl.replace live.seen_insns lo ();
+        push Schema.insn [| Fact.I lo; Fact.I hi |]
+      end);
+  Refs.iter refs (fun target kinds ->
+      let n = List.length kinds in
+      let seen =
+        Option.value ~default:0 (Hashtbl.find_opt live.ref_counts target)
+      in
+      if n > seen then begin
+        Hashtbl.replace live.ref_counts target n;
+        let rec take k = function
+          | kind :: rest when k > 0 ->
+              let rel, tup = kind_fact target kind in
+              push rel tup;
+              take (k - 1) rest
+          | _ -> ()
+        in
+        take (n - seen) kinds
+      end);
+  Engine.update live.engine ~assert_:!asserts ~retract_:[]
+
+let live_create ?fuel (loaded : Loaded.t) (res : Recursive.result) =
+  let store = Store.create () in
+  base_facts store loaded;
+  match Engine.create ?fuel store program with
+  | Error e -> Error e
+  | Ok engine ->
+      let live =
+        {
+          loaded;
+          engine;
+          inc = Refs.incr_create loaded;
+          seen_funcs = Hashtbl.create 256;
+          seen_insns = Hashtbl.create 4096;
+          ref_counts = Hashtbl.create 1024;
+        }
+      in
+      live_commit live res;
+      Ok live

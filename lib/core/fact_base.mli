@@ -1,0 +1,87 @@
+(** The declarative fact base ({!Fetch_facts}) wired to the pipeline:
+    extraction of the extensional relations from a detection state, the
+    core rule program, and the live incrementally-maintained session.
+
+    The rule program unifies three analyses over one fact vocabulary:
+
+    - the ported lint rules ({!Fetch_check.Rule_lint}) — [jump-mid-insn]
+      and [fde-unreached];
+    - criterion 3 of Algorithm 1 ([jump_only_refs]): is a jump target
+      referenced by anything besides jumps of the function it leaves?
+      Differentially tested against
+      {!Refs.referenced_outside_jumps_of}, and pluggable into
+      {!Tailcall.run} via its [jump_only_refs] seam;
+    - a new cross-cutting split-function detector ([split_fn_fde],
+      Fig. 6b-style) spanning refs, CFI and seeds: an FDE-seeded
+      out-jump target reached only by one function's jumps, whose FDE
+      entry CFI height equals the height at the jump site — an FDE
+      describing a function fragment.
+
+    Extraction sources: [text]/[fde]/[seed] from
+    {!Fetch_analysis.Loaded}, [cfi_row] from
+    {!Fetch_dwarf.Height_oracle.iter_rows} (complete entries only, so
+    the relation answers exactly where [height_at] does),
+    [func]/[span]/[jump]/[insn] from
+    {!Fetch_analysis.Recursive.result}, and [ref_hard]/[ref_jump] from
+    the {!Refs} census. *)
+
+(** Algorithm-1 + split-function rules (the lint rules live in
+    {!Fetch_check.Rule_lint}). *)
+val core_rules : Fetch_facts.Rule.t list
+
+(** The full program: lint rules + core rules. *)
+val program : Fetch_facts.Rule.t list
+
+(** One-shot build: extract facts and evaluate to fixpoint.  [entries]
+    selects which functions contribute [func]/[span]/[jump] facts
+    (default: every entry of the result); [xref_seeds] adds
+    [seed(_, "xref")] facts. *)
+val build :
+  ?fuel:int ->
+  ?entries:int list ->
+  ?xref_seeds:int list ->
+  Fetch_analysis.Loaded.t ->
+  Fetch_analysis.Recursive.result ->
+  Refs.t ->
+  (Fetch_facts.Engine.t, string) result
+
+(** Build from a finished pipeline run: functions are the kept starts
+    (matching what {!Lint} lints), references are collected fresh, and
+    accepted pointers become [seed(_, "xref")]. *)
+val of_result :
+  ?fuel:int -> Pipeline.result -> (Fetch_facts.Engine.t, string) result
+
+(** Findings rendered from the engine's derived relations, sorted. *)
+val findings : Fetch_facts.Engine.t -> Fetch_check.Finding.t list
+
+(** [jump_only_refs engine ~entry t] — is [jump_only_refs(t, entry)]
+    derived?  Meaningful for the out-jump pairs of the result the
+    engine was built from (Algorithm 1 queries exactly those); shaped
+    to plug into {!Tailcall.run}'s [jump_only_refs] seam. *)
+val jump_only_refs : Fetch_facts.Engine.t -> entry:int -> int -> bool
+
+(** {2 Live session}
+
+    A fact base kept current while {!Xref.detect} commits accepted
+    pointers: hook [live_commit] into [detect]'s [on_commit] and the
+    derived relations are repaired by delta after every accepted
+    pointer — never re-evaluated from scratch.  The property test in
+    the suite holds the live store equal to a from-scratch build after
+    every commit. *)
+
+type live
+
+(** Extract the binary-level facts, then fold in [res] as the first
+    commit. *)
+val live_create :
+  ?fuel:int ->
+  Fetch_analysis.Loaded.t ->
+  Fetch_analysis.Recursive.result ->
+  (live, string) result
+
+(** Fold everything committed since the last call into the engine as an
+    extensional delta (assert-only: detection state only grows).
+    [cand], when given, also records [seed(cand, "xref")]. *)
+val live_commit : ?cand:int -> live -> Fetch_analysis.Recursive.result -> unit
+
+val live_engine : live -> Fetch_facts.Engine.t

@@ -68,20 +68,39 @@ let mid_instruction (res : Recursive.result) addr =
   | Some (lo, _, ()) -> addr <> lo
 
 (* Function-extent map: committed blocks of every detected function.
-   Entries are folded in ascending order — [add_override] keeps the last
-   writer on overlap, so unordered [Hashtbl.iter] made the recorded
-   [into] attribution depend on hash iteration order (and differ between
-   1- and 4-domain batch runs). *)
+   Overlapping blocks (shared code) resolve byte-wise to the highest
+   owning entry via [add_max], whose result is independent of insertion
+   order — so the map can be grown incrementally across rounds (only new
+   functions folded in) and still equal a from-scratch rebuild, and the
+   recorded [into] attribution cannot depend on hash iteration order. *)
+let extents_add m entry (f : Recursive.func) =
+  List.iter
+    (fun (lo, hi) ->
+      if hi > lo then Fetch_util.Interval_map.add_max m ~lo ~hi entry)
+    f.blocks
+
 let function_extents (res : Recursive.result) =
   let m = Fetch_util.Interval_map.create () in
-  Hashtbl.fold (fun entry f acc -> (entry, f) :: acc) res.funcs []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.iter (fun (entry, (f : Recursive.func)) ->
-         List.iter
-           (fun (lo, hi) ->
-             if hi > lo then Fetch_util.Interval_map.add_override m ~lo ~hi entry)
-           f.blocks);
+  Hashtbl.iter (fun entry f -> extents_add m entry f) res.funcs;
   m
+
+type extents = {
+  ext_map : int Fetch_util.Interval_map.t;
+  ext_seen : (int, unit) Hashtbl.t;
+}
+
+let extents_create () =
+  { ext_map = Fetch_util.Interval_map.create (); ext_seen = Hashtbl.create 256 }
+
+let extents_refresh st (res : Recursive.result) =
+  Hashtbl.iter
+    (fun entry f ->
+      if not (Hashtbl.mem st.ext_seen entry) then begin
+        Hashtbl.replace st.ext_seen entry ();
+        extents_add st.ext_map entry f
+      end)
+    res.funcs;
+  st.ext_map
 
 type reject =
   | Invalid_opcode
@@ -245,7 +264,7 @@ let strategy_name = function Incremental -> "incremental" | Rescan -> "rescan"
     counters and the accept/reject event stream are strategy-invariant
     by construction. *)
 let detect ?(config = Recursive.safe_config) ?(strategy = Incremental)
-    ?(max_rounds = 64) loaded ~seeds =
+    ?(max_rounds = 64) ?on_commit loaded ~seeds =
   (* the initial seed disassembly is stage-2 work and reports under its
      own "recursive" span; the "xref" stage below times §IV-E pointer
      detection only, so its mean is the cost of the rounds, not of the
@@ -262,6 +281,21 @@ let detect ?(config = Recursive.safe_config) ?(strategy = Incremental)
     | Some inc -> Refs.incr_refresh inc res
     | None -> Refs.collect loaded res
   in
+  (* Incremental rounds only ever add functions (and never mutate
+     committed records), so the extent map can be grown in place.
+     Rescan rebuilds the whole result each round — prior records are not
+     stable — so its extents are rebuilt too; [add_max] makes the two
+     byte-identical, which the differential property test relies on. *)
+  let ext_state =
+    match strategy with
+    | Incremental -> Some (extents_create ())
+    | Rescan -> None
+  in
+  let extents_of res =
+    match ext_state with
+    | Some st -> extents_refresh st res
+    | None -> function_extents res
+  in
   (* permanent rejections survive rounds: the committed state only grows,
      so these candidates can never flip to acceptable (they can still
      become detected *entries* via recursion — which is why the
@@ -269,7 +303,7 @@ let detect ?(config = Recursive.safe_config) ?(strategy = Incremental)
   let reject_cache : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let accept_one res =
     let refs = refresh res in
-    let extents = function_extents res in
+    let extents = extents_of res in
     let rec go = function
       | [] -> None
       | cand :: rest ->
@@ -371,6 +405,9 @@ let detect ?(config = Recursive.safe_config) ?(strategy = Incremental)
                     Recursive.extend ~config loaded ~prior:res ~seeds:[ cand ]
                 | Rescan -> Recursive.run ~config loaded ~seeds:seeds'
               in
+              (match on_commit with
+              | Some f -> f ~cand res'
+              | None -> ());
               Some (seeds', res')
         in
         if Obs.enabled () then

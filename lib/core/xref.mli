@@ -21,11 +21,28 @@ type reject =
     ([invalid_opcode], [mid_instruction], [into_function], [callconv]). *)
 val reject_name : reject -> string
 
-(** Interval map from committed block bytes to their owning entry;
-    entries are folded in ascending order so overlap attribution is
-    deterministic. *)
+(** Interval map from committed block bytes to their owning entry.
+    Overlapping blocks (shared code) resolve byte-wise to the highest
+    owning entry ({!Fetch_util.Interval_map.add_max}), so the result is
+    independent of fold order and an incrementally grown map equals the
+    from-scratch rebuild. *)
 val function_extents :
   Fetch_analysis.Recursive.result -> int Fetch_util.Interval_map.t
+
+(** Incrementally maintained function-extent map: persists across
+    detection rounds, folding in only functions not yet seen. *)
+type extents
+
+val extents_create : unit -> extents
+
+(** Fold the not-yet-seen functions of [res] into the map and return
+    it.  Sound only when successive results only add functions and
+    never mutate committed records — what
+    {!Fetch_analysis.Recursive.extend} guarantees; then the result
+    equals [function_extents res].  (The differential test in the suite
+    holds the two equal after every accepted pointer.) *)
+val extents_refresh :
+  extents -> Fetch_analysis.Recursive.result -> int Fetch_util.Interval_map.t
 
 (** Is the address strictly inside a committed instruction?  O(log n)
     against the per-instruction span map. *)
@@ -70,11 +87,17 @@ val strategy_name : strategy -> string
     pointers one at a time until none remains (or [max_rounds] is
     exhausted — announced via the [xref.budget_exhausted] counter and
     ledger event when candidates are still pending); returns the final
-    engine result and the enlarged seed set. *)
+    engine result and the enlarged seed set.
+
+    [on_commit] fires after every accepted pointer with the candidate
+    and the already-extended result — the hook the incremental fact
+    base ({!Fact_base}) uses to fold each commit's delta into the rule
+    engine while detection runs. *)
 val detect :
   ?config:Fetch_analysis.Recursive.config ->
   ?strategy:strategy ->
   ?max_rounds:int ->
+  ?on_commit:(cand:int -> Fetch_analysis.Recursive.result -> unit) ->
   Fetch_analysis.Loaded.t ->
   seeds:int list ->
   Fetch_analysis.Recursive.result * int list

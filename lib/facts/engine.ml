@@ -1,0 +1,475 @@
+(** Semi-naive, stratified, incrementally-maintained evaluation — see the
+    interface for the contract. *)
+
+module Obs = Fetch_obs.Trace
+
+let c_asserted = Obs.counter "facts.asserted"
+let c_retracted = Obs.counter "facts.retracted"
+let c_derived = Obs.counter "facts.derived"
+let c_overdeleted = Obs.counter "facts.overdeleted"
+let c_rederived = Obs.counter "facts.rederived"
+let c_firings = Obs.counter "facts.rule_firings"
+let c_iters = Obs.counter "facts.fixpoint_iters"
+let h_delta = Obs.histogram "facts.delta_size"
+
+type stats = {
+  mutable asserted : int;
+  mutable retracted : int;
+  mutable derived : int;
+  mutable overdeleted : int;
+  mutable rederived : int;
+  mutable firings : int;
+  mutable iters : int;
+  strata : int;
+  mutable exhausted : bool;
+}
+
+type t = {
+  store : Store.t;
+  strata : Rule.t list array;
+  stratum_of : (string, int) Hashtbl.t;  (** derived relation → stratum *)
+  fuel : int;
+  st : stats;
+  (* Per-update session bookkeeping: the NET set of tuples added/removed
+     since the update began (a tuple overdeleted then rederived or
+     re-derived through new facts cancels out).  Higher strata read
+     these as their change triggers; the Old view below reconstructs
+     the pre-update contents from them. *)
+  added : (string, (Fact.tuple, unit) Hashtbl.t) Hashtbl.t;
+  removed : (string, (Fact.tuple, unit) Hashtbl.t) Hashtbl.t;
+}
+
+exception Fuel_exhausted
+exception Unbound of string * string
+
+let store t = t.store
+let stats t = t.st
+let is_derived t name = Hashtbl.mem t.stratum_of name
+
+(* ---- environments ---- *)
+
+type env = (string * Fact.value) list
+
+(* Hand-rolled assoc with [String.equal]: the generic one's polymorphic
+   equality is a measurable cost at millions of probes. *)
+let rec assoc name (env : env) =
+  match env with
+  | [] -> None
+  | (n, v) :: rest -> if String.equal n name then Some v else assoc name rest
+
+let lookup (rule : Rule.t) (env : env) name =
+  match assoc name env with
+  | Some v -> v
+  | None -> raise (Unbound (rule.name, name))
+
+let unify (a : Rule.atom) (tup : Fact.tuple) (env : env) =
+  let n = Array.length a.args in
+  if Array.length tup <> n then None
+  else
+    let rec go i env =
+      if i = n then Some env
+      else
+        match a.args.(i) with
+        | Rule.Const v ->
+            if Fact.value_equal tup.(i) v then go (i + 1) env else None
+        | Rule.Var x -> (
+            match assoc x env with
+            | Some v ->
+                if Fact.value_equal v tup.(i) then go (i + 1) env else None
+            | None -> go (i + 1) ((x, tup.(i)) :: env))
+    in
+    go 0 env
+
+let ground (rule : Rule.t) (a : Rule.atom) (env : env) : Fact.tuple =
+  Array.map
+    (function
+      | Rule.Const v -> v
+      | Rule.Var x -> lookup rule env x)
+    a.args
+
+let constraints (a : Rule.atom) (env : env) =
+  let cs = ref [] in
+  Array.iteri
+    (fun i arg ->
+      match arg with
+      | Rule.Const v -> cs := (i, v) :: !cs
+      | Rule.Var x -> (
+          match List.assoc_opt x env with
+          | Some v -> cs := (i, v) :: !cs
+          | None -> ()))
+    a.args;
+  !cs
+
+let constraint_match cs (tup : Fact.tuple) =
+  List.for_all (fun (col, v) -> Fact.value_equal tup.(col) v) cs
+
+(* ---- views ----
+   [Cur] reads the store as it stands.  [Old] reconstructs the
+   pre-update contents from the session sets: a tuple was present
+   before the update iff it is in the store and not session-added, or
+   it was session-removed. *)
+
+type view = Cur | Old
+
+let session_tbl tbls name =
+  match Hashtbl.find_opt tbls name with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace tbls name tbl;
+      tbl
+
+let in_session tbls name tup =
+  match Hashtbl.find_opt tbls name with
+  | Some tbl -> Hashtbl.mem tbl tup
+  | None -> false
+
+let session_list tbls name =
+  match Hashtbl.find_opt tbls name with
+  | Some tbl -> Hashtbl.fold (fun tup () acc -> tup :: acc) tbl []
+  | None -> []
+
+let mem_view t view (rel : Schema.t) tup =
+  match view with
+  | Cur -> Store.mem t.store rel tup
+  | Old ->
+      (Store.mem t.store rel tup && not (in_session t.added rel.name tup))
+      || in_session t.removed rel.name tup
+
+let select_view t view (rel : Schema.t) cs =
+  match view with
+  | Cur -> Store.select t.store rel cs
+  | Old ->
+      let cur =
+        Store.select t.store rel cs
+        |> List.filter (fun tup -> not (in_session t.added rel.name tup))
+      in
+      let back =
+        session_list t.removed rel.name
+        |> List.filter (fun (tup : Fact.tuple) ->
+               Array.length tup = Schema.arity rel && constraint_match cs tup)
+      in
+      cur @ back
+
+(* ---- rule evaluation ----
+   Evaluate the body left to right, skipping the trigger premise (its
+   binding seeded [env]); call [k] for every complete binding. *)
+
+let rec eval_body t (rule : Rule.t) view body pos skip env k =
+  match body with
+  | [] ->
+      t.st.firings <- t.st.firings + 1;
+      Obs.incr c_firings;
+      if t.st.firings > t.fuel then raise Fuel_exhausted;
+      k env
+  | p :: rest -> (
+      if pos = skip then eval_body t rule view rest (pos + 1) skip env k
+      else
+        match p with
+        | Rule.Pos a ->
+            let each tup =
+              match unify a tup env with
+              | Some env' -> eval_body t rule view rest (pos + 1) skip env' k
+              | None -> ()
+            in
+            (* The continuation only ever mutates the head relation, so
+               scanning any other relation can walk the index in place;
+               a self-recursive premise still materializes a list. *)
+            if view = Cur && not (String.equal a.rel.name rule.head.rel.name)
+            then Store.iter_select t.store a.rel (constraints a env) each
+            else List.iter each (select_view t view a.rel (constraints a env))
+        | Rule.Neg a ->
+            if not (mem_view t view a.rel (ground rule a env)) then
+              eval_body t rule view rest (pos + 1) skip env k
+        | Rule.Guard (_, f) ->
+            if f (lookup rule env) then
+              eval_body t rule view rest (pos + 1) skip env k)
+
+(* Fire [rule] with the trigger premise at [idx] ranging over [tups]
+   instead of the store. *)
+let fire t (rule : Rule.t) view ~idx ~tups sink =
+  let prem = List.nth rule.body idx in
+  let seed =
+    match prem with
+    | Rule.Pos a | Rule.Neg a -> fun tup -> unify a tup []
+    | Rule.Guard _ -> fun _ -> None
+  in
+  List.iter
+    (fun tup ->
+      match seed tup with
+      | None -> ()
+      | Some env0 ->
+          eval_body t rule view rule.body 0 idx env0 (fun env ->
+              sink rule (ground rule rule.head env)))
+    tups
+
+(* ---- insert (initial evaluation and the growth phase of updates) ---- *)
+
+(* Derivation sink: add to the store, push to the iteration delta; when
+   maintaining an update session, keep the NET added/removed sets
+   consistent (re-deriving a tuple overdeleted earlier in the same
+   update cancels to "unchanged"). *)
+let insert_sink t ~session ~delta (rule : Rule.t) htup =
+  let rel = rule.head.rel in
+  if Store.add t.store rel htup then begin
+    t.st.derived <- t.st.derived + 1;
+    Obs.incr c_derived;
+    if session then begin
+      let rem = session_tbl t.removed rel.name in
+      if Hashtbl.mem rem htup then Hashtbl.remove rem htup
+      else Hashtbl.replace (session_tbl t.added rel.name) htup ()
+    end;
+    let q = session_tbl delta rel.name in
+    Hashtbl.replace q htup ()
+  end
+
+(* Run the semi-naive loop for one stratum: [seed] populates the first
+   delta, then rules re-fire on their own stratum's deltas until no new
+   tuple appears. *)
+let saturate t rules ~session ~seed =
+  let delta = Hashtbl.create 16 in
+  seed ~sink:(insert_sink t ~session ~delta);
+  let continue_ = ref (Hashtbl.length delta > 0) in
+  while !continue_ do
+    t.st.iters <- t.st.iters + 1;
+    Obs.incr c_iters;
+    let wave = Hashtbl.copy delta in
+    Hashtbl.reset delta;
+    List.iter
+      (fun (rule : Rule.t) ->
+        List.iteri
+          (fun idx prem ->
+            match prem with
+            | Rule.Pos a when Hashtbl.mem wave a.rel.name ->
+                fire t rule Cur ~idx
+                  ~tups:(session_list wave a.rel.name)
+                  (insert_sink t ~session ~delta)
+            | Rule.Pos _ | Rule.Neg _ | Rule.Guard _ -> ())
+          rule.body)
+      rules;
+    continue_ := Hashtbl.length delta > 0
+  done
+
+(* Initial evaluation of one stratum: the naive first pass triggers each
+   rule's first (positive) premise over the full relation — lower strata
+   are complete by now, so that enumerates every derivation — then the
+   loop handles within-stratum recursion. *)
+let eval_stratum t rules =
+  saturate t rules ~session:false ~seed:(fun ~sink ->
+      List.iter
+        (fun (rule : Rule.t) ->
+          match rule.body with
+          | Rule.Pos a :: _ ->
+              fire t rule Cur ~idx:0 ~tups:(Store.select t.store a.rel []) sink
+          | _ -> assert false (* Rule.check: first premise is positive *))
+        rules)
+
+let eval t =
+  Obs.span "facts.eval" @@ fun () ->
+  Array.iter (fun rules -> eval_stratum t rules) t.strata
+
+(* ---- delete-and-rederive (DRed) for one stratum ----
+
+   Overdelete: any derivation that consumed a session-removed positive
+   tuple, or whose negated premise now holds (a session-added tuple),
+   loses its head tuple; deletions cascade through the stratum.  Joins
+   read the [Old] view — the derivation being invalidated existed in the
+   pre-update state.
+
+   Rederive: an overdeleted tuple with a surviving alternative
+   derivation (evaluated on the new state) comes back, which may let
+   others come back — iterate to fixpoint.
+
+   Insert: semi-naive growth seeded by every net change visible to this
+   stratum — added tuples through positive premises, removed tuples
+   through negated ones. *)
+
+let overdelete_sink t ~progressed (rule : Rule.t) htup =
+  let rel = rule.head.rel in
+  if Store.remove t.store rel htup then begin
+    t.st.overdeleted <- t.st.overdeleted + 1;
+    Obs.incr c_overdeleted;
+    let add = session_tbl t.added rel.name in
+    if Hashtbl.mem add htup then Hashtbl.remove add htup
+    else Hashtbl.replace (session_tbl t.removed rel.name) htup ();
+    progressed := true
+  end
+
+let overdelete_stratum t rules =
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun (rule : Rule.t) ->
+        List.iteri
+          (fun idx prem ->
+            match prem with
+            | Rule.Pos a ->
+                fire t rule Old ~idx
+                  ~tups:(session_list t.removed a.rel.name)
+                  (overdelete_sink t ~progressed)
+            | Rule.Neg a ->
+                fire t rule Old ~idx
+                  ~tups:(session_list t.added a.rel.name)
+                  (overdelete_sink t ~progressed)
+            | Rule.Guard _ -> ())
+          rule.body)
+      rules
+  done
+
+let rederive_stratum t stratum rules =
+  (* candidates: this stratum's overdeleted tuples still missing *)
+  let cands =
+    List.concat_map
+      (fun (rule : Rule.t) ->
+        let rel = rule.head.rel in
+        if Hashtbl.find_opt t.stratum_of rel.name = Some stratum then
+          List.map (fun tup -> (rel, tup)) (session_list t.removed rel.name)
+        else [])
+      rules
+    |> List.sort_uniq compare
+  in
+  let exception Found in
+  let derivable rel (tup : Fact.tuple) =
+    List.exists
+      (fun (rule : Rule.t) ->
+        rule.head.rel.name = rel.Schema.name
+        &&
+        match unify rule.head tup [] with
+        | None -> false
+        | Some env0 -> (
+            try
+              eval_body t rule Cur rule.body 0 (-1) env0 (fun _ ->
+                  raise Found);
+              false
+            with Found -> true))
+      rules
+  in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun (rel, tup) ->
+        if in_session t.removed rel.Schema.name tup && derivable rel tup then begin
+          ignore (Store.add t.store rel tup);
+          Hashtbl.remove (session_tbl t.removed rel.Schema.name) tup;
+          t.st.rederived <- t.st.rederived + 1;
+          Obs.incr c_rederived;
+          progressed := true
+        end)
+      cands
+  done
+
+let insert_stratum t rules =
+  saturate t rules ~session:true ~seed:(fun ~sink ->
+      List.iter
+        (fun (rule : Rule.t) ->
+          List.iteri
+            (fun idx prem ->
+              match prem with
+              | Rule.Pos a ->
+                  fire t rule Cur ~idx
+                    ~tups:(session_list t.added a.rel.name)
+                    sink
+              | Rule.Neg a ->
+                  fire t rule Cur ~idx
+                    ~tups:(session_list t.removed a.rel.name)
+                    sink
+              | Rule.Guard _ -> ())
+            rule.body)
+        rules)
+
+(* ---- public API ---- *)
+
+let create ?(fuel = max_int) store rules =
+  let rec first_error = function
+    | [] -> None
+    | r :: rest -> (
+        match Rule.check r with
+        | Ok () -> (
+            match
+              List.find_opt
+                (fun (e : Schema.t) -> e.name = (r : Rule.t).head.rel.name)
+                Schema.edb
+            with
+            | Some e ->
+                Some
+                  (Printf.sprintf "%s: head %s is an extensional relation"
+                     r.name e.name)
+            | None -> first_error rest)
+        | Error e -> Some e)
+  in
+  match first_error rules with
+  | Some e -> Error e
+  | None -> (
+      match Stratify.run rules with
+      | Error e -> Error e
+      | Ok (strata, stratum_of) ->
+          let t =
+            {
+              store;
+              strata;
+              stratum_of;
+              fuel;
+              st =
+                {
+                  asserted = 0;
+                  retracted = 0;
+                  derived = 0;
+                  overdeleted = 0;
+                  rederived = 0;
+                  firings = 0;
+                  iters = 0;
+                  strata = Array.length strata;
+                  exhausted = false;
+                };
+              added = Hashtbl.create 16;
+              removed = Hashtbl.create 16;
+            }
+          in
+          (try eval t with Fuel_exhausted -> t.st.exhausted <- true);
+          Ok t)
+
+let update t ~assert_ ~retract_ =
+  if t.st.exhausted then
+    invalid_arg "Engine.update: engine ran out of fuel; state is partial";
+  Obs.span "facts.update" @@ fun () ->
+  Hashtbl.reset t.added;
+  Hashtbl.reset t.removed;
+  let check_edb (rel : Schema.t) =
+    if is_derived t rel.name then
+      invalid_arg
+        (Printf.sprintf "Engine.update: %s is derived, not extensional"
+           rel.name)
+  in
+  List.iter
+    (fun ((rel : Schema.t), tup) ->
+      check_edb rel;
+      if Store.remove t.store rel tup then begin
+        t.st.retracted <- t.st.retracted + 1;
+        Obs.incr c_retracted;
+        let add = session_tbl t.added rel.name in
+        if Hashtbl.mem add tup then Hashtbl.remove add tup
+        else Hashtbl.replace (session_tbl t.removed rel.name) tup ()
+      end)
+    retract_;
+  List.iter
+    (fun ((rel : Schema.t), tup) ->
+      check_edb rel;
+      if Store.add t.store rel tup then begin
+        t.st.asserted <- t.st.asserted + 1;
+        Obs.incr c_asserted;
+        let rem = session_tbl t.removed rel.name in
+        if Hashtbl.mem rem tup then Hashtbl.remove rem tup
+        else Hashtbl.replace (session_tbl t.added rel.name) tup ()
+      end)
+    assert_;
+  Obs.observe h_delta (List.length assert_ + List.length retract_);
+  try
+    Array.iteri
+      (fun s rules ->
+        overdelete_stratum t rules;
+        rederive_stratum t s rules;
+        insert_stratum t rules)
+      t.strata
+  with Fuel_exhausted -> t.st.exhausted <- true

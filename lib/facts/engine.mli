@@ -1,0 +1,56 @@
+(** Bottom-up rule evaluation over a {!Store}, with incremental
+    maintenance.
+
+    [create store rules] checks the rules ({!Rule.check}), stratifies
+    them ({!Stratify.run}) and computes the fixpoint: strata evaluate in
+    order, each by a semi-naive loop (a naive first pass per rule, then
+    re-firing only on the previous iteration's delta).  After [create],
+    the store holds the extensional facts plus every derivable tuple.
+
+    [update] is the incremental entry point, used as new function starts
+    are committed during xref detection: extensional tuples are asserted
+    / retracted and the derived relations are repaired per stratum by
+    delete-and-rederive (DRed) — overdelete every derivation consuming a
+    changed tuple, rederive overdeleted tuples with surviving alternate
+    derivations, then grow semi-naively from the net additions.  The
+    post-[update] store is observationally identical to evaluating from
+    scratch on the new extensional facts (the differential tests assert
+    exactly that).
+
+    Fuel bounds total rule firings across the engine's lifetime; an
+    exhausted engine holds a partial (unsound) store and refuses further
+    updates. *)
+
+type t
+
+type stats = {
+  mutable asserted : int;      (** extensional tuples added by [update] *)
+  mutable retracted : int;     (** extensional tuples removed by [update] *)
+  mutable derived : int;       (** derived-tuple insertions (initial + incremental) *)
+  mutable overdeleted : int;   (** derived tuples deleted during DRed *)
+  mutable rederived : int;     (** overdeleted tuples that came back *)
+  mutable firings : int;       (** complete body bindings evaluated *)
+  mutable iters : int;         (** semi-naive loop iterations *)
+  strata : int;
+  mutable exhausted : bool;    (** fuel ran out; store is partial *)
+}
+
+(** Evaluate to fixpoint.  Errors on an unsafe rule, an unstratifiable
+    program, or a rule whose head is an extensional relation from
+    {!Schema.edb}.  [fuel] defaults to unlimited. *)
+val create : ?fuel:int -> Store.t -> Rule.t list -> (t, string) result
+
+(** Apply extensional deltas and repair the derived relations.
+    Retractions apply before assertions.  Raises [Invalid_argument] if a
+    delta targets a derived relation or the engine is exhausted. *)
+val update :
+  t ->
+  assert_:(Schema.t * Fact.tuple) list ->
+  retract_:(Schema.t * Fact.tuple) list ->
+  unit
+
+val store : t -> Store.t
+val stats : t -> stats
+
+(** Whether [name] is the head of some rule in this engine's program. *)
+val is_derived : t -> string -> bool

@@ -1,0 +1,33 @@
+(** Fact values and tuples — see the interface. *)
+
+type value = I of int | S of string
+
+type tuple = value array
+
+let value_to_string = function
+  | I n -> if n >= 0x1000 then Printf.sprintf "%#x" n else string_of_int n
+  | S s -> s
+
+let value_json = function
+  | I n -> string_of_int n
+  | S s -> Fetch_obs.Report.json_string s
+
+let to_string (t : tuple) =
+  "(" ^ String.concat ", " (Array.to_list (Array.map value_to_string t)) ^ ")"
+
+(* Monomorphic equality: the join loops probe this millions of times,
+   where polymorphic compare's C call costs more than the comparison. *)
+let value_equal a b =
+  match (a, b) with
+  | I x, I y -> x = y
+  | S x, S y -> String.equal x y
+  | I _, S _ | S _, I _ -> false
+
+let equal (a : tuple) (b : tuple) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i = n || (value_equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare (a : tuple) (b : tuple) = Stdlib.compare a b

@@ -1,0 +1,21 @@
+(** Fact values and tuples.
+
+    A fact is a named relation applied to a tuple of ground values.
+    Values are deliberately minimal — addresses/sizes/heights are [I],
+    symbolic tags (reference kinds, seed origins) are [S] — so tuples
+    compare, hash and print structurally with no per-relation code. *)
+
+type value = I of int | S of string
+
+type tuple = value array
+
+(** Addresses print in hex (≥ 0x1000), small scalars in decimal. *)
+val value_to_string : value -> string
+
+(** JSON fragment: a bare number or an escaped string. *)
+val value_json : value -> string
+
+val to_string : tuple -> string
+val value_equal : value -> value -> bool
+val equal : tuple -> tuple -> bool
+val compare : tuple -> tuple -> int

@@ -1,0 +1,92 @@
+(** Rule representation and static safety checks — see the interface. *)
+
+type term = Var of string | Const of Fact.value
+
+type atom = { rel : Schema.t; args : term array }
+
+type binding = string -> Fact.value
+
+type premise =
+  | Pos of atom
+  | Neg of atom
+  | Guard of string * (binding -> bool)
+
+type t = { name : string; head : atom; body : premise list }
+
+let v name = Var name
+let i n = Const (Fact.I n)
+let s x = Const (Fact.S x)
+
+let atom rel args =
+  let args = Array.of_list args in
+  if Array.length args <> Schema.arity rel then
+    invalid_arg
+      (Printf.sprintf "Rule.atom: %s expects %d arguments, got %d" rel.name
+         (Schema.arity rel) (Array.length args));
+  { rel; args }
+
+let guard name f = Guard (name, f)
+
+let iv (get : binding) name =
+  match get name with
+  | Fact.I n -> n
+  | Fact.S _ -> invalid_arg ("Rule.iv: variable " ^ name ^ " is not an int")
+
+let make name head body = { name; head; body }
+
+let atom_vars a =
+  Array.to_list a.args
+  |> List.filter_map (function Var x -> Some x | Const _ -> None)
+
+(* Range restriction: evaluation binds left to right, so every negated
+   atom must be fully ground by the positive premises before it, and
+   every head variable must be bound by some positive premise.  The
+   first premise must be positive — it is the seed of both the naive
+   first iteration and every delta variant. *)
+let check rule =
+  let err fmt = Printf.ksprintf (fun m -> Error (rule.name ^ ": " ^ m)) fmt in
+  match rule.body with
+  | [] -> err "empty body"
+  | (Neg _ | Guard _) :: _ -> err "first premise must be positive"
+  | Pos _ :: _ -> (
+      let bound = Hashtbl.create 8 in
+      let rec walk = function
+        | [] -> Ok ()
+        | Pos a :: rest ->
+            List.iter (fun x -> Hashtbl.replace bound x ()) (atom_vars a);
+            walk rest
+        | Neg a :: rest -> (
+            match
+              List.find_opt (fun x -> not (Hashtbl.mem bound x)) (atom_vars a)
+            with
+            | Some x -> err "variable %s in negated %s is unbound" x a.rel.name
+            | None -> walk rest)
+        | Guard _ :: rest -> walk rest
+      in
+      match walk rule.body with
+      | Error _ as e -> e
+      | Ok () -> (
+          match
+            List.find_opt
+              (fun x -> not (Hashtbl.mem bound x))
+              (atom_vars rule.head)
+          with
+          | Some x -> err "head variable %s is unbound" x
+          | None -> Ok ()))
+
+let to_string rule =
+  let term_str = function
+    | Var x -> x
+    | Const c -> Fact.value_to_string c
+  in
+  let atom_str a =
+    Printf.sprintf "%s(%s)" a.rel.name
+      (String.concat ", " (Array.to_list (Array.map term_str a.args)))
+  in
+  let prem_str = function
+    | Pos a -> atom_str a
+    | Neg a -> "not " ^ atom_str a
+    | Guard (n, _) -> "<" ^ n ^ ">"
+  in
+  Printf.sprintf "%s: %s :- %s." rule.name (atom_str rule.head)
+    (String.concat ", " (List.map prem_str rule.body))

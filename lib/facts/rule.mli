@@ -1,0 +1,55 @@
+(** Datalog-style rules over the fact {!Schema}.
+
+    A rule derives head facts from a conjunctive body evaluated left to
+    right: positive atoms join against the store, negated atoms test
+    absence (stratified — see {!Stratify}), and guards are pure
+    predicates over already-bound variables (the escape hatch for
+    arithmetic such as interval containment, which pure equality joins
+    cannot express).  Guards must be deterministic and state-free: the
+    engine re-evaluates them during incremental maintenance and assumes
+    they always answer the same. *)
+
+type term = Var of string | Const of Fact.value
+
+type atom = private { rel : Schema.t; args : term array }
+
+(** Variable lookup inside a guard; raises if the variable is unbound
+    (a bug the safety check cannot see inside closures). *)
+type binding = string -> Fact.value
+
+type premise =
+  | Pos of atom
+  | Neg of atom
+  | Guard of string * (binding -> bool)
+      (** named so rule dumps stay readable *)
+
+type t = private { name : string; head : atom; body : premise list }
+
+(** {2 Builders} *)
+
+val v : string -> term
+(** Variable. *)
+
+val i : int -> term
+(** Integer constant. *)
+
+val s : string -> term
+(** String constant. *)
+
+val atom : Schema.t -> term list -> atom
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val guard : string -> (binding -> bool) -> premise
+
+val iv : binding -> string -> int
+(** Fetch a bound variable as an int inside a guard. *)
+
+val make : string -> atom -> premise list -> t
+
+(** {2 Checks and printing} *)
+
+(** Range restriction: first premise positive, negated atoms ground at
+    their position, head variables bound by positive premises. *)
+val check : t -> (unit, string) result
+
+val to_string : t -> string

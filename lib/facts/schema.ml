@@ -1,0 +1,53 @@
+(** Relation declarations — see the interface. *)
+
+type t = { name : string; cols : string array }
+
+let make name cols =
+  if cols = [] then invalid_arg "Schema.make: empty column list";
+  { name; cols = Array.of_list cols }
+
+let arity t = Array.length t.cols
+
+(* ---- extensional relations (extracted once per binary) ---- *)
+
+let func = make "func" [ "entry" ]
+let span = make "span" [ "entry"; "lo"; "hi" ]
+let insn = make "insn" [ "lo"; "hi" ]
+let jump = make "jump" [ "site"; "target"; "entry" ]
+let ref_hard = make "ref_hard" [ "target"; "kind"; "site" ]
+let ref_jump = make "ref_jump" [ "target"; "site"; "entry" ]
+let fde = make "fde" [ "lo"; "hi" ]
+let seed = make "seed" [ "addr"; "origin" ]
+let cfi_row = make "cfi_row" [ "lo"; "hi"; "height" ]
+let text = make "text" [ "lo"; "hi" ]
+
+(* extracted from the raw CFI truth rather than derived from [cfi_row]:
+   split-off cold fragments fail the §V-B completeness test by
+   construction (their initial CFA is mid-frame, not rsp+8), so the
+   oracle's row enumeration never covers them *)
+let fde_entry_height = make "fde_entry_height" [ "lo"; "height" ]
+
+let edb =
+  [
+    func; span; insn; jump; ref_hard; ref_jump; fde; seed; cfi_row; text;
+    fde_entry_height;
+  ]
+
+(* ---- derived relations ---- *)
+
+let target_in_own = make "target_in_own" [ "entry"; "target" ]
+let out_jump = make "out_jump" [ "entry"; "site"; "target" ]
+let jump_text_target = make "jump_text_target" [ "target" ]
+let jump_mid_insn = make "jump_mid_insn" [ "target"; "ilo" ]
+let jump_mid_insn_at = make "jump_mid_insn_at" [ "site"; "target"; "ilo" ]
+let fde_touched = make "fde_touched" [ "lo" ]
+let cand_point = make "cand_point" [ "lo"; "point" ]
+let covered_point = make "covered_point" [ "lo"; "point" ]
+let fde_gap = make "fde_gap" [ "lo" ]
+let fde_unreached = make "fde_unreached" [ "lo"; "hi" ]
+let fde_partial = make "fde_partial" [ "lo"; "hi" ]
+let ref_outside = make "ref_outside" [ "target"; "entry" ]
+let jump_only_refs = make "jump_only_refs" [ "target"; "entry" ]
+let fde_start = make "fde_start" [ "lo" ]
+let jump_height = make "jump_height" [ "site"; "height" ]
+let split_fn_fde = make "split_fn_fde" [ "target"; "entry"; "site"; "height" ]

@@ -1,0 +1,135 @@
+(** Relation declarations and the FETCH fact catalog.
+
+    A relation is a name plus named columns (the arity).  The catalog
+    below fixes the vocabulary shared by extraction (which asserts the
+    extensional relations from [Loaded]/[Refs]/[Height_oracle]) and the
+    rule programs in [Fetch_check.Rule_lint] / [Fetch_core.Fact_base]
+    (which derive the intensional ones).  Column names are documentation
+    and power the JSONL dump; matching is positional. *)
+
+type t = private { name : string; cols : string array }
+
+val make : string -> string list -> t
+val arity : t -> int
+
+(** {2 Extensional relations (asserted by extraction)} *)
+
+val func : t
+(** [func(entry)] — a detected function entry. *)
+
+val span : t
+(** [span(entry, lo, hi)] — a committed basic-block range of [entry]. *)
+
+val insn : t
+(** [insn(lo, hi)] — a committed instruction span.  Spans must be
+    pairwise disjoint (they come from an interval map, which enforces
+    it); the FDE-coverage rules exploit disjointness to turn interval
+    containment at span boundaries into indexable equality joins. *)
+
+val jump : t
+(** [jump(site, target, entry)] — a direct/conditional jump in function
+    [entry]. *)
+
+val ref_hard : t
+(** [ref_hard(target, kind, site)] — a non-jump reference to [target]:
+    [kind] is ["data"], ["code"] or ["call"]. *)
+
+val ref_jump : t
+(** [ref_jump(target, site, entry)] — a jump reference to [target] owned
+    by function [entry]. *)
+
+val fde : t
+(** [fde(lo, hi)] — an [.eh_frame] FDE covering [\[lo, hi)]. *)
+
+val seed : t
+(** [seed(addr, origin)] — a pipeline seed; [origin] is ["fde"],
+    ["symbol"] or ["xref"]. *)
+
+val cfi_row : t
+(** [cfi_row(lo, hi, height)] — the CFI-recorded stack height over
+    [\[lo, hi)], emitted only for FDEs passing the §V-B completeness
+    test (exactly where {!Fetch_dwarf.Height_oracle.height_at}
+    answers). *)
+
+val text : t
+(** [text(lo, hi)] — an executable section range. *)
+
+val fde_entry_height : t
+(** [fde_entry_height(lo, height)] — rsp-based CFI stack height at the
+    entry point of the FDE starting at [lo], read from the raw CFI truth
+    ({!Fetch_dwarf.Height_oracle.height_at_unchecked}).  Extensional
+    rather than derived from {!cfi_row}: a split-off cold fragment fails
+    the §V-B completeness test by construction (its initial CFA is
+    mid-frame, not rsp+8), so {!cfi_row} never covers its entry — yet
+    that mid-frame entry height is exactly what the split-function rule
+    needs to match against the jump site. *)
+
+val edb : t list
+(** All extensional relations, for iteration/dumping. *)
+
+(** {2 Derived relations} *)
+
+val target_in_own : t
+(** [target_in_own(entry, target)] — some jump of [entry] targets its
+    own entry or a byte inside its own spans. *)
+
+val out_jump : t
+(** [out_jump(entry, site, target)] — a jump leaving its function. *)
+
+val jump_text_target : t
+(** Projection: a jump target inside an executable section. *)
+
+val jump_mid_insn : t
+(** [jump_mid_insn(target, ilo)] — [target] lands strictly inside the
+    committed instruction starting at [ilo]. *)
+
+val jump_mid_insn_at : t
+(** [jump_mid_insn_at(site, target, ilo)] — the finding-shaped join of
+    {!jump_mid_insn} back onto the offending jump sites. *)
+
+val fde_touched : t
+(** [fde_touched(lo)] — some committed instruction overlaps the FDE
+    starting at [lo]. *)
+
+val cand_point : t
+(** [cand_point(lo, point)] — coverage probe points of the FDE at [lo]:
+    its start and every instruction end inside it.  An FDE range is
+    fully decoded iff every probe point falls inside an instruction. *)
+
+val covered_point : t
+(** A probe point that falls inside a committed instruction. *)
+
+val fde_gap : t
+(** [fde_gap(lo)] — some probe point of the FDE at [lo] is uncovered. *)
+
+val fde_unreached : t
+(** [fde_unreached(lo, hi)] — no instruction of the FDE range was ever
+    decoded (the lint rule's Warning case). *)
+
+val fde_partial : t
+(** [fde_partial(lo, hi)] — the FDE range is decoded only partially
+    (the lint rule's Info case). *)
+
+val ref_outside : t
+(** [ref_outside(target, entry)] — [target] (an out-jump target of
+    [entry]) is referenced by something other than jumps of [entry] —
+    criterion 3 of Algorithm 1. *)
+
+val jump_only_refs : t
+(** [jump_only_refs(target, entry)] — the negation: every reference to
+    [target] is a jump owned by [entry]. *)
+
+val fde_start : t
+(** Projection of {!fde} onto its start address. *)
+
+val jump_height : t
+(** [jump_height(site, height)] — CFI stack height at a jump site
+    (derived from {!jump} ⋈ {!cfi_row}). *)
+
+val split_fn_fde : t
+(** [split_fn_fde(target, entry, site, height)] — the Fig. 6b-style
+    split-function detector: [target] is reachable only via jumps of
+    [entry], the CFI height at the jump site is nonzero (a live frame,
+    so not a tail call) and matches the entry height of [target]'s own
+    FDE, yet [target] carries that FDE — the FDE describes a function
+    fragment, not a function. *)

@@ -1,0 +1,146 @@
+(** Indexed relation store — see the interface. *)
+
+type rel_data = {
+  decl : Schema.t;
+  tuples : (Fact.tuple, unit) Hashtbl.t;
+  index : (Fact.value, (Fact.tuple, unit) Hashtbl.t) Hashtbl.t array;
+      (** one bucket table per column *)
+}
+
+type t = (string, rel_data) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let data (t : t) (rel : Schema.t) =
+  match Hashtbl.find_opt t rel.name with
+  | Some d -> d
+  | None ->
+      let d =
+        {
+          decl = rel;
+          tuples = Hashtbl.create 64;
+          index = Array.init (Schema.arity rel) (fun _ -> Hashtbl.create 64);
+        }
+      in
+      Hashtbl.replace t rel.name d;
+      d
+
+let bucket d col v =
+  match Hashtbl.find_opt d.index.(col) v with
+  | Some b -> b
+  | None ->
+      let b = Hashtbl.create 8 in
+      Hashtbl.replace d.index.(col) v b;
+      b
+
+let add t rel (tup : Fact.tuple) =
+  let d = data t rel in
+  if Hashtbl.mem d.tuples tup then false
+  else begin
+    Hashtbl.replace d.tuples tup ();
+    Array.iteri (fun col v -> Hashtbl.replace (bucket d col v) tup ()) tup;
+    true
+  end
+
+let remove t rel (tup : Fact.tuple) =
+  let d = data t rel in
+  if not (Hashtbl.mem d.tuples tup) then false
+  else begin
+    Hashtbl.remove d.tuples tup;
+    Array.iteri
+      (fun col v ->
+        match Hashtbl.find_opt d.index.(col) v with
+        | Some b -> Hashtbl.remove b tup
+        | None -> ())
+      tup;
+    true
+  end
+
+let mem t (rel : Schema.t) tup =
+  match Hashtbl.find_opt t rel.name with
+  | Some d -> Hashtbl.mem d.tuples tup
+  | None -> false
+
+let cardinal t (rel : Schema.t) =
+  match Hashtbl.find_opt t rel.name with
+  | Some d -> Hashtbl.length d.tuples
+  | None -> 0
+
+let total t =
+  Hashtbl.fold (fun _ d acc -> acc + Hashtbl.length d.tuples) t 0
+
+let fold t (rel : Schema.t) f init =
+  match Hashtbl.find_opt t rel.name with
+  | Some d -> Hashtbl.fold (fun tup () acc -> f tup acc) d.tuples init
+  | None -> init
+
+let to_list t rel =
+  fold t rel (fun tup acc -> tup :: acc) [] |> List.sort Fact.compare
+
+let iter_rels t f =
+  Hashtbl.fold (fun name d acc -> (name, d) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, d) -> f d.decl)
+
+(* Pick the most selective constraint's bucket and filter by the rest;
+   no constraints means a full scan.  Returns tuples in unspecified
+   order — set semantics downstream makes that harmless. *)
+let select t (rel : Schema.t) (constraints : (int * Fact.value) list) =
+  match Hashtbl.find_opt t rel.name with
+  | None -> []
+  | Some d -> (
+      match constraints with
+      | [] -> Hashtbl.fold (fun tup () acc -> tup :: acc) d.tuples []
+      | cs ->
+          let bucket_of (col, v) =
+            match Hashtbl.find_opt d.index.(col) v with
+            | Some b -> b
+            | None -> Hashtbl.create 0
+          in
+          let best =
+            List.fold_left
+              (fun (bb, bn) c ->
+                let b = bucket_of c in
+                let n = Hashtbl.length b in
+                if n < bn then (b, n) else (bb, bn))
+              (bucket_of (List.hd cs), Hashtbl.length (bucket_of (List.hd cs)))
+              (List.tl cs)
+            |> fst
+          in
+          Hashtbl.fold
+            (fun (tup : Fact.tuple) () acc ->
+              if List.for_all (fun (col, v) -> Fact.value_equal tup.(col) v) cs
+              then tup :: acc
+              else acc)
+            best [])
+
+(* Allocation-free variant of [select] for the join inner loop: applies
+   [f] directly while walking the bucket.  Only safe when [f] does not
+   mutate this relation — the caller must guarantee that. *)
+let iter_select t (rel : Schema.t) (constraints : (int * Fact.value) list) f =
+  match Hashtbl.find_opt t rel.name with
+  | None -> ()
+  | Some d -> (
+      match constraints with
+      | [] -> Hashtbl.iter (fun tup () -> f tup) d.tuples
+      | cs ->
+          let bucket_of (col, v) =
+            match Hashtbl.find_opt d.index.(col) v with
+            | Some b -> b
+            | None -> Hashtbl.create 0
+          in
+          let best =
+            List.fold_left
+              (fun (bb, bn) c ->
+                let b = bucket_of c in
+                let n = Hashtbl.length b in
+                if n < bn then (b, n) else (bb, bn))
+              (bucket_of (List.hd cs), Hashtbl.length (bucket_of (List.hd cs)))
+              (List.tl cs)
+            |> fst
+          in
+          Hashtbl.iter
+            (fun (tup : Fact.tuple) () ->
+              if List.for_all (fun (col, v) -> Fact.value_equal tup.(col) v) cs
+              then f tup)
+            best)

@@ -1,0 +1,44 @@
+(** Typed relation store with per-column hash indexes.
+
+    Holds both the extensional facts (asserted by extraction) and the
+    derived ones (maintained by {!Engine}).  Every column of every
+    relation is indexed on insert, so a join with any bound column is a
+    bucket probe rather than a scan; [add]/[remove] report whether the
+    store actually changed, which is what the engine's set semantics
+    and delta bookkeeping key off. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t rel tup] — true iff the tuple was new. *)
+val add : t -> Schema.t -> Fact.tuple -> bool
+
+(** [remove t rel tup] — true iff the tuple was present. *)
+val remove : t -> Schema.t -> Fact.tuple -> bool
+
+val mem : t -> Schema.t -> Fact.tuple -> bool
+val cardinal : t -> Schema.t -> int
+
+(** Total tuple count across all relations. *)
+val total : t -> int
+
+val fold : t -> Schema.t -> (Fact.tuple -> 'a -> 'a) -> 'a -> 'a
+
+(** Sorted, for deterministic dumps and comparisons. *)
+val to_list : t -> Schema.t -> Fact.tuple list
+
+(** Iterate declared relations in name order. *)
+val iter_rels : t -> (Schema.t -> unit) -> unit
+
+(** Tuples satisfying all [(column, value)] equality constraints; the
+    most selective constraint's index bucket is probed and the rest
+    filter. *)
+val select : t -> Schema.t -> (int * Fact.value) list -> Fact.tuple list
+
+(** Like {!select} but applies the callback while walking the index —
+    no intermediate list.  The callback must not mutate [rel] itself
+    (iterating a hashtable under mutation is unspecified); the engine
+    only uses this when the rule's head is a different relation. *)
+val iter_select :
+  t -> Schema.t -> (int * Fact.value) list -> (Fact.tuple -> unit) -> unit

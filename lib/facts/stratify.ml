@@ -1,0 +1,63 @@
+(** Stratification — see the interface. *)
+
+let idb_rels rules =
+  let idb = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rule.t) -> Hashtbl.replace idb r.head.rel.name ())
+    rules;
+  idb
+
+(* Ullman's iterative stratum assignment: start every derived relation
+   at stratum 0 and raise head strata to satisfy
+     stratum(head) >= stratum(positive body rel)
+     stratum(head) >= stratum(negated body rel) + 1
+   for derived body relations (extensional relations are fixed input and
+   constrain nothing).  A stratum exceeding the number of derived
+   relations proves a cycle through negation. *)
+let run rules =
+  let idb = idb_rels rules in
+  let n_idb = Hashtbl.length idb in
+  let stratum = Hashtbl.create 16 in
+  Hashtbl.iter (fun name () -> Hashtbl.replace stratum name 0) idb;
+  let get name = try Hashtbl.find stratum name with Not_found -> 0 in
+  let unstratifiable = ref None in
+  let changed = ref true in
+  while !changed && !unstratifiable = None do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        let h = r.head.rel.name in
+        List.iter
+          (fun p ->
+            let need =
+              match p with
+              | Rule.Pos a when Hashtbl.mem idb a.rel.name -> get a.rel.name
+              | Rule.Neg a when Hashtbl.mem idb a.rel.name ->
+                  get a.rel.name + 1
+              | Rule.Pos _ | Rule.Neg _ | Rule.Guard _ -> 0
+            in
+            if need > get h then begin
+              if need > n_idb then unstratifiable := Some r.name
+              else begin
+                Hashtbl.replace stratum h need;
+                changed := true
+              end
+            end)
+          r.body)
+      rules
+  done;
+  match !unstratifiable with
+  | Some name ->
+      Error
+        (Printf.sprintf
+           "program is not stratifiable: negation cycle through rule %s" name)
+  | None ->
+      let max_s = Hashtbl.fold (fun _ s acc -> max s acc) stratum 0 in
+      let strata = Array.make (max_s + 1) [] in
+      List.iter
+        (fun (r : Rule.t) ->
+          let s = get r.head.rel.name in
+          strata.(s) <- r :: strata.(s))
+        rules;
+      Array.iteri (fun i rs -> strata.(i) <- List.rev rs) strata;
+      Ok (strata, stratum)

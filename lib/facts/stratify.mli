@@ -1,0 +1,14 @@
+(** Stratification of a rule program.
+
+    Negation is only sound bottom-up when the negated relation is fully
+    computed first, i.e. lives in a strictly lower stratum.  [run]
+    assigns each derived relation a stratum satisfying that, or reports
+    the program unstratifiable (a cycle through negation). *)
+
+(** On success: the rules grouped by stratum (evaluation order, input
+    order preserved within a stratum) and the relation-name → stratum
+    map.  Relations never appearing in a head are extensional and
+    implicitly stratum 0. *)
+val run :
+  Rule.t list ->
+  (Rule.t list array * (string, int) Hashtbl.t, string) result

@@ -38,11 +38,10 @@ type snapshot = {
   histograms : (string * Trace.hist_stats) list;
 }
 
-(* /4: xref counters re-based — known entries are no longer miscounted as
-   mid_instruction rejects, the boundary index made mid_instruction real,
-   and the incremental engine added its own meters — so /3 baselines are
-   not comparable and must be re-captured. *)
-let schema_current = "fetch-bench-pipeline/4"
+(* /5: the perf section now also builds the declarative fact base per
+   binary, adding the facts.extract / facts.eval stage spans and the
+   facts.* counters — /4 baselines lack them and must be re-captured. *)
+let schema_current = "fetch-bench-pipeline/5"
 
 (* ---- writer ---- *)
 

@@ -64,6 +64,47 @@ let add_override t ~lo ~hi v =
   clear ();
   t.m <- Imap.add lo (hi, v) t.m
 
+(** [add_max t ~lo ~hi v] binds [\[lo, hi)] byte-wise, resolving overlap
+    toward the larger value (polymorphic compare): overlapping intervals
+    with a value [>= v] keep their bytes, smaller ones lose exactly the
+    contested bytes (their parts outside [\[lo, hi)] survive), and what
+    remains of [\[lo, hi)] gets [v].  The byte → value function this
+    builds depends only on the {e set} of insertions, never their order
+    — the property that lets an incrementally grown map equal its
+    from-scratch rebuild. *)
+let add_max t ~lo ~hi v =
+  if hi <= lo then invalid_arg "Interval_map.add_max";
+  (* overlapping intervals, collected without mutating *)
+  let rec scan below acc =
+    match Imap.find_last_opt (fun k -> k < below) t.m with
+    | Some (k, (h, v')) when h > lo -> scan k ((k, h, v') :: acc)
+    | Some _ | None -> acc
+  in
+  let ovs = scan hi [] in
+  (* losers keep only their bytes outside [lo, hi) *)
+  List.iter
+    (fun (k, h, v') ->
+      if compare v' v < 0 then begin
+        t.m <- Imap.remove k t.m;
+        if k < lo then t.m <- Imap.add k (lo, v') t.m;
+        if h > hi then t.m <- Imap.add hi (h, v') t.m
+      end)
+    ovs;
+  (* v fills whatever the surviving (>= v) overlaps leave uncovered *)
+  let winners =
+    List.filter_map
+      (fun (k, h, v') ->
+        if compare v' v >= 0 then Some (max k lo, min h hi) else None)
+      ovs
+  in
+  let rec fill at = function
+    | [] -> if at < hi then t.m <- Imap.add at (hi, v) t.m
+    | (wlo, whi) :: rest ->
+        if at < wlo then t.m <- Imap.add at (wlo, v) t.m;
+        fill (max at whi) rest
+  in
+  fill lo winners
+
 let remove t lo = t.m <- Imap.remove lo t.m
 
 let iter t f = Imap.iter (fun lo (hi, v) -> f ~lo ~hi v) t.m

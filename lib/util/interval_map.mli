@@ -36,6 +36,16 @@ val add : 'a t -> lo:int -> hi:int -> 'a -> unit
 (** Like {!add} but evicts anything the new interval overlaps. *)
 val add_override : 'a t -> lo:int -> hi:int -> 'a -> unit
 
+(** [add_max t ~lo ~hi v] binds [\[lo, hi)] byte-wise, resolving overlap
+    toward the larger value (polymorphic compare): overlapping intervals
+    with a value [>= v] keep their bytes, smaller ones lose exactly the
+    contested bytes, and what remains of [\[lo, hi)] gets [v].  The
+    resulting byte → value function depends only on the set of
+    insertions, not their order — what lets an incrementally grown map
+    equal its from-scratch rebuild.  Raises [Invalid_argument] on an
+    empty interval. *)
+val add_max : 'a t -> lo:int -> hi:int -> 'a -> unit
+
 (** Remove the interval starting at the given key, if any. *)
 val remove : 'a t -> int -> unit
 

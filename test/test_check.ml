@@ -473,8 +473,42 @@ let test_lint_clean_corpora () =
       (Fetch_synth.Profile.Synthllvm, Fetch_synth.Profile.O3, 9);
     ]
 
+(* Reports must be byte-stable however the findings were produced:
+   [compare] is a total order (antisymmetric down to the last field), so
+   sorting any permutation yields the same list. *)
+let test_finding_compare_total_order () =
+  let f rule severity addr related message =
+    { Finding.rule; severity; addr; related; message }
+  in
+  let findings =
+    [
+      f "b" Finding.Error 5 None "x";
+      f "a" Finding.Error 5 None "x";
+      f "a" Finding.Warning 3 None "x";
+      f "a" Finding.Warning 3 None "w";
+      f "a" Finding.Warning 3 (Some 1) "w";
+      f "a" Finding.Info 9 None "x";
+    ]
+  in
+  let sorted = List.sort Finding.compare findings in
+  check Alcotest.bool "permutations sort identically" true
+    (List.sort Finding.compare (List.rev findings) = sorted);
+  (* pairwise antisymmetry: distinct findings never compare equal *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j && Finding.compare a b = 0 then
+            Alcotest.failf "distinct findings compare equal (%d, %d)" i j)
+        findings)
+    findings;
+  check Alcotest.bool "severity dominates" true
+    ((List.hd sorted).Finding.severity = Finding.Error)
+
 let suite =
   [
+    Alcotest.test_case "finding compare is a total order" `Quick
+      test_finding_compare_total_order;
     Alcotest.test_case "engine: first write wins" `Quick test_engine_first_write_wins;
     Alcotest.test_case "engine: join fixpoint" `Quick test_engine_join_fixpoint;
     Alcotest.test_case "engine: fatal verdict stops the solve" `Quick test_engine_fatal_stops;

@@ -1,0 +1,186 @@
+(* CLI-level tests for `fetch lint` and `fetch rules`: exit-code gating
+   (--fail-on) and JSONL output shape.  Runs the real executable
+   (argv.(1), wired up by the dune rule) against binaries synthesized
+   in-process, so the checks cover argument parsing, serialization and
+   the process exit path that the unit tests bypass.
+
+   The exit-code checks are self-consistent — the expected code is
+   recomputed from the findings the same invocation printed — plus one
+   binary built with broken FDEs so the warning gate is exercised
+   non-vacuously. *)
+
+module Json = Fetch_util.Json
+
+let fetch =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: test_cli FETCH_EXE";
+    exit 2
+  end
+  else Sys.argv.(1)
+
+let failures = ref 0
+
+let check name cond =
+  if cond then Printf.printf "ok   %s\n" name
+  else begin
+    Printf.printf "FAIL %s\n" name;
+    incr failures
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save (built : Fetch_synth.Link.built) =
+  let path = Filename.temp_file "fetch_cli" ".elf" in
+  let oc = open_out_bin path in
+  output_string oc built.raw;
+  close_out oc;
+  path
+
+let profile =
+  Fetch_synth.Profile.make Fetch_synth.Profile.Synthgcc Fetch_synth.Profile.O2
+
+let write_binary ~seed spec = save (Fetch_synth.Link.build_random ~profile ~seed spec)
+
+(* A binary guaranteed to lint with a Warning: an unreferenced function
+   behind a hand-broken FDE.  The FDE start points into the
+   callconv-violating pre-entry bytes, so the seed is rejected; nothing
+   else references the function, so its whole range stays undecoded —
+   `fde-unreached` at Warning severity from both `lint` and `rules`. *)
+let write_warning_binary ~seed =
+  let rng = Fetch_util.Prng.create seed in
+  let prog =
+    Fetch_synth.Gen.program rng profile
+      { Fetch_synth.Gen.default_spec with n_funcs = 15 }
+  in
+  let orphan =
+    Fetch_synth.Ir.make_func ~name:"orphan" ~params:1 ~is_assembly:true
+      ~emit_fde:true ~broken_fde:true ~align:16 ~endbr:false
+      [ Fetch_synth.Ir.Compute 3; Fetch_synth.Ir.Return ]
+  in
+  let prog =
+    { prog with Fetch_synth.Ir.funcs = prog.Fetch_synth.Ir.funcs @ [ orphan ] }
+  in
+  save (Fetch_synth.Link.build ~profile ~rng prog)
+
+(* stderr is dropped: --stats prints the report to stdout and the
+   lint/rules commands only use stderr for hard errors, which the exit
+   code already surfaces. *)
+let run args =
+  let out = Filename.temp_file "fetch_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>/dev/null" (Filename.quote fetch) args
+         (Filename.quote out))
+  in
+  let text = read_file out in
+  Sys.remove out;
+  (code, text)
+
+let lines text =
+  String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+
+(* ---- JSONL shape: every line is one finding object ---- *)
+
+type counts = { errors : int; warnings : int; infos : int }
+
+let check_jsonl tool path =
+  let code, text = run (Printf.sprintf "%s %s --json --fail-on never" tool path) in
+  check (tool ^ ": --fail-on never exits 0") (code = 0);
+  let counts = ref { errors = 0; warnings = 0; infos = 0 } in
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error e ->
+          check (Printf.sprintf "%s: JSONL line parses (%s)" tool e) false
+      | Ok j ->
+          let str k = Option.bind (Json.member k j) Json.to_str in
+          let int k = Option.bind (Json.member k j) Json.to_int in
+          check (tool ^ ": finding has rule/addr/message")
+            (str "rule" <> None && int "addr" <> None && str "message" <> None);
+          (match str "severity" with
+          | Some "error" -> counts := { !counts with errors = !counts.errors + 1 }
+          | Some "warning" ->
+              counts := { !counts with warnings = !counts.warnings + 1 }
+          | Some "info" -> counts := { !counts with infos = !counts.infos + 1 }
+          | _ -> check (tool ^ ": finding has a valid severity") false))
+    (lines text);
+  !counts
+
+(* ---- exit codes recomputed from the findings just printed ---- *)
+
+let check_gate tool path (c : counts) =
+  let code_err, _ = run (Printf.sprintf "%s %s --json" tool path) in
+  check
+    (Printf.sprintf "%s: default gate is --fail-on error (%d errors)" tool
+       c.errors)
+    (code_err = if c.errors > 0 then 1 else 0);
+  let code_warn, _ =
+    run (Printf.sprintf "%s %s --json --fail-on warning" tool path)
+  in
+  check
+    (Printf.sprintf "%s: --fail-on warning (%d errors+warnings)" tool
+       (c.errors + c.warnings))
+    (code_warn = if c.errors + c.warnings > 0 then 1 else 0)
+
+let () =
+  let clean =
+    write_binary ~seed:11
+      { Fetch_synth.Gen.default_spec with n_funcs = 25; n_asm_called = 1 }
+  in
+  let broken =
+    write_binary ~seed:12
+      { Fetch_synth.Gen.default_spec with n_funcs = 20; n_broken_fde = 2 }
+  in
+  let warn = write_warning_binary ~seed:12 in
+  List.iter
+    (fun tool ->
+      List.iter
+        (fun path ->
+          let c = check_jsonl tool path in
+          check_gate tool path c)
+        [ clean; broken; warn ])
+    [ "lint"; "rules" ];
+
+  (* the orphan-FDE binary must actually trip the warning gate, or the
+     --fail-on warning checks above only ever saw exit 0 *)
+  let c_rules = check_jsonl "rules" warn in
+  check "rules: orphan FDE yields a warning" (c_rules.warnings > 0);
+  let c_lint = check_jsonl "lint" warn in
+  check "lint: orphan FDE yields a warning" (c_lint.warnings > 0);
+
+  (* --stats: the report lands on stdout and carries the facts.* meters;
+     the summary line proves the engine actually ran *)
+  let code, text = run (Printf.sprintf "rules %s --stats --fail-on never" clean) in
+  check "rules: --stats exits 0" (code = 0);
+  let summary =
+    List.find_opt
+      (fun l -> String.length l >= 10 && String.sub l 0 10 = "fact base:")
+      (lines text)
+  in
+  (match summary with
+  | None -> check "rules: --stats prints the fact-base summary" false
+  | Some l ->
+      Scanf.sscanf l "fact base: %d tuples (%d derived), %d strata, %d rule firings"
+        (fun tuples derived strata firings ->
+          check "rules: fact base is populated"
+            (tuples > 0 && derived > 0 && strata > 0 && firings > 0)));
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  check "rules: --stats shows facts.* counters" (contains "facts.derived");
+  check "rules: --stats shows the facts.eval span" (contains "facts.eval");
+
+  Sys.remove clean;
+  Sys.remove broken;
+  Sys.remove warn;
+  if !failures > 0 then begin
+    Printf.printf "%d CLI check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "all CLI checks passed"

@@ -560,8 +560,8 @@ let test_refs_scan_resync () =
     (counter rep "refs.scan_resync" >= 1)
 
 (* Regression: extent overlap attribution used to follow hash iteration
-   order; the fold is sorted now, so the winner is a function of the
-   result alone. *)
+   order; byte-wise max resolution makes the winner a function of the
+   result alone, independent of insertion order. *)
 let test_xref_extents_deterministic () =
   let mk entry blocks : An.Recursive.func =
     {
@@ -597,9 +597,35 @@ let test_xref_extents_deterministic () =
     Fetch_util.Interval_map.to_list (Xref.function_extents (result_of [ f3; f2; f1 ]))
   in
   check Alcotest.bool "extents independent of table order" true (l1 = l2);
-  (* ascending fold: the later entry's override wins the overlap *)
+  (* byte-wise max: shared bytes go to the highest entry, unshared bytes
+     keep their only owner *)
   check Alcotest.bool "overlap attribution is canonical" true
-    (l1 = [ (0x1010, 0x1030, 0x1010); (0x1040, 0x1050, 0x1040) ])
+    (l1
+    = [
+        (0x1000, 0x1010, 0x1000); (0x1010, 0x1030, 0x1010);
+        (0x1040, 0x1050, 0x1040);
+      ])
+
+(* The incremental extent map grown across Xref commits must equal the
+   from-scratch rebuild after every commit — this is what lets the
+   Incremental strategy skip the per-round O(funcs) rebuild. *)
+let test_xref_extents_incremental () =
+  let b = Lazy.force built in
+  let loaded = An.Loaded.load (Fetch_elf.Image.strip b.image) in
+  let seeds = loaded.An.Loaded.fde_starts in
+  let ext = Xref.extents_create () in
+  let commits = ref 0 in
+  let _res, _seeds =
+    Xref.detect loaded ~seeds ~on_commit:(fun ~cand:_ res ->
+        incr commits;
+        let inc = Fetch_util.Interval_map.to_list (Xref.extents_refresh ext res) in
+        let scratch =
+          Fetch_util.Interval_map.to_list (Xref.function_extents res)
+        in
+        if inc <> scratch then
+          Alcotest.failf "commit %d: incremental extents diverge" !commits)
+  in
+  check Alcotest.bool "detection committed candidates" true (!commits > 0)
 
 (* The acceptance property of the whole refactor: the incremental engine
    and the from-scratch rescan are indistinguishable — same final seeds,
@@ -671,6 +697,8 @@ let suite =
     Alcotest.test_case "xref: budget exhaustion announced" `Quick test_xref_budget_exhaustion;
     Alcotest.test_case "refs: span scan resyncs on bad decode" `Quick test_refs_scan_resync;
     Alcotest.test_case "xref: extents attribution deterministic" `Quick test_xref_extents_deterministic;
+    Alcotest.test_case "xref: incremental extents == rebuild" `Quick
+      test_xref_extents_incremental;
     Alcotest.test_case "provenance ledger end-to-end" `Quick test_provenance_end_to_end;
     Alcotest.test_case "full pipeline accuracy" `Quick test_full_pipeline_accuracy;
     Alcotest.test_case "pipeline from raw bytes" `Quick test_pipeline_on_encoded_bytes;

@@ -1,0 +1,616 @@
+(* Tests for the declarative fact base: the rule engine itself (on toy
+   relations), the differential properties the port demands — engine
+   verdicts identical to the imperative lint / Algorithm-1 queries —
+   the incremental-maintenance contract (assert/retract == from-scratch
+   re-evaluation), the live Xref-driven session, and the new
+   split-function rule with its negative control. *)
+
+open Fetch_synth
+open Fetch_core
+module An = Fetch_analysis
+module F = Fetch_facts
+module Finding = Fetch_check.Finding
+
+let check = Alcotest.check
+let ti n = F.Fact.I n
+let tup l = Array.of_list (List.map ti l)
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* ---- toy relations: a little graph program ---- *)
+
+let t_node = F.Schema.make "t_node" [ "n" ]
+let t_edge = F.Schema.make "t_edge" [ "src"; "dst" ]
+let t_path = F.Schema.make "t_path" [ "src"; "dst" ]
+let t_unreach = F.Schema.make "t_unreach" [ "src"; "dst" ]
+let t_lt = F.Schema.make "t_lt" [ "src"; "dst" ]
+let t_p = F.Schema.make "t_p" [ "n" ]
+let t_q = F.Schema.make "t_q" [ "n" ]
+
+let closure_rules =
+  F.Rule.
+    [
+      make "t-path-base"
+        (atom t_path [ v "X"; v "Y" ])
+        [ Pos (atom t_edge [ v "X"; v "Y" ]) ];
+      make "t-path-step"
+        (atom t_path [ v "X"; v "Z" ])
+        [ Pos (atom t_edge [ v "X"; v "Y" ]); Pos (atom t_path [ v "Y"; v "Z" ]) ];
+    ]
+
+let unreach_rule =
+  F.Rule.(
+    make "t-unreach"
+      (atom t_unreach [ v "X"; v "Y" ])
+      [
+        Pos (atom t_node [ v "X" ]);
+        Pos (atom t_node [ v "Y" ]);
+        Neg (atom t_path [ v "X"; v "Y" ]);
+      ])
+
+let graph_engine ?fuel ~nodes ~edges rules =
+  let store = F.Store.create () in
+  List.iter (fun n -> ignore (F.Store.add store t_node (tup [ n ]))) nodes;
+  List.iter
+    (fun (a, b) -> ignore (F.Store.add store t_edge (tup [ a; b ])))
+    edges;
+  ok "engine" (F.Engine.create ?fuel store rules)
+
+let pairs store rel =
+  F.Store.to_list store rel
+  |> List.map (fun t ->
+         match (t.(0), t.(1)) with
+         | F.Fact.I a, F.Fact.I b -> (a, b)
+         | _ -> Alcotest.fail "non-int tuple")
+
+let ipairs = Alcotest.(list (pair int int))
+
+let test_transitive_closure () =
+  let e = graph_engine ~nodes:[] ~edges:[ (1, 2); (2, 3); (3, 4) ] closure_rules in
+  check ipairs "all reachable pairs"
+    [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4) ]
+    (pairs (F.Engine.store e) t_path)
+
+let test_stratified_negation () =
+  let e =
+    graph_engine ~nodes:[ 1; 2; 3 ]
+      ~edges:[ (1, 2); (2, 3) ]
+      (closure_rules @ [ unreach_rule ])
+  in
+  check Alcotest.int "negation in its own stratum" 2 (F.Engine.stats e).strata;
+  check ipairs "complement of reachability"
+    [ (1, 1); (2, 1); (2, 2); (3, 1); (3, 2); (3, 3) ]
+    (pairs (F.Engine.store e) t_unreach)
+
+let test_negative_cycle_rejected () =
+  let rules =
+    F.Rule.
+      [
+        make "t-p"
+          (atom t_p [ v "X" ])
+          [ Pos (atom t_node [ v "X" ]); Neg (atom t_q [ v "X" ]) ];
+        make "t-q"
+          (atom t_q [ v "X" ])
+          [ Pos (atom t_node [ v "X" ]); Neg (atom t_p [ v "X" ]) ];
+      ]
+  in
+  match F.Engine.create (F.Store.create ()) rules with
+  | Ok _ -> Alcotest.fail "negation cycle accepted"
+  | Error _ -> ()
+
+let test_unsafe_rule_rejected () =
+  let bad =
+    F.Rule.(
+      make "t-unsafe"
+        (atom t_path [ v "X"; v "Z" ])
+        [ Pos (atom t_edge [ v "X"; v "Y" ]) ])
+  in
+  match F.Engine.create (F.Store.create ()) [ bad ] with
+  | Ok _ -> Alcotest.fail "head variable Z is unbound"
+  | Error _ -> ()
+
+let test_edb_head_rejected () =
+  let bad =
+    F.Rule.(
+      make "t-edb-head"
+        (atom F.Schema.func [ v "F" ])
+        [ Pos (atom F.Schema.fde [ v "F"; v "H" ]) ])
+  in
+  match F.Engine.create (F.Store.create ()) [ bad ] with
+  | Ok _ -> Alcotest.fail "extensional head accepted"
+  | Error e ->
+      check Alcotest.bool "names the relation" true
+        (String.length e > 0
+        &&
+        let rec has i =
+          i + 4 <= String.length e && (String.sub e i 4 = "func" || has (i + 1))
+        in
+        has 0)
+
+let test_guards_and_repeated_vars () =
+  let rules =
+    F.Rule.
+      [
+        (* repeated head/body variable: only self-loops *)
+        make "t-self"
+          (atom t_path [ v "X"; v "X" ])
+          [ Pos (atom t_edge [ v "X"; v "X" ]) ];
+        make "t-lt"
+          (atom t_lt [ v "X"; v "Y" ])
+          [
+            Pos (atom t_edge [ v "X"; v "Y" ]);
+            guard "X<Y" (fun b -> iv b "X" < iv b "Y");
+          ];
+      ]
+  in
+  let e = graph_engine ~nodes:[] ~edges:[ (5, 5); (2, 1); (1, 2) ] rules in
+  check ipairs "self-loop only" [ (5, 5) ] (pairs (F.Engine.store e) t_path);
+  check ipairs "guard keeps ascending edges" [ (1, 2) ]
+    (pairs (F.Engine.store e) t_lt)
+
+let test_fuel_exhaustion () =
+  let e =
+    graph_engine ~fuel:2 ~nodes:[]
+      ~edges:[ (1, 2); (2, 3); (3, 4) ]
+      closure_rules
+  in
+  check Alcotest.bool "exhausted flag" true (F.Engine.stats e).exhausted;
+  match F.Engine.update e ~assert_:[ (t_edge, tup [ 4; 5 ]) ] ~retract_:[] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "update on an exhausted engine must be refused"
+
+let test_update_rejects_derived () =
+  let e = graph_engine ~nodes:[] ~edges:[ (1, 2) ] closure_rules in
+  match F.Engine.update e ~assert_:[ (t_path, tup [ 7; 8 ]) ] ~retract_:[] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "asserting a derived relation must be refused"
+
+(* Incremental assert/retract must land on exactly the from-scratch
+   fixpoint of the updated EDB. *)
+let derived_of e rel = pairs (F.Engine.store e) rel
+
+let scratch_of nodes edges rules =
+  let e = graph_engine ~nodes ~edges rules in
+  (derived_of e t_path, derived_of e t_unreach)
+
+let check_matches_scratch what e nodes edges rules =
+  let sp, su = scratch_of nodes edges rules in
+  check ipairs (what ^ ": path") sp (derived_of e t_path);
+  check ipairs (what ^ ": unreach") su (derived_of e t_unreach)
+
+let test_incremental_updates () =
+  let nodes = [ 1; 2; 3; 4; 5 ] in
+  let rules = closure_rules @ [ unreach_rule ] in
+  let e = graph_engine ~nodes ~edges:[ (1, 2); (2, 3) ] rules in
+  let edges = ref [ (1, 2); (2, 3) ] in
+  let apply what ~assert_ ~retract_ =
+    F.Engine.update e
+      ~assert_:(List.map (fun (a, b) -> (t_edge, tup [ a; b ])) assert_)
+      ~retract_:(List.map (fun (a, b) -> (t_edge, tup [ a; b ])) retract_);
+    edges :=
+      List.filter (fun p -> not (List.mem p retract_)) !edges
+      @ List.filter (fun p -> not (List.mem p !edges)) assert_;
+    check_matches_scratch what e nodes !edges rules
+  in
+  apply "assert edge" ~assert_:[ (3, 4) ] ~retract_:[];
+  check Alcotest.bool "growth through negation overdeletes" true
+    ((F.Engine.stats e).overdeleted > 0);
+  apply "retract edge" ~assert_:[] ~retract_:[ (2, 3) ];
+  apply "mixed batch" ~assert_:[ (2, 5); (5, 3) ] ~retract_:[ (1, 2) ];
+  apply "retract absent tuple is a no-op" ~assert_:[] ~retract_:[ (1, 2) ]
+
+let test_diamond_rederive () =
+  let edges = [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  let e = graph_engine ~nodes:[] ~edges closure_rules in
+  F.Engine.update e ~assert_:[] ~retract_:[ (t_edge, tup [ 1; 2 ]) ];
+  check Alcotest.bool "path(1,4) survives via the other arm" true
+    (F.Store.mem (F.Engine.store e) t_path (tup [ 1; 4 ]));
+  check Alcotest.bool "rederivation happened" true
+    ((F.Engine.stats e).rederived > 0);
+  check ipairs "matches scratch"
+    (fst (scratch_of [] [ (1, 3); (2, 4); (3, 4) ] closure_rules))
+    (derived_of e t_path)
+
+(* Random update sequences: after every batch the engine must equal the
+   from-scratch evaluation of the current EDB. *)
+let prop_incremental_random =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 12)
+        (triple bool (int_bound 5) (int_bound 5)))
+  in
+  QCheck.Test.make ~name:"incremental == from-scratch on random updates"
+    ~count:40
+    (QCheck.make gen
+       ~print:(fun ops ->
+         String.concat "; "
+           (List.map
+              (fun (add, a, b) ->
+                Printf.sprintf "%s(%d,%d)" (if add then "+" else "-") a b)
+              ops)))
+    (fun ops ->
+      let nodes = [ 0; 1; 2; 3; 4; 5 ] in
+      let rules = closure_rules @ [ unreach_rule ] in
+      let e = graph_engine ~nodes ~edges:[] rules in
+      let edges = ref [] in
+      List.for_all
+        (fun (add, a, b) ->
+          if add then begin
+            F.Engine.update e ~assert_:[ (t_edge, tup [ a; b ]) ] ~retract_:[];
+            if not (List.mem (a, b) !edges) then edges := (a, b) :: !edges
+          end
+          else begin
+            F.Engine.update e ~assert_:[] ~retract_:[ (t_edge, tup [ a; b ]) ];
+            edges := List.filter (fun p -> p <> (a, b)) !edges
+          end;
+          let sp, su = scratch_of nodes !edges rules in
+          derived_of e t_path = sp && derived_of e t_unreach = su)
+        ops)
+
+(* ---- differentials against the imperative analyses ---- *)
+
+let profile = Profile.make Profile.Synthgcc Profile.O2
+
+let spec =
+  {
+    Gen.default_spec with
+    n_funcs = 30;
+    n_asm_called = 1;
+    n_asm_tailonly = 1;
+    n_asm_pointer = 2;
+    n_asm_code_ptr = 1;
+  }
+
+let built = lazy (Link.build_random ~profile ~seed:2024 spec)
+let pipeline = lazy (Pipeline.run (Lazy.force built).image)
+
+let engine_of_result r = ok "of_result" (Fact_base.of_result r)
+
+(* The engine built over every detected entry (what Algorithm 1 sees),
+   not just the kept starts. *)
+let alg1_engine = lazy (
+  let r = Lazy.force pipeline in
+  let res = r.Pipeline.rec_result in
+  let refs = Refs.collect r.Pipeline.loaded res in
+  ( ok "build" (Fact_base.build ~entries:(An.Recursive.starts res)
+      r.Pipeline.loaded res refs),
+    res, refs ))
+
+let finding_t =
+  Alcotest.testable
+    (fun fmt f -> Format.pp_print_string fmt (Finding.to_string f))
+    ( = )
+
+(* Ported rules: verdicts must be identical finding-for-finding,
+   including messages and severities.  (split-fn-fde is the engine's
+   own rule; the legacy linter has no counterpart.) *)
+let test_findings_differential () =
+  let r = Lazy.force pipeline in
+  let legacy =
+    Lint.run r
+    |> List.filter (fun (f : Finding.t) ->
+           f.rule = "jump-mid-insn" || f.rule = "fde-unreached")
+  in
+  let engine =
+    Fact_base.findings (engine_of_result r)
+    |> List.filter (fun (f : Finding.t) -> f.rule <> "split-fn-fde")
+  in
+  check (Alcotest.list finding_t) "ported rules agree with the linter"
+    legacy engine
+
+(* On a binary that lints non-clean, too: the orphan broken-FDE binary
+   (same construction as the CLI tests) yields an fde-unreached Warning
+   plus fde-partial Infos, and the engine must reproduce each message
+   byte for byte. *)
+let test_findings_differential_dirty () =
+  let rng = Fetch_util.Prng.create 12 in
+  let prog =
+    Gen.program rng profile { Gen.default_spec with n_funcs = 15 }
+  in
+  let orphan =
+    Ir.make_func ~name:"orphan" ~params:1 ~is_assembly:true ~emit_fde:true
+      ~broken_fde:true ~align:16 ~endbr:false [ Ir.Compute 3; Ir.Return ]
+  in
+  let b =
+    Link.build ~profile ~rng { prog with Ir.funcs = prog.Ir.funcs @ [ orphan ] }
+  in
+  let r = Pipeline.run b.image in
+  let legacy =
+    Lint.run r
+    |> List.filter (fun (f : Finding.t) ->
+           f.rule = "jump-mid-insn" || f.rule = "fde-unreached")
+  in
+  check Alcotest.bool "scenario is non-vacuous" true (legacy <> []);
+  let engine =
+    Fact_base.findings (engine_of_result r)
+    |> List.filter (fun (f : Finding.t) -> f.rule <> "split-fn-fde")
+  in
+  check (Alcotest.list finding_t) "agrees on a dirty binary" legacy engine
+
+let test_jump_only_refs_differential () =
+  let engine, _res, refs = Lazy.force alg1_engine in
+  let store = F.Engine.store engine in
+  let out_jumps = F.Store.to_list store F.Schema.out_jump in
+  check Alcotest.bool "corpus has out-jumps" true (out_jumps <> []);
+  List.iter
+    (fun t ->
+      match (t.(0), t.(2)) with
+      | F.Fact.I entry, F.Fact.I target ->
+          let derived = Fact_base.jump_only_refs engine ~entry target in
+          let census =
+            not (Refs.referenced_outside_jumps_of refs ~entry target)
+          in
+          if derived <> census then
+            Alcotest.failf
+              "jump_only_refs(%#x, %#x): engine %b, census %b" target entry
+              derived census
+      | _ -> Alcotest.fail "bad out_jump tuple")
+    out_jumps
+
+let test_jump_height_differential () =
+  let engine, _res, _refs = Lazy.force alg1_engine in
+  let r = Lazy.force pipeline in
+  let oracle = r.Pipeline.loaded.An.Loaded.oracle in
+  let store = F.Engine.store engine in
+  let answered = ref 0 in
+  List.iter
+    (fun t ->
+      match t.(0) with
+      | F.Fact.I site -> (
+          match Fetch_dwarf.Height_oracle.height_at oracle site with
+          | Some h ->
+              incr answered;
+              if not (F.Store.mem store F.Schema.jump_height (tup [ site; h ]))
+              then Alcotest.failf "jump_height(%#x, %d) missing" site h
+          | None ->
+              if F.Store.select store F.Schema.jump_height [ (0, ti site) ] <> []
+              then
+                Alcotest.failf "jump_height at %#x where the oracle is silent"
+                  site)
+      | _ -> Alcotest.fail "bad jump tuple")
+    (F.Store.to_list store F.Schema.jump);
+  check Alcotest.bool "oracle answered somewhere" true (!answered > 0)
+
+(* Algorithm 1 with its criterion-3 query answered by the engine must
+   reach the exact same outcome as with the imperative census. *)
+let test_tailcall_differential () =
+  let engine, res, refs = Lazy.force alg1_engine in
+  let r = Lazy.force pipeline in
+  let loaded = r.Pipeline.loaded in
+  let base = Tailcall.run ~refs loaded res in
+  let via_engine =
+    Tailcall.run ~refs
+      ~jump_only_refs:(Fact_base.jump_only_refs engine)
+      loaded res
+  in
+  check Alcotest.(list int) "kept starts" base.Tailcall.kept_starts
+    via_engine.Tailcall.kept_starts;
+  check ipairs "tail calls" base.Tailcall.tail_calls
+    via_engine.Tailcall.tail_calls;
+  check ipairs "merges" base.Tailcall.merges via_engine.Tailcall.merges;
+  check Alcotest.int "skipped" base.Tailcall.skipped_incomplete
+    via_engine.Tailcall.skipped_incomplete;
+  check Alcotest.bool "differential is non-vacuous" true
+    (base.Tailcall.tail_calls <> [] || base.Tailcall.merges <> [])
+
+(* ---- the new cross-cutting rule ---- *)
+
+(* Cold-split binary analyzed with the fix stage off: the split parts
+   survive as separate FDE-seeded functions, and the rule must flag
+   exactly (a subset of) the true split parts. *)
+let split_result = lazy (
+  let p = { profile with Profile.p_cold_split = 1.0; p_rbp_frame = 0.0 } in
+  let b =
+    Link.build_random ~profile:p ~seed:77 { Gen.default_spec with n_funcs = 12 }
+  in
+  let r =
+    Pipeline.run
+      ~config:{ Pipeline.default_config with fix_fde_errors = false }
+      b.image
+  in
+  (b, r))
+
+let split_tuples store =
+  F.Store.to_list store F.Schema.split_fn_fde
+  |> List.map (fun t ->
+         match (t.(0), t.(1)) with
+         | F.Fact.I target, F.Fact.I entry -> (target, entry)
+         | _ -> Alcotest.fail "bad split_fn_fde tuple")
+
+let test_split_rule_fires () =
+  let b, r = Lazy.force split_result in
+  let engine = engine_of_result r in
+  let flagged = split_tuples (F.Engine.store engine) in
+  check Alcotest.bool "fires on the split binary" true (flagged <> []);
+  let parts = List.sort_uniq compare (Truth.part_starts b.truth) in
+  List.iter
+    (fun (target, entry) ->
+      if not (List.mem target parts) then
+        Alcotest.failf "split_fn_fde flagged %#x (from %#x): not a true part"
+          target entry)
+    flagged;
+  (* and it surfaces as a Warning finding *)
+  let findings = Fact_base.findings engine in
+  check Alcotest.bool "rendered as split-fn-fde warnings" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.rule = "split-fn-fde" && f.severity = Finding.Warning)
+       findings)
+
+(* Negative control: one extra hard reference to a flagged target must
+   retract its finding incrementally — and retracting the reference must
+   bring it back, landing on the exact original store. *)
+let test_split_rule_negative_control () =
+  let _b, r = Lazy.force split_result in
+  let engine = engine_of_result r in
+  let store = F.Engine.store engine in
+  let dump () =
+    let acc = ref [] in
+    F.Store.iter_rels store (fun rel ->
+        match F.Store.to_list store rel with
+        | [] -> ()
+        | l -> acc := (rel.F.Schema.name, l) :: !acc);
+    !acc
+  in
+  let before = dump () in
+  let target, entry =
+    match split_tuples store with
+    | t :: _ -> t
+    | [] -> Alcotest.fail "no split finding to control"
+  in
+  let extra_ref =
+    (F.Schema.ref_hard, [| ti target; F.Fact.S "data"; ti 0x9999 |])
+  in
+  F.Engine.update engine ~assert_:[ extra_ref ] ~retract_:[];
+  check Alcotest.bool "finding retracted under an outside reference" false
+    (List.exists (fun (t, e) -> t = target && e = entry)
+       (split_tuples store));
+  check Alcotest.bool "ref_outside derived" true
+    (F.Store.mem store F.Schema.ref_outside (tup [ target; entry ]));
+  F.Engine.update engine ~assert_:[] ~retract_:[ extra_ref ];
+  check Alcotest.bool "round-trips to the original store" true
+    (dump () = before)
+
+(* ---- live session: the engine follows Xref.detect commit by commit ---- *)
+
+let store_dump store =
+  let acc = ref [] in
+  F.Store.iter_rels store (fun rel ->
+      match F.Store.to_list store rel with
+      | [] -> ()
+      | l -> acc := (rel.F.Schema.name, l) :: !acc);
+  !acc
+
+let test_live_session_tracks_detection () =
+  let b = Lazy.force built in
+  let loaded = An.Loaded.load (Fetch_elf.Image.strip b.image) in
+  let seeds = loaded.An.Loaded.fde_starts in
+  let res0 = An.Recursive.run loaded ~seeds in
+  let live = ok "live_create" (Fact_base.live_create loaded res0) in
+  let cands = ref [] in
+  let commits = ref 0 in
+  let check_scratch what res =
+    let refs = Refs.collect loaded res in
+    let scratch =
+      ok "scratch build"
+        (Fact_base.build
+           ~entries:(An.Recursive.starts res)
+           ~xref_seeds:(List.rev !cands) loaded res refs)
+    in
+    if
+      store_dump (F.Engine.store (Fact_base.live_engine live))
+      <> store_dump (F.Engine.store scratch)
+    then Alcotest.failf "%s: live store diverges from from-scratch build" what
+  in
+  check_scratch "initial commit" res0;
+  let _res, _seeds =
+    Xref.detect loaded ~seeds ~on_commit:(fun ~cand res ->
+        cands := cand :: !cands;
+        incr commits;
+        Fact_base.live_commit ~cand live res;
+        check_scratch (Printf.sprintf "commit %#x" cand) res)
+  in
+  check Alcotest.bool "detection accepted pointers" true (!commits > 0);
+  check Alcotest.bool "updates were incremental" true
+    ((F.Engine.stats (Fact_base.live_engine live)).asserted > 0)
+
+(* ---- observability ---- *)
+
+let test_facts_counters_surface () =
+  let r = Lazy.force pipeline in
+  let _engine, report =
+    Fetch_obs.Trace.with_run (fun () -> engine_of_result r)
+  in
+  let counter name =
+    match List.assoc_opt name report.Fetch_obs.Trace.counters with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s missing" name
+  in
+  check Alcotest.bool "edb extracted" true (counter "facts.edb_tuples" > 0);
+  check Alcotest.bool "tuples derived" true (counter "facts.derived" > 0);
+  check Alcotest.bool "rules fired" true (counter "facts.rule_firings" > 0);
+  check Alcotest.bool "fixpoint iterated" true
+    (counter "facts.fixpoint_iters" > 0)
+
+(* ---- engine == legacy on random corpora ---- *)
+
+let prop_engine_matches_legacy =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* compiler = oneofl [ Profile.Synthgcc; Profile.Synthllvm ] in
+      let* opt = oneofl Profile.all_opts in
+      let* n_funcs = int_range 8 40 in
+      let* cxx = bool in
+      let* broken = int_bound 1 in
+      return (seed, compiler, opt, n_funcs, cxx, broken))
+  in
+  QCheck.Test.make ~name:"engine findings == linter on random corpora"
+    ~count:6
+    (QCheck.make gen
+       ~print:(fun (seed, c, o, n, cxx, broken) ->
+         Printf.sprintf "seed=%d %s-%s n=%d cxx=%b broken=%d" seed
+           (Profile.compiler_name c) (Profile.opt_name o) n cxx broken))
+    (fun (seed, compiler, opt, n_funcs, cxx, broken) ->
+      let profile = Profile.make compiler opt in
+      let spec' =
+        { Gen.default_spec with n_funcs; cxx; n_broken_fde = broken }
+      in
+      let b = Link.build_random ~profile ~seed spec' in
+      let r = Pipeline.run b.image in
+      let legacy =
+        Lint.run r
+        |> List.filter (fun (f : Finding.t) ->
+               f.rule = "jump-mid-insn" || f.rule = "fde-unreached")
+      in
+      let engine =
+        Fact_base.findings (engine_of_result r)
+        |> List.filter (fun (f : Finding.t) -> f.rule <> "split-fn-fde")
+      in
+      legacy = engine)
+
+let suite =
+  [
+    Alcotest.test_case "engine: transitive closure" `Quick
+      test_transitive_closure;
+    Alcotest.test_case "engine: stratified negation" `Quick
+      test_stratified_negation;
+    Alcotest.test_case "engine: negation cycle rejected" `Quick
+      test_negative_cycle_rejected;
+    Alcotest.test_case "engine: unsafe rule rejected" `Quick
+      test_unsafe_rule_rejected;
+    Alcotest.test_case "engine: extensional head rejected" `Quick
+      test_edb_head_rejected;
+    Alcotest.test_case "engine: guards and repeated variables" `Quick
+      test_guards_and_repeated_vars;
+    Alcotest.test_case "engine: fuel exhaustion is sticky" `Quick
+      test_fuel_exhaustion;
+    Alcotest.test_case "engine: derived relations are read-only" `Quick
+      test_update_rejects_derived;
+    Alcotest.test_case "engine: incremental assert/retract" `Quick
+      test_incremental_updates;
+    Alcotest.test_case "engine: diamond rederivation" `Quick
+      test_diamond_rederive;
+    Alcotest.test_case "lint port: findings identical" `Quick
+      test_findings_differential;
+    Alcotest.test_case "lint port: identical on a dirty binary" `Quick
+      test_findings_differential_dirty;
+    Alcotest.test_case "Algorithm 1 port: jump_only_refs == census" `Quick
+      test_jump_only_refs_differential;
+    Alcotest.test_case "CFI port: jump_height == oracle" `Quick
+      test_jump_height_differential;
+    Alcotest.test_case "Algorithm 1 port: identical tailcall outcome" `Quick
+      test_tailcall_differential;
+    Alcotest.test_case "split rule: fires on true split parts" `Quick
+      test_split_rule_fires;
+    Alcotest.test_case "split rule: negative control round-trips" `Quick
+      test_split_rule_negative_control;
+    Alcotest.test_case "live session tracks Xref commits" `Quick
+      test_live_session_tracks_detection;
+    Alcotest.test_case "facts.* counters surface" `Quick
+      test_facts_counters_surface;
+    QCheck_alcotest.to_alcotest prop_incremental_random;
+    QCheck_alcotest.to_alcotest prop_engine_matches_legacy;
+  ]

@@ -92,6 +92,36 @@ let test_interval_override () =
   check Alcotest.bool "c covers 12" true
     (match Interval_map.find m 12 with Some (5, 15, "c") -> true | _ -> false)
 
+let test_interval_add_max () =
+  let m = Interval_map.create () in
+  Interval_map.add_max m ~lo:0 ~hi:10 5;
+  Interval_map.add_max m ~lo:5 ~hi:15 9;
+  Interval_map.add_max m ~lo:8 ~hi:12 1;
+  (* byte-wise: [0,5) keeps 5, [5,15) goes to 9, the low insert loses *)
+  check Alcotest.bool "unshared prefix keeps its value" true
+    (match Interval_map.find m 2 with Some (_, _, 5) -> true | _ -> false);
+  check Alcotest.bool "overlap resolves to the max" true
+    (match Interval_map.find m 9 with Some (_, _, 9) -> true | _ -> false);
+  check Alcotest.bool "low insert never wins" true
+    (List.for_all (fun (_, _, v) -> v <> 1) (Interval_map.to_list m))
+
+let prop_interval_add_max_order_independent =
+  (* the whole point of add_max: the resulting byte->value function is a
+     fold over sets, not sequences — any insertion order agrees *)
+  QCheck.Test.make ~name:"interval add_max is insertion-order independent"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) (pair (int_bound 40) (int_bound 8)))
+    (fun pairs ->
+      (* distinct values per interval so ties cannot mask order effects *)
+      let iv = List.mapi (fun i (lo, len) -> (lo, lo + len + 1, i)) pairs in
+      let build l =
+        let m = Interval_map.create () in
+        List.iter (fun (lo, hi, v) -> Interval_map.add_max m ~lo ~hi v) l;
+        Interval_map.to_list m
+      in
+      let sorted = List.sort compare iv in
+      build iv = build (List.rev iv) && build iv = build sorted)
+
 let test_interval_copy () =
   (* copies are independent in both directions: the incremental engine
      forks a round's span map and mutates only the fork *)
@@ -222,6 +252,7 @@ let suite =
     Alcotest.test_case "pad_to alignment" `Quick test_pad_align;
     Alcotest.test_case "interval map basics" `Quick test_interval_basic;
     Alcotest.test_case "interval map override" `Quick test_interval_override;
+    Alcotest.test_case "interval map add_max" `Quick test_interval_add_max;
     Alcotest.test_case "interval map copy independence" `Quick test_interval_copy;
     Alcotest.test_case "interval map next_from" `Quick test_interval_next_from;
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
@@ -231,4 +262,5 @@ let suite =
     qcheck prop_uleb;
     qcheck prop_sleb;
     qcheck prop_interval_find_consistent;
+    qcheck prop_interval_add_max_order_independent;
   ]
