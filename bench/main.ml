@@ -24,7 +24,8 @@ let tolerance = ref 0.5
 let known_sections =
   [
     "table1"; "table2"; "q1"; "fig5"; "q2"; "q3"; "errors"; "xref"; "alg1";
-    "rop"; "table3"; "table5"; "table4"; "ablation"; "pe"; "perf"; "micro";
+    "rop"; "table3"; "table5"; "table4"; "ablation"; "adversarial"; "pe";
+    "perf"; "micro";
   ]
 
 let usage_error fmt =
@@ -380,6 +381,14 @@ let () =
     banner "Ablation — Algorithm 1 height sources (SV-B design choice)";
     let cells = time "ablation" (fun () -> Fetch_eval.Exp_ablation.run ~scale:!scale ()) in
     print_string (Fetch_eval.Exp_ablation.render cells)
+  end;
+  if want "adversarial" then begin
+    banner "Adversarial scenarios — per-scenario robustness (F1 vs clean)";
+    let t =
+      time "adversarial" (fun () ->
+          Fetch_eval.Exp_adversarial.run ~scale:!scale ())
+    in
+    print_string (Fetch_eval.Exp_adversarial.render t)
   end;
   if want "pe" then begin
     banner "SVII-B — generality: x64 PE exception directory coverage";

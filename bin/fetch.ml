@@ -9,6 +9,7 @@
      unwind     show FDE records and CFI stack-height tables
      handlers   list LSDA call sites and landing pads
      lint       cross-layer consistency check of a FETCH run
+     adversarial  per-scenario robustness eval over the adversarial corpus
      batch      run the pipeline over many binaries on a domain pool *)
 
 open Cmdliner
@@ -431,6 +432,52 @@ let rules_run path json stats show_facts fail_on =
   in
   if gate then exit 1
 
+(* ---- adversarial ---- *)
+
+let adversarial list_scenarios scale only json_out check_floors =
+  if list_scenarios then begin
+    List.iter
+      (fun (s : Fetch_synth.Adversary.t) ->
+        Printf.printf "%-16s %s\n%16s stresses: %s\n" s.id s.summary "" s.stresses)
+      Fetch_synth.Adversary.all;
+    exit 0
+  end;
+  if scale <= 0.0 || scale > 1.0 then begin
+    Printf.eprintf "error: --scale %g is out of range (0, 1]\n" scale;
+    exit 2
+  end;
+  let ids = Fetch_synth.Adversary.ids () in
+  List.iter
+    (fun id ->
+      if not (List.mem id ids) then begin
+        Printf.eprintf "error: unknown scenario %S (known: %s)\n" id
+          (String.concat ", " ids);
+        exit 2
+      end)
+    only;
+  let only = if only = [] then None else Some only in
+  let t = Fetch_eval.Exp_adversarial.run ~scale ?only () in
+  print_string (Fetch_eval.Exp_adversarial.render t);
+  (match json_out with
+  | None -> ()
+  | Some file ->
+      write_file file (Fetch_eval.Exp_adversarial.json_lines t);
+      Printf.printf "\nwrote %d rows to %s\n"
+        (List.length t.Fetch_eval.Exp_adversarial.rows)
+        file);
+  if check_floors then begin
+    match Fetch_eval.Exp_adversarial.floor_failures t with
+    | [] -> Printf.printf "\nfloor gate passed: FETCH at or above every recorded floor\n"
+    | fails ->
+        Printf.eprintf "\nfloor gate FAILED (%d scenario%s):\n" (List.length fails)
+          (if List.length fails = 1 then "" else "s");
+        List.iter
+          (fun (id, f1, floor) ->
+            Printf.eprintf "  %s: FETCH F1 %.4f below floor %.4f\n" id f1 floor)
+          fails;
+        exit 1
+  end
+
 (* ---- batch ---- *)
 
 (* An explicitly-listed path is always analyzed (failures show up as
@@ -628,6 +675,45 @@ let rules_cmd =
           over a FETCH run's fact base")
     Term.(const rules_run $ path_arg $ json $ stats $ facts $ fail_on)
 
+let adversarial_cmd =
+  let list_scenarios =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List the scenario catalog and exit.")
+  in
+  let scale =
+    Arg.(value & opt float 1.0
+         & info [ "scale" ] ~docv:"FRACTION"
+             ~doc:"Shrink each scenario's corpus to $(docv) of the full \
+                   binary count (floor one binary).")
+  in
+  let only =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"SCENARIO"
+             ~doc:"Run only $(docv) (repeatable); the clean control always \
+                   runs so deltas stay defined.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write one JSON object per (scenario, tool) row to $(docv).")
+  in
+  let check_floors =
+    Arg.(value & flag
+         & info [ "check-floors" ]
+             ~doc:"Exit non-zero when FETCH's F1 falls below any scenario's \
+                   recorded regression floor.")
+  in
+  Cmd.v
+    (Cmd.info "adversarial"
+       ~doc:
+         "Score FETCH and every baseline over the adversarial scenario \
+          corpus (padding pools, hand-written CFI, CET decoys, 64-bit \
+          DWARF, stripped .eh_frame_hdr, overlapping FDEs) and report \
+          per-scenario F1 deltas against the clean control")
+    Term.(
+      const adversarial $ list_scenarios $ scale $ only $ json_out
+      $ check_floors)
+
 let batch_cmd =
   let paths =
     Arg.(
@@ -684,5 +770,6 @@ let () =
        (Cmd.group (Cmd.info "fetch" ~doc)
           [
             generate_cmd; analyze_cmd; explain_cmd; disasm_cmd; compare_cmd;
-            unwind_cmd; handlers_cmd; lint_cmd; rules_cmd; batch_cmd;
+            unwind_cmd; handlers_cmd; lint_cmd; rules_cmd; adversarial_cmd;
+            batch_cmd;
           ]))

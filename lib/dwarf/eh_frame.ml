@@ -45,7 +45,7 @@ let pe_pcrel_sdata4 = 0x1b
 (** Serialize the section as if loaded at [addr]; also returns, for every
     FDE, its [pc_begin] and the virtual address of its record (what
     [.eh_frame_hdr]'s search table stores). *)
-let encode_with_index ~addr cies =
+let encode_with_index ?(format64 = false) ~addr cies =
   let buf = Byte_buf.create ~capacity:4096 () in
   let index = ref [] in
   let encode_instrs instrs =
@@ -53,19 +53,34 @@ let encode_with_index ~addr cies =
     List.iter (Cfi.encode b) instrs;
     b
   in
+  (* Offset from the record start to the id field: past a 4-byte length in
+     32-bit DWARF, past the 0xffffffff marker + 8-byte length in 64-bit
+     DWARF. *)
+  let id_field_off = if format64 then 12 else 4 in
   (* Emit one record (CIE or FDE); [body] writes everything after the length
      and id fields.  Records are padded to 8 bytes with DW_CFA_nop. *)
   let record ~id body =
     let len_at = Byte_buf.length buf in
-    Byte_buf.u32 buf 0;
-    (* placeholder *)
-    Byte_buf.u32 buf id;
+    if format64 then begin
+      Byte_buf.u32 buf 0xffffffff;
+      Byte_buf.u64 buf 0;
+      (* placeholder *)
+      Byte_buf.u64 buf id
+    end
+    else begin
+      Byte_buf.u32 buf 0;
+      (* placeholder *)
+      Byte_buf.u32 buf id
+    end;
     body ();
     (* pad so that total record size is a multiple of 8 *)
     while (Byte_buf.length buf - len_at) mod 8 <> 0 do
       Byte_buf.u8 buf 0x00
     done;
-    Byte_buf.patch_u32 buf ~at:len_at (Byte_buf.length buf - len_at - 4)
+    (* the length counts every byte after the length field itself *)
+    if format64 then
+      Byte_buf.patch_u64 buf ~at:(len_at + 4) (Byte_buf.length buf - len_at - 12)
+    else Byte_buf.patch_u32 buf ~at:len_at (Byte_buf.length buf - len_at - 4)
   in
   List.iter
     (fun cie ->
@@ -105,35 +120,30 @@ let encode_with_index ~addr cies =
         (fun fde ->
           let len_at = Byte_buf.length buf in
           index := (fde.pc_begin, addr + len_at) :: !index;
-          Byte_buf.u32 buf 0;
-          (* CIE pointer: distance from this field back to the CIE start *)
-          Byte_buf.u32 buf (Byte_buf.length buf - cie_start);
-          (* pc_begin, pcrel sdata4 relative to the field's own address *)
-          let field_addr = addr + Byte_buf.length buf in
-          Byte_buf.i32 buf (fde.pc_begin - field_addr);
-          Byte_buf.i32 buf fde.pc_range;
-          (* augmentation data: the LSDA pointer when the CIE declares L *)
-          if with_lsda then begin
-            Byte_buf.uleb128 buf 4;
-            let lsda_field = addr + Byte_buf.length buf in
-            match fde.lsda with
-            | Some l -> Byte_buf.i32 buf (l - lsda_field)
-            | None -> Byte_buf.i32 buf (0 - lsda_field) (* 0 = no LSDA *)
-          end
-          else Byte_buf.uleb128 buf 0;
-          Byte_buf.bytes buf
-            (Bytes.of_string (Byte_buf.contents (encode_instrs fde.instrs)));
-          while (Byte_buf.length buf - len_at) mod 8 <> 0 do
-            Byte_buf.u8 buf 0x00
-          done;
-          Byte_buf.patch_u32 buf ~at:len_at (Byte_buf.length buf - len_at - 4))
+          (* CIE pointer: distance from the id field back to the CIE start *)
+          record ~id:(len_at + id_field_off - cie_start) (fun () ->
+              (* pc_begin, pcrel sdata4 relative to the field's own address *)
+              let field_addr = addr + Byte_buf.length buf in
+              Byte_buf.i32 buf (fde.pc_begin - field_addr);
+              Byte_buf.i32 buf fde.pc_range;
+              (* augmentation data: the LSDA pointer when the CIE declares L *)
+              if with_lsda then begin
+                Byte_buf.uleb128 buf 4;
+                let lsda_field = addr + Byte_buf.length buf in
+                match fde.lsda with
+                | Some l -> Byte_buf.i32 buf (l - lsda_field)
+                | None -> Byte_buf.i32 buf (0 - lsda_field) (* 0 = no LSDA *)
+              end
+              else Byte_buf.uleb128 buf 0;
+              Byte_buf.bytes buf
+                (Bytes.of_string (Byte_buf.contents (encode_instrs fde.instrs)))))
         cie.fdes)
     cies;
   (* terminator *)
   Byte_buf.u32 buf 0;
   (Byte_buf.contents buf, List.rev !index)
 
-let encode ~addr cies = fst (encode_with_index ~addr cies)
+let encode ?format64 ~addr cies = fst (encode_with_index ?format64 ~addr cies)
 
 type raw_cie = {
   rc_code_align : int;
@@ -302,9 +312,8 @@ let decode ?(ptr_width = 8) ?deref ~addr data =
       Hashtbl.replace grouped rec_start []
     end
   in
-  let decode_fde ~c ~base ~body_end ~id rec_start =
+  let decode_fde ~c ~base ~body_end ~id ~id_at rec_start =
     (* id is the distance back from the id field to the CIE start *)
-    let id_at = rec_start + 4 in
     let cie_off = id_at - id in
     let raw =
       match Hashtbl.find_opt cies cie_off with
@@ -355,15 +364,41 @@ let decode ?(ptr_width = 8) ?deref ~addr data =
     let len = Byte_cursor.u32 sec in
     if len = 0 then continue := false
     else if len = 0xffffffff then begin
-      (* 64-bit DWARF: unsupported, but the extended length still lets us
-         resynchronize past the record *)
+      (* 64-bit DWARF: 0xffffffff marker, 8-byte length, 8-byte id *)
       if Byte_cursor.remaining sec >= 8 then begin
         let len64 = Byte_cursor.i64 sec in
-        diag rec_start Diag.Bad_length "64-bit DWARF record skipped";
         let body_end = rec_start + 12 + Int64.to_int len64 in
-        if Int64.compare len64 0L < 0 || body_end > sec_len || body_end < rec_start
-        then continue := false
-        else Byte_cursor.seek sec body_end
+        if
+          Int64.compare len64 0L < 0
+          || Int64.compare len64 (Int64.of_int sec_len) > 0
+          || body_end > sec_len || body_end < rec_start
+        then begin
+          diag rec_start Diag.Truncated
+            (Printf.sprintf "64-bit record length %Ld overruns the section"
+               len64);
+          continue := false
+        end
+        else if Int64.to_int len64 < 8 then begin
+          (* too short to hold the 8-byte id field; resync past it *)
+          diag rec_start Diag.Bad_length
+            (Printf.sprintf "64-bit record length %Ld" len64);
+          Byte_cursor.seek sec body_end
+        end
+        else begin
+          let base = rec_start + 12 in
+          let c = Byte_cursor.of_string ~pos:base ~len:(Int64.to_int len64) data in
+          (try
+             let id = Int64.to_int (Byte_cursor.i64 c) in
+             if id = 0 then decode_cie ~c ~base ~body_end rec_start
+             else decode_fde ~c ~base ~body_end ~id ~id_at:base rec_start;
+             incr n_ok
+           with
+          | Skip (kind, msg) -> diag rec_start kind msg
+          | Byte_cursor.Out_of_bounds _ ->
+              diag rec_start Diag.Truncated "field overruns the record"
+          | Failure msg -> diag rec_start Diag.Malformed msg);
+          Byte_cursor.seek sec body_end
+        end
       end
       else begin
         diag rec_start Diag.Truncated "truncated 64-bit DWARF length";
@@ -391,7 +426,7 @@ let decode ?(ptr_width = 8) ?deref ~addr data =
         (try
            let id = Byte_cursor.u32 c in
            if id = 0 then decode_cie ~c ~base ~body_end rec_start
-           else decode_fde ~c ~base ~body_end ~id rec_start;
+           else decode_fde ~c ~base ~body_end ~id ~id_at:base rec_start;
            incr n_ok
          with
         | Skip (kind, msg) -> diag rec_start kind msg

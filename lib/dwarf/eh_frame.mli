@@ -32,13 +32,16 @@ val default_cie : ?personality:int -> ?fdes:fde list -> unit -> cie
 val all_fdes : cie list -> fde list
 
 (** [encode ~addr cies] serializes the section as if loaded at virtual
-    address [addr] (needed for pcrel pointer encodings). *)
-val encode : addr:int -> cie list -> string
+    address [addr] (needed for pcrel pointer encodings).  [format64]
+    (default false) emits 64-bit DWARF records: [0xffffffff] marker,
+    8-byte length, 8-byte CIE id / pointer. *)
+val encode : ?format64:bool -> addr:int -> cie list -> string
 
 (** Like {!encode}, and also returns each FDE's [pc_begin] paired with the
     virtual address of its record — the contents of [.eh_frame_hdr]'s
     binary-search table. *)
-val encode_with_index : addr:int -> cie list -> string * (int * int) list
+val encode_with_index :
+  ?format64:bool -> addr:int -> cie list -> string * (int * int) list
 
 (** Result of a total decode: whatever could be recovered, plus one
     structured diagnostic per problem found.  [records_ok] counts the
@@ -58,7 +61,9 @@ type decoded = {
     [record_start + 4 + length] — and reported in [diags] instead of
     poisoning the rest of the section.
 
-    Accepts the common GCC/LLVM variations: CIE versions 1/3/4, [z*]
+    Accepts the common GCC/LLVM variations: CIE versions 1/3/4, 32- and
+    64-bit DWARF record formats (the latter recognized by the
+    [0xffffffff] length marker), [z*]
     augmentations ([R], [P], [L], [S], [B]; unknown characters are
     skipped via the ['z'] length), the legacy ["eh"] augmentation, and
     the full DW_EH_PE menu — absptr/uleb128/sleb128/udata2..8/sdata2..8

@@ -1,0 +1,38 @@
+(** Per-scenario robustness evaluation: FETCH and every baseline scored
+    over each {!Fetch_synth.Adversary} scenario, with F1 deltas against
+    the ["clean"] control corpus. *)
+
+type row = {
+  scenario : string;
+  tool : string;
+  bins : int;
+  n_true : int;
+  n_detected : int;
+  fp : int;
+  fn : int;
+  precision : float;  (** in [0,1] *)
+  recall : float;  (** in [0,1] *)
+  f1 : float;  (** in [0,1] *)
+  delta_f1 : float option;
+      (** [f1(clean) - f1] for the same tool; [None] on the control *)
+}
+
+type report = { scale : float; bins_per_scenario : int; rows : row list }
+
+(** [run ?scale ?only ()] builds each scenario's corpus ([scale] shrinks
+    the per-scenario binary count, floor 1) and scores every tool on
+    every binary.  [only] restricts to the named scenarios; the ["clean"]
+    control always runs so deltas stay defined. *)
+val run : ?scale:float -> ?only:string list -> unit -> report
+
+val find_row : report -> scenario:string -> tool:string -> row option
+
+(** FETCH rows below their scenario's {!Fetch_synth.Adversary.t.fetch_floor}:
+    [(scenario, f1, floor)]; empty means the gate passes. *)
+val floor_failures : report -> (string * float * float) list
+
+(** Text tables: per-scenario F1 and the drop vs clean. *)
+val render : report -> string
+
+(** One JSON object per (scenario, tool) row. *)
+val json_lines : report -> string

@@ -1,0 +1,232 @@
+(** Named adversarial scenarios: corpora built to stress one specific
+    weakness of pattern- and signature-based function detection while
+    leaving the exception-handling ground truth exact.
+
+    Each scenario is a {!Profile.t}/{!Gen.spec} pair — padding-heavy
+    layouts, hand-written-CFI FDEs at scale, CET-style endbr64 decoys —
+    plus an optional post-link transform that rewrites sections whose
+    bytes the truth does not describe ([.eh_frame], [.eh_frame_hdr]):
+    64-bit DWARF re-encoding, header stripping, FDE overlap/misordering.
+    [.text] is never touched after linking, so {!Truth.t} stays exact by
+    construction and scoring needs no scenario-specific fixups. *)
+
+let base_profile = Profile.make Profile.Synthgcc Profile.O2
+
+(* The shared program shape: every scenario perturbs exactly one axis of
+   this spec/profile, so per-scenario F1 deltas vs [clean] isolate that
+   axis rather than corpus drift. *)
+let base_spec =
+  {
+    Gen.default_spec with
+    n_funcs = 40;
+    n_asm_called = 2;
+    n_asm_tailonly = 1;
+    n_asm_pointer = 2;
+    n_asm_code_ptr = 1;
+    n_asm_unreachable = 1;
+    strip = true;
+  }
+
+type t = {
+  id : string;
+  summary : string;  (** one line: what the corpus looks like *)
+  stresses : string;  (** which paper mechanism/claim the scenario probes *)
+  profile : Profile.t;
+  spec : Gen.spec;
+  transform : Link.built -> Link.built;  (** deterministic post-link rewrite *)
+  fetch_floor : float;
+      (** CI regression floor: minimum FETCH F1 (percent/100) observed on
+          this scenario, minus a safety margin *)
+}
+
+(* ---- post-link section surgery ---- *)
+
+let reencode (image : Fetch_elf.Image.t) (b : Link.built) =
+  { b with image; raw = Fetch_elf.Encode.encode image }
+
+let with_section_data (image : Fetch_elf.Image.t) name data =
+  {
+    image with
+    sections =
+      List.map
+        (fun (s : Fetch_elf.Image.section) ->
+          if s.sec_name = name then { s with data } else s)
+        image.sections;
+  }
+
+let without_section (image : Fetch_elf.Image.t) name =
+  {
+    image with
+    sections =
+      List.filter
+        (fun (s : Fetch_elf.Image.section) -> s.sec_name <> name)
+        image.sections;
+  }
+
+(* Decode the built [.eh_frame], mangle its CIE list, and re-encode —
+   regenerating [.eh_frame_hdr] from the new FDE index so the two stay
+   consistent.  Safe because [.eh_frame] sits at the highest section base
+   and may grow freely. *)
+let rewrite_eh_frame ?(format64 = false) mangle (b : Link.built) =
+  let eh = Fetch_dwarf.Eh_frame.of_image b.image in
+  let cies = mangle eh.cies in
+  let data, index =
+    Fetch_dwarf.Eh_frame.encode_with_index ~format64 ~addr:Link.eh_frame_base
+      cies
+  in
+  let hdr =
+    Fetch_dwarf.Eh_frame_hdr.encode ~addr:Link.eh_frame_hdr_base
+      ~eh_frame_addr:Link.eh_frame_base index
+  in
+  let image = with_section_data b.image ".eh_frame" data in
+  let image = with_section_data image ".eh_frame_hdr" hdr in
+  reencode image b
+
+(* Overlap + misorder: FDE lists are reversed within each CIE (the spec
+   requires no particular order) and every third FDE is duplicated with
+   its range stretched past the next function's entry.  No [pc_begin] is
+   added or removed, so the FDE seed set — and the ground truth — are
+   unchanged; only range-consuming consumers see the overlap. *)
+let overlap_fdes (cies : Fetch_dwarf.Eh_frame.cie list) =
+  List.map
+    (fun (cie : Fetch_dwarf.Eh_frame.cie) ->
+      let fdes =
+        List.concat
+          (List.mapi
+             (fun i (f : Fetch_dwarf.Eh_frame.fde) ->
+               if i mod 3 = 0 then
+                 [ f; { f with pc_range = f.pc_range + 17 } ]
+               else [ f ])
+             cie.fdes)
+      in
+      { cie with fdes = List.rev fdes })
+    cies
+
+(* ---- the scenario catalog ---- *)
+
+let no_transform (b : Link.built) = b
+
+let scenarios =
+  [
+    {
+      id = "clean";
+      summary = "control corpus: the base program shape, unperturbed";
+      stresses = "baseline for every delta";
+      profile = base_profile;
+      spec = base_spec;
+      transform = no_transform;
+      fetch_floor = 0.93;
+    };
+    {
+      id = "padding-junk";
+      summary =
+        "every function followed by a 4x-scaled junk pool, 90% of them \
+         seeded with push-rbp prologue fragments";
+      stresses =
+        "pattern matchers' gap scanning (Table III FP columns); FETCH \
+         never scans gaps, so pools are invisible to it";
+      profile =
+        {
+          base_profile with
+          p_text_junk = 1.0;
+          junk_scale = 4;
+          p_junk_prologue = 0.9;
+          (* a gcc profile without endbr: the classic push rbp; mov
+             rbp,rsp signature is the one the fragments forge *)
+          endbr = false;
+        };
+      spec = base_spec;
+      transform = no_transform;
+      fetch_floor = 0.93;
+    };
+    {
+      id = "padding-tables";
+      summary =
+        "jump-table-style pools (rows of 4-byte offsets) between \
+         functions, plus moderate junk";
+      stresses =
+        "linear sweeps and every_byte prologue scans over address-like \
+         data in .text";
+      profile =
+        { base_profile with p_text_junk = 0.4; p_table_pool = 0.9 };
+      spec = base_spec;
+      transform = no_transform;
+      fetch_floor = 0.93;
+    };
+    {
+      id = "cfi-broken";
+      summary =
+        "hand-written-CFI binaries: ten Fig. 6b lying FDEs per program \
+         plus aggressive hot/cold splitting";
+      stresses =
+        "Fig. 6b: FDE starts that violate the calling convention must be \
+         rejected and re-derived (SIV-E pointer validation)";
+      profile = { base_profile with p_cold_split = 0.3 };
+      spec = { base_spec with n_broken_fde = 10 };
+      transform = no_transform;
+      fetch_floor = 0.90;
+    };
+    {
+      id = "cet-endbr";
+      summary =
+        "CET binaries (every prologue endbr64) with junk pools planting \
+         endbr64 decoys between functions";
+      stresses =
+        "endbr64 as a start signature: strongest pattern signal, forged \
+         in the gaps";
+      profile =
+        {
+          base_profile with
+          endbr = true;
+          p_text_junk = 0.9;
+          junk_scale = 2;
+          p_junk_prologue = 0.9;
+          junk_endbr = true;
+          p_entry_nops = 0.2;
+        };
+      spec = base_spec;
+      transform = no_transform;
+      fetch_floor = 0.93;
+    };
+    {
+      id = "dwarf64";
+      summary = ".eh_frame re-encoded in the 64-bit DWARF record format";
+      stresses =
+        "parser generality: 0xffffffff marker, 8-byte lengths and CIE \
+         pointers (SIII-C encoding variations)";
+      profile = base_profile;
+      spec = { base_spec with cxx = true };
+      transform = rewrite_eh_frame ~format64:true Fun.id;
+      fetch_floor = 0.93;
+    };
+    {
+      id = "no-eh-frame-hdr";
+      summary = ".eh_frame_hdr stripped from the binary";
+      stresses =
+        "detectors must parse .eh_frame directly, not lean on the \
+         runtime search table";
+      profile = base_profile;
+      spec = base_spec;
+      transform = (fun b -> reencode (without_section b.image ".eh_frame_hdr") b);
+      fetch_floor = 0.93;
+    };
+    {
+      id = "fde-overlap";
+      summary =
+        "FDE lists misordered and every third FDE duplicated with an \
+         overlapping, over-long range";
+      stresses =
+        "robustness of range consumers (extents, heights) to \
+         non-partitioning FDEs; seeds are unchanged";
+      profile = base_profile;
+      spec = base_spec;
+      transform = rewrite_eh_frame overlap_fdes;
+      fetch_floor = 0.93;
+    };
+  ]
+
+let all = scenarios
+let ids () = List.map (fun s -> s.id) scenarios
+let find id = List.find_opt (fun s -> s.id = id) scenarios
+
+let build t ~seed = t.transform (Link.build_random ~profile:t.profile ~seed t.spec)

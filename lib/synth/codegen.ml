@@ -47,6 +47,8 @@ type t = {
   rodata : Fetch_util.Byte_buf.t;
   mutable fixups : table_fixup list;
   mutable jump_tables : (int * string list) list;  (** table addr, cases *)
+  mutable pools : (string * string) list;
+      (** inter-function junk/table pools: (start, end) labels, reversed *)
   rodata_base : int;
   data_base : int;
   profile : Profile.t;
@@ -62,6 +64,7 @@ let create ~rodata_base ~data_base ~profile ~rng =
     rodata = Fetch_util.Byte_buf.create ~capacity:1024 ();
     fixups = [];
     jump_tables = [];
+    pools = [];
     rodata_base;
     data_base;
     profile;
@@ -95,6 +98,15 @@ let fresh t prefix =
 let push_item (c : fnctx) it = c.items <- it :: c.items
 
 let ins c i = push_item c (Asm.I i)
+
+(* Pool bytes are bracketed by labels so {!Link} can thread their extents
+   into the ground truth (scoring must know the junk is not a function). *)
+let emit_pool t (c : fnctx) bytes =
+  let s = fresh t "pool" and e = fresh t "poolend" in
+  push_item c (Asm.Label s);
+  push_item c (Asm.Raw bytes);
+  push_item c (Asm.Label e);
+  t.pools <- (s, e) :: t.pools
 
 let scratch_pool = [| Reg.Rax; Rcx; Rdx; Rsi; Rdi; R8; R9; R10; R11 |]
 
@@ -731,18 +743,39 @@ let lower_func t (f : Ir.func) =
      executed (every function ends in ret/jmp/trap), but present in the
      byte stream for linear sweeps to trip over. *)
   if Fetch_util.Prng.chance t.rng t.profile.p_text_junk then begin
-    let n = 8 + Fetch_util.Prng.int t.rng 32 in
+    let n = max 1 t.profile.junk_scale * (8 + Fetch_util.Prng.int t.rng 32) in
     let blob = Bytes.create n in
     for i = 0 to n - 1 do
       Bytes.set blob i (Char.chr (Fetch_util.Prng.int t.rng 256))
     done;
     (* some blobs contain prologue-looking fragments, as real literal
-       pools occasionally do *)
-    if Fetch_util.Prng.chance t.rng 0.3 && n >= 8 then
-      Bytes.blit_string "\x55\x48\x89\xe5" 0 blob
-        (1 + Fetch_util.Prng.int t.rng (n - 5))
-        4;
-    push_item c (Asm.Raw (Bytes.to_string blob))
+       pools occasionally do; CET-style profiles plant endbr64-led
+       fragments instead (endbr64; push rbp) *)
+    let frag =
+      if t.profile.junk_endbr then "\xf3\x0f\x1e\xfa\x55" else "\x55\x48\x89\xe5"
+    in
+    let flen = String.length frag in
+    for _ = 1 to max 1 (n / 24) do
+      if Fetch_util.Prng.chance t.rng t.profile.p_junk_prologue && n >= flen + 4
+      then
+        Bytes.blit_string frag 0 blob
+          (1 + Fetch_util.Prng.int t.rng (n - flen - 1))
+          flen
+    done;
+    emit_pool t c (Bytes.to_string blob)
+  end;
+  (* jump-table-style pools: rows of plausible 4-byte PIC offsets laid
+     out in .text, as hand-written assembly sometimes does *)
+  if
+    t.profile.p_table_pool > 0.0
+    && Fetch_util.Prng.chance t.rng t.profile.p_table_pool
+  then begin
+    let entries = 4 + Fetch_util.Prng.int t.rng 12 in
+    let b = Fetch_util.Byte_buf.create () in
+    for _ = 1 to entries do
+      Fetch_util.Byte_buf.i32 b (-(16 * (1 + Fetch_util.Prng.int t.rng 64)))
+    done;
+    emit_pool t c (Fetch_util.Byte_buf.contents b)
   end;
   t.hot <- c.items @ t.hot;
   let cold, cold_initial =

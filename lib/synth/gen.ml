@@ -527,19 +527,24 @@ let program rng (p : Profile.t) (spec : spec) =
   in
   (* Pointer slot initialization: regular functions + pointer-referenced
      asm functions. *)
-  let pointer_inits =
+  let pointer_inits, n_slots =
     let must =
       (* pointer-reachable asm functions, and the real entries hidden
          behind hand-broken FDEs (how glibc's __restore_rt is reached) *)
       List.map (fun f -> f.name) asm_pointer @ List.map (fun f -> f.name) broken
     in
+    (* every must-reference target keeps its slot even when the drawn
+       slot count is smaller (adversarial corpora with many broken FDEs:
+       each hidden entry stays reachable through data, as in glibc) *)
+    let n_slots = max n_slots (List.length must) in
     let targets =
       must
       @ List.init (max 0 (n_slots - List.length must)) (fun _ ->
             names.(Prng.int rng n))
     in
-    List.filteri (fun i _ -> i < n_slots) targets
-    |> List.mapi (fun i t -> (i, t))
+    ( List.filteri (fun i _ -> i < n_slots) targets
+      |> List.mapi (fun i t -> (i, t)),
+      n_slots )
   in
   let funcs =
     [ start; main ] @ regulars @ thunks @ runtime_funcs ~cxx:spec.cxx

@@ -98,7 +98,8 @@ let build_eh_frame ~labels ~personality ~lsda_of (p : Ir.program)
     groups
 
 let build_truth ~labels (outs : Codegen.fn_out list)
-    ~(jump_tables : (int * string list) list) ~text_lo ~text_hi =
+    ~(jump_tables : (int * string list) list)
+    ~(pools : (string * string) list) ~text_lo ~text_hi =
   let addr_of l = Hashtbl.find labels l in
   let fns =
     List.map
@@ -131,7 +132,10 @@ let build_truth ~labels (outs : Codegen.fn_out list)
   let jump_tables =
     List.map (fun (addr, cases) -> (addr, List.map addr_of cases)) jump_tables
   in
-  { Truth.fns; jump_tables; text_lo; text_hi }
+  let pools =
+    List.rev_map (fun (s, e) -> (addr_of s, addr_of e - addr_of s)) pools
+  in
+  { Truth.fns; jump_tables; pools; text_lo; text_hi }
 
 (* Decoy contents appended to .data after the pointer slots: strings,
    small integers, and byte patterns that look like pointers into the
@@ -237,7 +241,8 @@ let build ~profile ~rng (program : Ir.program) =
       ~eh_frame_addr:eh_frame_base fde_index
   in
   let truth =
-    build_truth ~labels outs ~jump_tables:t.jump_tables ~text_lo ~text_hi
+    build_truth ~labels outs ~jump_tables:t.jump_tables ~pools:t.pools
+      ~text_lo ~text_hi
   in
   let symbols =
     if program.strip_symbols then []

@@ -42,6 +42,19 @@ type t = {
       (** probability of a junk blob (literal-pool style non-code bytes)
           after a function — the raw material for linear-scan and
           pattern-matching false positives *)
+  junk_scale : int;
+      (** size multiplier on junk blobs (adversarial padding-heavy
+          layouts scale the pools up without changing their density) *)
+  p_junk_prologue : float;
+      (** probability each junk-blob slot embeds a prologue-looking
+          fragment (push rbp; mov rbp,rsp — or endbr64 when
+          [junk_endbr]) *)
+  junk_endbr : bool;
+      (** junk fragments lead with endbr64, mimicking CET binaries where
+          endbr64 is the pattern-matcher's strongest start signal *)
+  p_table_pool : float;
+      (** probability of a jump-table-style pool (rows of 4-byte
+          offsets) after a function — address-like data inside [.text] *)
 }
 
 let make compiler opt =
@@ -65,6 +78,10 @@ let make compiler opt =
       endbr = (compiler = Synthgcc);
       p_orphan = 0.12;
       p_text_junk = 0.05;
+      junk_scale = 1;
+      p_junk_prologue = 0.3;
+      junk_endbr = false;
+      p_table_pool = 0.0;
     }
   in
   match opt with
@@ -99,3 +116,87 @@ let make compiler opt =
       }
 
 let name p = Printf.sprintf "%s-%s" (compiler_name p.compiler) (opt_name p.opt)
+
+(* Every probability knob with its name, for the invariant check and for
+   clamping derived (adversarial) profiles back into range. *)
+let probability_knobs p =
+  [
+    ("p_cold_split", p.p_cold_split);
+    ("p_tail_call", p.p_tail_call);
+    ("p_switch", p.p_switch);
+    ("p_rbp_frame", p.p_rbp_frame);
+    ("p_frameless", p.p_frameless);
+    ("p_noreturn_call", p.p_noreturn_call);
+    ("p_entry_jump", p.p_entry_jump);
+    ("p_entry_nops", p.p_entry_nops);
+    ("p_indirect_call", p.p_indirect_call);
+    ("p_reg_pointer_call", p.p_reg_pointer_call);
+    ("p_orphan", p.p_orphan);
+    ("p_text_junk", p.p_text_junk);
+    ("p_junk_prologue", p.p_junk_prologue);
+    ("p_table_pool", p.p_table_pool);
+  ]
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check p =
+  let problems =
+    List.filter_map
+      (fun (n, v) ->
+        if Float.is_nan v || v < 0.0 || v > 1.0 then
+          Some (Printf.sprintf "%s = %g outside [0,1]" n v)
+        else None)
+      (probability_knobs p)
+  in
+  let problems =
+    if is_power_of_two p.align then problems
+    else Printf.sprintf "align = %d not a power of two" p.align :: problems
+  in
+  let problems =
+    if Float.is_nan p.body_scale || p.body_scale <= 0.0 then
+      Printf.sprintf "body_scale = %g not positive" p.body_scale :: problems
+    else problems
+  in
+  let problems =
+    if p.junk_scale >= 1 then problems
+    else Printf.sprintf "junk_scale = %d not positive" p.junk_scale :: problems
+  in
+  match problems with
+  | [] -> Ok ()
+  | ps -> Error (name p ^ ": " ^ String.concat "; " ps)
+
+let clamp p =
+  let c v = if Float.is_nan v then 0.0 else Float.max 0.0 (Float.min 1.0 v) in
+  let align =
+    if is_power_of_two p.align then p.align
+    else begin
+      (* round down to the nearest power of two, floor 1 *)
+      let a = ref 1 in
+      while !a * 2 <= max 1 p.align do
+        a := !a * 2
+      done;
+      !a
+    end
+  in
+  {
+    p with
+    p_cold_split = c p.p_cold_split;
+    p_tail_call = c p.p_tail_call;
+    p_switch = c p.p_switch;
+    p_rbp_frame = c p.p_rbp_frame;
+    p_frameless = c p.p_frameless;
+    p_noreturn_call = c p.p_noreturn_call;
+    p_entry_jump = c p.p_entry_jump;
+    p_entry_nops = c p.p_entry_nops;
+    p_indirect_call = c p.p_indirect_call;
+    p_reg_pointer_call = c p.p_reg_pointer_call;
+    p_orphan = c p.p_orphan;
+    p_text_junk = c p.p_text_junk;
+    p_junk_prologue = c p.p_junk_prologue;
+    p_table_pool = c p.p_table_pool;
+    junk_scale = max 1 p.junk_scale;
+    align;
+    body_scale =
+      (if Float.is_nan p.body_scale || p.body_scale <= 0.0 then 1.0
+       else p.body_scale);
+  }

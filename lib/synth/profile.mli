@@ -36,9 +36,30 @@ type t = {
       (** functions never referenced by direct calls (exported-API style) *)
   p_text_junk : float;
       (** probability of a junk blob (literal-pool style) after a function *)
+  junk_scale : int;  (** size multiplier on junk blobs (adversarial padding) *)
+  p_junk_prologue : float;
+      (** probability each junk-blob slot embeds a prologue-looking fragment *)
+  junk_endbr : bool;  (** junk fragments lead with endbr64 (CET-style decoys) *)
+  p_table_pool : float;
+      (** probability of a jump-table-style pool (4-byte offset rows) after a
+          function *)
 }
 
 val make : compiler -> opt -> t
 
 (** e.g. ["gcc-O2"]. *)
 val name : t -> string
+
+(** Every [p_*] knob paired with its field name (for diagnostics). *)
+val probability_knobs : t -> (string * float) list
+
+(** Profile invariant: every [p_*] knob in [[0,1]], [align] a power of
+    two, [body_scale] positive, [junk_scale >= 1].  Holds for every
+    {!make} output and must hold for derived (adversarial) profiles. *)
+val check : t -> (unit, string) result
+
+(** Force a derived profile back into range: [p_*] knobs clamped to
+    [[0,1]] (NaN → 0), [align] rounded down to a power of two (floor 1),
+    non-positive [body_scale] reset to 1, [junk_scale] floored to 1.
+    [check (clamp p) = Ok ()]. *)
+val clamp : t -> t

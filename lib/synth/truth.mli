@@ -18,6 +18,9 @@ type fn_truth = {
 type t = {
   fns : fn_truth list;
   jump_tables : (int * int list) list;  (** table address, case targets *)
+  pools : (int * int) list;
+      (** (addr, size) of junk/table pools between functions: bytes inside
+          [.text] that belong to no function and must not be detected *)
   text_lo : int;
   text_hi : int;
 }

@@ -64,6 +64,20 @@ let synth_section () =
   in
   (s.addr, s.data)
 
+(* The adversarial scenarios' unwind sections: DWARF64-format records and
+   overlap-mangled FDE lists, straight from the Adversary transforms, so
+   mutation starts from the exact shapes the robustness harness feeds the
+   parser. *)
+let adversarial_sections () =
+  List.filter_map
+    (fun id ->
+      Option.bind (Fetch_synth.Adversary.find id) (fun sc ->
+          let built = Fetch_synth.Adversary.build sc ~seed:7 in
+          Option.map
+            (fun (s : Fetch_elf.Image.section) -> (s.addr, s.data))
+            (Fetch_elf.Image.section built.image ".eh_frame")))
+    [ "dwarf64"; "fde-overlap" ]
+
 (* Hand-assembled sections exercising the encoder's augmentations. *)
 let handmade_sections =
   let addr = 0x700000 in
@@ -169,7 +183,9 @@ let check_total ~what ~addr data =
 
 let () =
   let rng = Prng.create !seed in
-  let bases = synth_section () :: handmade_sections in
+  let bases =
+    (synth_section () :: handmade_sections) @ adversarial_sections ()
+  in
   (* 1. totality under arbitrary mutation *)
   for i = 1 to !iters do
     let addr, data = Prng.choice_list rng bases in

@@ -15,5 +15,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("rop", Test_rop.suite);
       ("eval", Test_eval.suite);
+      ("adversarial", Test_adversarial.suite);
       ("pe", Test_pe.suite);
     ]

@@ -126,6 +126,25 @@ let check_gate tool path (c : counts) =
        (c.errors + c.warnings))
     (code_warn = if c.errors + c.warnings > 0 then 1 else 0)
 
+(* ---- adversarial scenario binaries through the same CLI surface ---- *)
+
+let write_adversarial id =
+  match Fetch_synth.Adversary.find id with
+  | None ->
+      check (Printf.sprintf "adversarial scenario %s exists" id) false;
+      exit 1
+  | Some sc -> save (Fetch_synth.Adversary.build sc ~seed:31)
+
+(* Findings of one rule, straight from the JSONL stream. *)
+let rule_findings tool path rule =
+  let _, text = run (Printf.sprintf "%s %s --json --fail-on never" tool path) in
+  List.filter
+    (fun line ->
+      match Json.parse line with
+      | Error _ -> false
+      | Ok j -> Option.bind (Json.member "rule" j) Json.to_str = Some rule)
+    (lines text)
+
 let () =
   let clean =
     write_binary ~seed:11
@@ -136,13 +155,32 @@ let () =
       { Fetch_synth.Gen.default_spec with n_funcs = 20; n_broken_fde = 2 }
   in
   let warn = write_warning_binary ~seed:12 in
+  let adv_cfi = write_adversarial "cfi-broken" in
+  let adv_junk = write_adversarial "padding-junk" in
   List.iter
     (fun tool ->
       List.iter
         (fun path ->
           let c = check_jsonl tool path in
           check_gate tool path c)
-        [ clean; broken; warn ])
+        [ clean; broken; warn; adv_cfi; adv_junk ])
+    [ "lint"; "rules" ];
+
+  (* the cfi-broken corpus is Fig. 6b at scale: its ten hand-broken FDEs
+     must surface through the lint surface, not just the eval harness —
+     as split-fn-fde fragments from the rules engine, and as unreached
+     FDE ranges (the rejected lying starts) from the structural linter *)
+  check "rules: cfi-broken binary trips split-fn-fde"
+    (rule_findings "rules" adv_cfi "split-fn-fde" <> []);
+  check "lint: cfi-broken binary reports its ten lying FDEs as unreached"
+    (List.length (rule_findings "lint" adv_cfi "fde-unreached") >= 10);
+  (* junk pools are data, never reached: the mid-instruction-jump rule
+     must stay quiet — forged prologues alone must not create findings *)
+  List.iter
+    (fun tool ->
+      check
+        (tool ^ ": padding-junk binary stays clean of jump-mid-insn")
+        (rule_findings tool adv_junk "jump-mid-insn" = []))
     [ "lint"; "rules" ];
 
   (* the orphan-FDE binary must actually trip the warning gate, or the
@@ -179,6 +217,8 @@ let () =
   Sys.remove clean;
   Sys.remove broken;
   Sys.remove warn;
+  Sys.remove adv_cfi;
+  Sys.remove adv_junk;
   if !failures > 0 then begin
     Printf.printf "%d CLI check(s) failed\n" !failures;
     exit 1

@@ -682,33 +682,88 @@ let test_bad_length_resync () =
       check Alcotest.int "post-resync range" 32 f.pc_range
   | l -> Alcotest.failf "expected 1 FDE, got %d" (List.length l)
 
-(* 64-bit DWARF records: unsupported, but skipped via their extended
-   length instead of poisoning the section. *)
-let test_dwarf64_record_skipped () =
+(* 64-bit DWARF records (0xffffffff marker + 8-byte length + 8-byte id)
+   round-trip through the encoder and decode like their 32-bit siblings. *)
+let test_dwarf64_roundtrip () =
+  let addr = 0x700000 in
+  let cies =
+    [
+      Eh_frame.default_cie ~personality:0x401234
+        ~fdes:
+          [
+            Eh_frame.make_fde ~pc_begin:0x5000 ~pc_range:16
+              [ Cfi.Def_cfa_offset 16 ];
+            Eh_frame.make_fde ~lsda:0x6f0010 ~pc_begin:0x5100 ~pc_range:64 [];
+          ]
+        ();
+    ]
+  in
+  let encoded = Eh_frame.encode ~format64:true ~addr cies in
+  (* every record leads with the 64-bit length marker *)
+  check Alcotest.int "marker" 0xffffffff
+    (Int32.to_int (String.get_int32_le encoded 0) land 0xffffffff);
+  let d = Eh_frame.decode ~addr encoded in
+  check Alcotest.int "records ok" 3 d.records_ok;
+  check Alcotest.int "none skipped" 0 d.records_skipped;
+  match d.cies with
+  | [ c ] ->
+      check (Alcotest.option Alcotest.int) "personality" (Some 0x401234)
+        c.personality;
+      (match c.fdes with
+      | [ f1; f2 ] ->
+          check Alcotest.int "pc1" 0x5000 f1.pc_begin;
+          check Alcotest.int "range1" 16 f1.pc_range;
+          check Alcotest.bool "instrs1" true
+            (List.mem (Cfi.Def_cfa_offset 16) f1.instrs);
+          check Alcotest.int "pc2" 0x5100 f2.pc_begin;
+          check (Alcotest.option Alcotest.int) "lsda2" (Some 0x6f0010) f2.lsda
+      | l -> Alcotest.failf "expected 2 FDEs, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 CIE, got %d" (List.length l)
+
+(* 32- and 64-bit records interleave in one section, and a malformed
+   64-bit record is skipped with resync like any other. *)
+let test_dwarf64_mixed_and_resync () =
   let addr = 0x700000 in
   let b = Byte_buf.create () in
+  (* malformed 64-bit record: length 8 covers only the id field, so the
+     CIE body truncates inside its own boundary *)
   Byte_buf.u32 b 0xffffffff;
   Byte_buf.u64 b 8;
-  Byte_buf.u64 b 0 (* the skipped 64-bit record body *);
-  let good_start = Byte_buf.length b in
-  let inner = Byte_buf.create () in
-  add_zr_cie inner ~enc:0x1b;
-  let fde_start = Byte_buf.length inner in
-  add_record inner ~id:(fde_start + 4) (fun () ->
-      Byte_buf.i32 inner (0x5000 - (addr + good_start + Byte_buf.length inner));
-      Byte_buf.u32 inner 16;
-      Byte_buf.uleb128 inner 0);
-  Byte_buf.u32 inner 0;
-  Byte_buf.string b (Byte_buf.contents inner);
+  Byte_buf.u64 b 0;
+  (* a good 64-bit CIE + FDE, terminator stripped *)
+  let blob64 =
+    Eh_frame.encode ~format64:true
+      ~addr:(addr + Byte_buf.length b)
+      [
+        Eh_frame.default_cie
+          ~fdes:[ Eh_frame.make_fde ~pc_begin:0x5000 ~pc_range:16 [] ]
+          ();
+      ]
+  in
+  Byte_buf.string b (String.sub blob64 0 (String.length blob64 - 4));
+  (* then a 32-bit CIE + FDE *)
+  let blob32 =
+    Eh_frame.encode
+      ~addr:(addr + Byte_buf.length b)
+      [
+        Eh_frame.default_cie
+          ~fdes:[ Eh_frame.make_fde ~pc_begin:0x6000 ~pc_range:32 [] ]
+          ();
+      ]
+  in
+  Byte_buf.string b blob32;
   let d = Eh_frame.decode ~addr (Byte_buf.contents b) in
-  check Alcotest.int "records after the skip" 2 d.records_ok;
-  check Alcotest.bool "bad_length diag" true
-    (List.exists (fun (g : Diag.t) -> g.kind = Diag.Bad_length) d.diags);
-  match Eh_frame.all_fdes d.cies with
-  | [ f ] ->
-      check Alcotest.int "post-dwarf64 pc" 0x5000 f.pc_begin;
-      check Alcotest.int "post-dwarf64 range" 16 f.pc_range
-  | l -> Alcotest.failf "expected 1 FDE, got %d" (List.length l)
+  check Alcotest.int "four good records" 4 d.records_ok;
+  check Alcotest.int "one skipped" 1 d.records_skipped;
+  check Alcotest.bool "truncation diag" true
+    (List.exists
+       (fun (g : Diag.t) -> g.kind = Diag.Truncated && g.fatal)
+       d.diags);
+  let pcs =
+    List.map (fun (f : Eh_frame.fde) -> f.pc_begin) (Eh_frame.all_fdes d.cies)
+  in
+  check Alcotest.(list int) "both FDEs survive" [ 0x5000; 0x6000 ]
+    (List.sort compare pcs)
 
 (* An undecodable CFI opcode degrades the one record (prefix kept) with a
    warning — it no longer aborts the whole section. *)
@@ -767,6 +822,44 @@ let test_fuzz_fixtures_total () =
         (List.length (List.filter (fun (g : Diag.t) -> g.fatal) d.diags)))
     fuzz_regression_fixtures
 
+(* Surviving mutants promoted from fuzz_eh_frame runs over the
+   adversarial-scenario bases (DWARF64 and overlap-mangled sections,
+   mutation seed 24221), minimized to their shortest interesting prefix.
+   Each pins the exact recovery the decoder achieved when promoted:
+   (name, bytes, records_ok, records_skipped, fdes recovered). *)
+let adversarial_fuzz_fixtures =
+  [
+    (* 64-bit zPLR CIE decoded in full, then a 64-bit record whose
+       extended length overruns the section: skipped, nothing lost *)
+    ( "dwarf64 CIE kept ahead of truncated 64-bit record",
+      "\xff\xff\xff\xff\x24\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x01\x7a\x50\x4c\x52\x00\x01\x78\x10\x07\x1b\x41\x1d\xd0\xff\x1b\x1b\x0c\x07\x08\x90\x01\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff\x1c\x00\x00\x00",
+      1, 1, 0 );
+    (* corrupt 64-bit FDE body mid-section: the record is dropped but
+       resynchronization still reaches and decodes the FDE after it *)
+    ( "dwarf64 resync recovers FDE after corrupt record",
+      "\xff\xff\xff\xff\x24\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x01\x7a\x50\x4c\x52\x00\x01\x78\x10\x07\x1b\x41\x1d\xd0\xff\x1b\x1b\x0c\x07\x08\x90\x01\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff\x1c\x00\x00\x00\x00\x00\x00\x00\x3c\x00\x00\x00\x00\x00\x00\x00\xbc\x0f\xd0\xff\x09\x00\x00\x00\x04\xb3\xff\x8f\xff\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff\x24\x00\x00\x00",
+      2, 1, 1 );
+    (* overlap-mangled section truncated inside its first FDE: the zR
+       CIE survives *)
+    ( "overlap CIE kept ahead of truncated FDE",
+      "\x14\x00\x00\x00\x00\x00\x00\x00\x01\x7a\x52\x00\x01\x78\x10\x01\x1b\x0c\x07\x08\x90\x01\x00\x00\x14\x00\x00\x00\x1c\x00\x00\x00",
+      1, 1, 0 );
+    (* corrupt FDE in an overlap-mangled list: dropped, next FDE kept *)
+    ( "overlap resync recovers FDE after corrupt record",
+      "\x14\x00\x00\x00\x00\x00\x00\x00\x01\x7a\x52\x00\x01\x78\x10\x01\x1b\x0c\x07\x08\x90\x01\x00\x00\x14\x00\x00\x00\x1c\x00\x00\x00\x00\x12\xd0\xff\x1d\x00\x00\x00\x00\x48\x0e\x10\x00\x00\x00\x00\x1c\x00\x00\x00\x34\x00\x00\x00",
+      2, 1, 1 );
+  ]
+
+let test_adversarial_fuzz_fixtures () =
+  List.iter
+    (fun (name, bytes, ok, skipped, fdes) ->
+      let d = Eh_frame.decode ~addr:0x700000 bytes in
+      check Alcotest.int (name ^ ": records_ok") ok d.records_ok;
+      check Alcotest.int (name ^ ": records_skipped") skipped d.records_skipped;
+      check Alcotest.int (name ^ ": fdes recovered") fdes
+        (List.length (Eh_frame.all_fdes d.cies)))
+    adversarial_fuzz_fixtures
+
 (* Property: decode is total on arbitrary bytes. *)
 let prop_decode_total =
   QCheck.Test.make ~name:"eh_frame decode is total on arbitrary bytes"
@@ -793,8 +886,12 @@ let suite =
         test_truncated_section_recovers_prefix;
       Alcotest.test_case "terminator stops the parse" `Quick test_terminator_stops_parse;
       Alcotest.test_case "bad length: skip + resync" `Quick test_bad_length_resync;
-      Alcotest.test_case "64-bit DWARF record skipped" `Quick test_dwarf64_record_skipped;
+      Alcotest.test_case "64-bit DWARF roundtrip" `Quick test_dwarf64_roundtrip;
+      Alcotest.test_case "64-bit DWARF mixed + resync" `Quick
+        test_dwarf64_mixed_and_resync;
       Alcotest.test_case "bad CFI degrades one record" `Quick test_bad_cfi_keeps_record;
       Alcotest.test_case "fuzz regression fixtures" `Quick test_fuzz_fixtures_total;
+      Alcotest.test_case "adversarial fuzz mutants (promoted)" `Quick
+        test_adversarial_fuzz_fixtures;
       QCheck_alcotest.to_alcotest prop_decode_total;
     ]

@@ -18,6 +18,7 @@ let test_metrics () =
             })
           [ ("a", 0x100); ("b", 0x200); ("c", 0x300) ];
       jump_tables = [];
+      pools = [];
       text_lo = 0x100;
       text_hi = 0x400;
     }
