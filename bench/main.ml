@@ -25,7 +25,7 @@ let known_sections =
   [
     "table1"; "table2"; "q1"; "fig5"; "q2"; "q3"; "errors"; "xref"; "alg1";
     "rop"; "table3"; "table5"; "table4"; "ablation"; "adversarial"; "pe";
-    "perf"; "micro";
+    "perf"; "serve"; "micro";
   ]
 
 let usage_error fmt =
@@ -251,6 +251,82 @@ let perf () =
           exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* Serve daemon: cold vs warm throughput through the ordered engine.   *)
+(* The warm pass resubmits the identical corpus; every response must   *)
+(* come from the content-addressed cache, byte-identical to its cold   *)
+(* counterpart — the speedup ratio is the cache's whole value prop.    *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  let module Engine = Fetch_serve.Engine in
+  let n = max 4 (int_of_float (32.0 *. !scale)) in
+  let profile =
+    Fetch_synth.Profile.make Fetch_synth.Profile.Synthgcc Fetch_synth.Profile.O2
+  in
+  let lines =
+    List.init n (fun i ->
+        let raw =
+          (Fetch_synth.Link.build_random ~profile ~seed:(3000 + i)
+             { Fetch_synth.Gen.default_spec with n_funcs = 20 })
+            .raw
+        in
+        Printf.sprintf {|{"id":%d,"bytes_b64":%s}|} i
+          (Fetch_util.Json.escape (Fetch_util.B64.encode raw)))
+  in
+  let engine =
+    Engine.create
+      ~config:
+        {
+          Engine.default_config with
+          domains =
+            (if !domains = 0 then Fetch_par.Pool.default_domains ()
+             else !domains);
+          cache_bytes = 256 * 1024 * 1024;
+          queue_bound = 2 * n;
+        }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      let pass label =
+        let t0 = Fetch_obs.Clock.now_s () in
+        List.iter (Engine.submit_line engine) lines;
+        let responses = Engine.flush engine in
+        let dt = Fetch_obs.Clock.now_s () -. t0 in
+        Printf.printf "  %-5s %4d requests in %7.3fs  (%8.1f req/s)\n" label n
+          dt
+          (float_of_int n /. dt);
+        (responses, dt)
+      in
+      let cold, cold_dt = pass "cold" in
+      let warm, warm_dt = pass "warm" in
+      if cold <> warm then begin
+        Printf.eprintf
+          "serve bench FAILED: warm responses differ from cold responses\n";
+        exit 1
+      end;
+      let stats = Engine.stats_json engine in
+      let hits =
+        match Fetch_util.Json.parse stats with
+        | Ok j ->
+            Option.bind (Fetch_util.Json.member "cache" j)
+              (Fetch_util.Json.member "hits")
+            |> Fun.flip Option.bind Fetch_util.Json.to_int
+            |> Option.value ~default:0
+        | Error _ -> 0
+      in
+      if hits < n then begin
+        Printf.eprintf
+          "serve bench FAILED: warm pass hit the cache %d/%d times\n" hits n;
+        exit 1
+      end;
+      Printf.printf
+        "  warm pass served entirely from cache (%d hits), speedup %.0fx\n"
+        hits
+        (cold_dt /. Float.max warm_dt 1e-9))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table.           *)
 (* ------------------------------------------------------------------ *)
 
@@ -398,5 +474,9 @@ let () =
   if want "perf" then begin
     banner "Pipeline perf snapshot — per-stage wall clock over the corpus";
     time "perf" perf
+  end;
+  if want "serve" then begin
+    banner "Serve daemon — cold vs warm throughput, content-addressed cache";
+    time "serve" serve_bench
   end;
   if want "micro" then micro ()

@@ -10,9 +10,12 @@
      handlers   list LSDA call sites and landing pads
      lint       cross-layer consistency check of a FETCH run
      adversarial  per-scenario robustness eval over the adversarial corpus
-     batch      run the pipeline over many binaries on a domain pool *)
+     batch      run the pipeline over many binaries on a domain pool
+     serve      long-running analysis daemon with a content-addressed cache *)
 
 open Cmdliner
+
+module IS = Set.Make (Int)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -143,7 +146,8 @@ let analyze path verbose stats trace_json trace_chrome provenance =
             Printf.printf "  %s\n" (Fetch_dwarf.Diag.to_string d))
           eh.diags;
         (* seed attribution: where the final starts came from *)
-        let seeded = List.filter (fun s -> List.mem s r.final_seeds) r.starts in
+        let seed_set = IS.of_list r.final_seeds in
+        let seeded = List.filter (fun s -> IS.mem s seed_set) r.starts in
         Printf.printf
           "\n%d final starts: %d from the final seed set (%d seeds: FDEs, \
            symbols, accepted pointers), %d discovered by recursion\n"
@@ -225,14 +229,10 @@ let compare_tools path truth_path =
         Printf.printf "%-14s %5d starts  (%.1f ms)\n" tool.name
           (List.length detected) (1000.0 *. dt)
       else begin
-        let fp =
-          List.length (List.filter (fun d -> not (List.mem d truth_starts)) detected)
-        in
-        let fn =
-          List.length (List.filter (fun t -> not (List.mem t detected)) truth_starts)
-        in
+        let m = Fetch_eval.Metrics.score_lists ~truth:truth_starts ~detected in
         Printf.printf "%-14s %5d starts, FP %4d, FN %4d  (%.1f ms)\n" tool.name
-          (List.length detected) fp fn (1000.0 *. dt)
+          (List.length detected)
+          (List.length m.fp) (List.length m.fn) (1000.0 *. dt)
       end)
     Fetch_baselines.Tools.all
 
@@ -525,6 +525,52 @@ let batch paths domains json no_timings no_lint fail_on_failure =
      else Fetch_core.Batch.text t);
   if fail_on_failure && t.n_failed > 0 then exit 1
 
+(* ---- serve ---- *)
+
+let serve socket queue cache_mb domains max_line_kb stats_json trace_chrome =
+  if queue < 1 then begin
+    Printf.eprintf "error: --queue must be at least 1\n";
+    exit 2
+  end;
+  if cache_mb < 0 then begin
+    Printf.eprintf "error: --cache-mb must be non-negative\n";
+    exit 2
+  end;
+  let engine =
+    {
+      Fetch_serve.Engine.default_config with
+      queue_bound = queue;
+      cache_bytes = cache_mb * 1024 * 1024;
+      domains =
+        (if domains <= 0 then Fetch_par.Pool.default_domains () else domains);
+      (* per-task trace capture costs a with_run per analysis: only pay
+         for it when a trace was asked for *)
+      capture_reports = trace_chrome <> None;
+    }
+  in
+  let config =
+    {
+      Fetch_serve.Serve.engine;
+      max_line_bytes = max_line_kb * 1024;
+      stats_json_path = stats_json;
+      trace_chrome_path = trace_chrome;
+    }
+  in
+  match socket with
+  | Some path ->
+      (* SIGINT/SIGTERM request a graceful stop so the final stats /
+         trace dumps run and the socket file is removed *)
+      let stop = Atomic.make false in
+      let request_stop _ = Atomic.set stop true in
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+       with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+       with Invalid_argument _ | Sys_error _ -> ());
+      Fetch_serve.Serve.run_socket ~config
+        ~should_stop:(fun () -> Atomic.get stop)
+        path
+  | None -> Fetch_serve.Serve.run_stdin ~config Unix.stdin Unix.stdout
+
 (* ---- cmdliner wiring ---- *)
 
 let path_arg =
@@ -763,6 +809,69 @@ let batch_cmd =
       const batch $ paths $ domains $ json $ no_timings $ no_lint
       $ fail_on_failure)
 
+let serve_cmd =
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv), serving connections \
+             one at a time, instead of serving stdin/stdout.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Maximum in-flight analyses; past it new requests are shed with \
+             a structured overloaded error.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Content-addressed result cache byte budget (LRU eviction).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domain count (default: the runtime's recommended count).")
+  in
+  let max_line_kb =
+    Arg.(
+      value & opt int (64 * 1024)
+      & info [ "max-line-kb" ] ~docv:"KB"
+          ~doc:
+            "Longest accepted request line; longer lines are discarded up \
+             to the next newline and answered with bad_request.")
+  in
+  let stats_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the final serve.* stats JSON to $(docv) on exit.")
+  in
+  let trace_chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-chrome" ] ~docv:"FILE"
+          ~doc:
+            "Capture per-request pipeline traces and write the merged \
+             Chrome trace to $(docv) on exit (cache hits record no \
+             pipeline spans).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running analysis daemon: JSON-lines requests over stdin or a \
+          Unix-domain socket, responses streamed back in request order, \
+          repeated binaries answered from a content-addressed cache")
+    Term.(
+      const serve $ socket $ queue $ cache_mb $ domains $ max_line_kb
+      $ stats_json $ trace_chrome)
+
 let () =
   let doc = "function detection with exception handling information" in
   exit
@@ -771,5 +880,5 @@ let () =
           [
             generate_cmd; analyze_cmd; explain_cmd; disasm_cmd; compare_cmd;
             unwind_cmd; handlers_cmd; lint_cmd; rules_cmd; adversarial_cmd;
-            batch_cmd;
+            batch_cmd; serve_cmd;
           ]))

@@ -30,9 +30,19 @@ type t = {
   cache : (int, (Fetch_x86.Insn.t * int) option) Hashtbl.t;
 }
 
-let load image =
+(* [eh] short-circuits the [.eh_frame] decode with an already-decoded
+   section (the serve cache's second-level hit: a re-linked binary whose
+   CFI bytes are unchanged).  The caller owns the equivalence claim —
+   the record must be exactly what [Eh_frame.of_image image] would
+   return; parse-health counters are replayed from it either way so a
+   cached load meters identically to a fresh one. *)
+let load ?eh image =
   let exec = Image.exec_sections image in
-  let eh = Fetch_dwarf.Eh_frame.of_image image in
+  let eh =
+    match eh with
+    | Some eh -> eh
+    | None -> Fetch_dwarf.Eh_frame.of_image image
+  in
   Obs.add c_eh_ok eh.records_ok;
   List.iter
     (fun (d : Fetch_dwarf.Diag.t) ->

@@ -15,7 +15,14 @@ type t = {
   cache : (int, (Fetch_x86.Insn.t * int) option) Hashtbl.t;
 }
 
-val load : Fetch_elf.Image.t -> t
+(** [load ?eh image] builds the analysis view.  [eh] substitutes an
+    already-decoded [.eh_frame] for the decode stage (the serve cache's
+    second-level hit); it must be exactly what [Eh_frame.of_image image]
+    would return — decodes that followed [DW_EH_PE_indirect] pointers
+    ([indirect_derefs > 0]) read other sections and are not safe to
+    substitute across binaries.  Parse-health counters are replayed
+    from the record either way. *)
+val load : ?eh:Fetch_dwarf.Eh_frame.decoded -> Fetch_elf.Image.t -> t
 
 (** Decode (memoized) the instruction at a virtual address. *)
 val insn_at : t -> int -> (Fetch_x86.Insn.t * int) option

@@ -161,6 +161,9 @@ type decoded = {
   diags : Diag.t list;  (** ascending offset *)
   records_ok : int;  (** CIE + FDE records fully decoded *)
   records_skipped : int;  (** records dropped after a per-record failure *)
+  indirect_derefs : int;
+      (** DW_EH_PE_indirect pointers resolved; [0] means the decode is a
+          pure function of the section's (address, bytes) pair *)
 }
 
 (* Raised (and always caught) inside a record boundary to skip just that
@@ -178,6 +181,7 @@ let decode ?(ptr_width = 8) ?deref ~addr data =
   let grouped : (int, fde list) Hashtbl.t = Hashtbl.create 8 in
   let diags = ref [] in
   let n_ok = ref 0 and n_skipped = ref 0 in
+  let n_indirect = ref 0 in
   let diag ?(fatal = true) offset kind message =
     diags := { Diag.offset; kind; fatal; message } :: !diags;
     if fatal then incr n_skipped
@@ -223,10 +227,12 @@ let decode ?(ptr_width = 8) ?deref ~addr data =
          dereference when the caller can read memory, else keep the slot
          address (good enough for presence/coverage questions). *)
       let v =
-        if enc land 0x80 <> 0 then
+        if enc land 0x80 <> 0 then begin
+          incr n_indirect;
           match deref with
           | Some read -> ( match read v with Some w -> w | None -> v)
           | None -> v
+        end
         else v
       in
       Some v
@@ -461,12 +467,20 @@ let decode ?(ptr_width = 8) ?deref ~addr data =
     diags = List.rev !diags;
     records_ok = !n_ok;
     records_skipped = !n_skipped;
+    indirect_derefs = !n_indirect;
   }
 
 (** Decode the [.eh_frame] section of an ELF image, if present.  Indirect
     (DW_EH_PE_indirect) pointers are dereferenced through the image. *)
 let of_image (img : Fetch_elf.Image.t) =
   match Fetch_elf.Image.section img ".eh_frame" with
-  | None -> { cies = []; diags = []; records_ok = 0; records_skipped = 0 }
+  | None ->
+      {
+        cies = [];
+        diags = [];
+        records_ok = 0;
+        records_skipped = 0;
+        indirect_derefs = 0;
+      }
   | Some s ->
       decode ~deref:(Fetch_elf.Image.read_u64 img) ~addr:s.addr s.data

@@ -23,6 +23,16 @@ let score (truth : Truth.t) detected =
     fn = IS.elements (IS.diff truth_set det_set);
   }
 
+let score_lists ~truth ~detected =
+  let truth_set = IS.of_list truth in
+  let det_set = IS.of_list detected in
+  {
+    n_true = IS.cardinal truth_set;
+    n_detected = IS.cardinal det_set;
+    fp = IS.elements (IS.diff det_set truth_set);
+    fn = IS.elements (IS.diff truth_set det_set);
+  }
+
 let full_coverage m = m.fn = []
 let full_accuracy m = m.fp = []
 

@@ -10,6 +10,13 @@ type t = {
 }
 
 val score : Fetch_synth.Truth.t -> int list -> t
+
+(** [score_lists ~truth detected] scores a raw start list against a raw
+    truth list (both deduplicated as sets) — the CLI's path when truth
+    comes from a manifest file rather than a {!Fetch_synth.Truth.t}.
+    Set-based, so scoring stays linearithmic where the naive
+    list-membership scan is quadratic. *)
+val score_lists : truth:int list -> detected:int list -> t
 val full_coverage : t -> bool
 val full_accuracy : t -> bool
 

@@ -24,9 +24,9 @@ let size t = Array.length t.workers
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
 (* Workers loop pulling closures off the queue until shutdown drains it.
-   Task closures capture their own failures (see [map]), so a raise
-   escaping one here would be a pool bug; swallowing it keeps one broken
-   task from killing the worker and hanging every later [map]. *)
+   Task closures capture their own failures (see [submit]/[map]), so a
+   raise escaping one here would be a pool bug; swallowing it keeps one
+   broken task from killing the worker and hanging every later map. *)
 let worker pool () =
   let rec next () =
     Mutex.lock pool.mu;
@@ -80,6 +80,75 @@ let shutdown t =
 let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ---- streaming tasks ---- *)
+
+type 'a outcome = Value of 'a | Fail of failure | Cancelled
+
+type 'a future = {
+  fut_mu : Mutex.t;
+  fut_done : Condition.t;
+  mutable result : 'a outcome option;
+}
+
+let resolve fut outcome =
+  Mutex.lock fut.fut_mu;
+  fut.result <- Some outcome;
+  Condition.broadcast fut.fut_done;
+  Mutex.unlock fut.fut_mu
+
+let poll fut =
+  Mutex.lock fut.fut_mu;
+  let r = fut.result in
+  Mutex.unlock fut.fut_mu;
+  r
+
+let await fut =
+  Mutex.lock fut.fut_mu;
+  while fut.result = None do
+    Condition.wait fut.fut_done fut.fut_mu
+  done;
+  let r = Option.get fut.result in
+  Mutex.unlock fut.fut_mu;
+  r
+
+let enqueue t job =
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Pool: pool is shut down"
+  end;
+  Queue.add job t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mu
+
+let submit t ?(cancel = fun () -> false) ?(label = "task") f =
+  let fut = { fut_mu = Mutex.create (); fut_done = Condition.create (); result = None } in
+  let job () =
+    (* the cancellation hook runs on the worker, at dequeue time: a
+       request whose deadline passed while queued never touches the
+       pipeline.  A raising hook counts as "not cancelled". *)
+    let cancelled = try cancel () with _ -> false in
+    if cancelled then resolve fut Cancelled
+    else
+      let outcome =
+        match f () with
+        | v -> Value v
+        | exception e ->
+            Fail
+              {
+                f_index = 0;
+                f_label = label;
+                f_exn = Printexc.to_string e;
+                f_backtrace = Printexc.get_backtrace ();
+              }
+      in
+      resolve fut outcome
+  in
+  enqueue t job;
+  fut
+
+(* ---- batch maps, built on the same queue ---- *)
 
 let map t ?(label = fun i _ -> string_of_int i) f xs =
   let xs = Array.of_list xs in

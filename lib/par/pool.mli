@@ -1,10 +1,18 @@
 (** A fixed-size pool of OCaml domains draining a shared work queue.
 
-    Built for corpus-scale batch analysis: per-binary tasks are
-    embarrassingly parallel, each task is isolated (an exception in one
-    becomes a structured {!failure} record and never aborts the batch),
-    and results come back in {e submission order}, so a parallel run is
-    a drop-in replacement for the sequential loop it speeds up.
+    Built for corpus-scale batch analysis and the serve daemon:
+    per-binary tasks are embarrassingly parallel, each task is isolated
+    (an exception in one becomes a structured {!failure} record and
+    never aborts the batch), and results come back in {e submission
+    order}, so a parallel run is a drop-in replacement for the
+    sequential loop it speeds up.
+
+    Two entry points share the queue: {!map} (batch style — submit a
+    list, block for all results) and {!submit} (streaming style — one
+    task, a {!future} to poll or await, and an optional cooperative
+    cancellation hook checked before the task runs, which is how the
+    serve daemon sheds queued requests whose deadline already passed
+    without poisoning a worker).
 
     Tasks must not share mutable state: the observability layer is
     per-domain ({!Fetch_obs.Trace}'s domain-safety contract), and each
@@ -14,10 +22,10 @@
 
 type t
 
-(** One task's captured exception: the task's submission index, the
-    caller-supplied label (for attribution in reports), the printed
-    exception and the backtrace (possibly empty when backtrace recording
-    is off). *)
+(** One task's captured exception: the task's submission index (0 for
+    [submit]-style tasks), the caller-supplied label (for attribution in
+    reports), the printed exception and the backtrace (possibly empty
+    when backtrace recording is off). *)
 type failure = {
   f_index : int;
   f_label : string;
@@ -40,12 +48,43 @@ val default_domains : unit -> int
 
 (** Drain the queue, then stop and join every worker.  Idempotent.
     Outstanding [map] calls finish first (their tasks are already
-    queued); new [map] calls after shutdown raise. *)
+    queued); new [map]/[submit] calls after shutdown raise. *)
 val shutdown : t -> unit
 
 (** [with_pool ~domains f] is [f (create ~domains ())] with a guaranteed
     [shutdown], even when [f] raises. *)
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** {2 Streaming tasks} *)
+
+(** How one submitted task ended. *)
+type 'a outcome =
+  | Value of 'a  (** the task ran and returned *)
+  | Fail of failure  (** the task ran and raised *)
+  | Cancelled
+      (** the [cancel] hook returned [true] when a worker dequeued the
+          task; the task body never ran *)
+
+(** Handle on one submitted task. *)
+type 'a future
+
+(** [submit t ~cancel ~label f] enqueues [f] and returns immediately.
+    When a worker dequeues the task it first evaluates [cancel ()]
+    (default [fun () -> false]); [true] resolves the future as
+    {!Cancelled} without running [f] — the cooperative cancellation
+    hook.  [cancel] runs on the worker domain and must be fast and
+    non-raising (a raise counts as [false] and the task runs).  Raises
+    [Invalid_argument] after {!shutdown}. *)
+val submit :
+  t -> ?cancel:(unit -> bool) -> ?label:string -> (unit -> 'a) -> 'a future
+
+(** Non-blocking: the outcome if the task already finished. *)
+val poll : 'a future -> 'a outcome option
+
+(** Block until the task finishes. *)
+val await : 'a future -> 'a outcome
+
+(** {2 Batch maps} *)
 
 (** [map t ~label f xs] runs [f x] for every element on the pool and
     blocks until all complete.  The result list is in the order of [xs]

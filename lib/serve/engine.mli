@@ -1,0 +1,81 @@
+(** The serve daemon's core: an IO-free, ordered request engine.
+
+    The engine turns request {e lines} into response {e lines}.  IO
+    loops ({!Serve}) feed it one line per call and pull ready responses;
+    everything in between — parsing, the content-addressed {!Cache},
+    shedding, deadlines, draining analysis through a
+    {!Fetch_par.Pool} — lives here, which is what makes the whole
+    behaviour unit-testable without sockets or pipes.
+
+    Ordering: responses come back in request order, always.  Each
+    request occupies a slot in a FIFO; a slot resolves either
+    immediately (bad request, stats, shed, cache hit) or when its pool
+    task finishes, and {!poll_responses} only ever emits the resolved
+    prefix.
+
+    Threading contract: every function except the pool's own workers
+    runs on the {e dispatch} thread (whichever thread owns the engine).
+    Cache access and serve.* metering are confined to it, so nothing
+    here locks.
+
+    Shedding: when the number of in-flight pool tasks reaches
+    [queue_bound], new analyze requests resolve immediately as
+    [overloaded] — bounded memory, structured refusal, the 429 path.
+
+    Deadlines: a request's [deadline_ms] becomes an absolute monotonic
+    deadline.  It is checked by the pool's cooperative [cancel] hook
+    when a worker dequeues the task, and again between pipeline stages
+    on the worker; either way the slot resolves as [deadline_exceeded]
+    and the worker moves on unpoisoned. *)
+
+type config = {
+  queue_bound : int;  (** max in-flight pool tasks before shedding *)
+  cache_bytes : int;  (** {!Cache} byte budget *)
+  domains : int;  (** pool size *)
+  capture_reports : bool;
+      (** bracket each analysis task in [Trace.with_run] and keep the
+          report — feeds the Chrome-trace sink; cache hits never produce
+          a report, which is how the trace shows a warm hit ran no
+          pipeline *)
+  worker_gate : (unit -> unit) option;
+      (** test seam: run on the worker at task start, before any work —
+          tests park workers here to fill the queue deterministically *)
+}
+
+val default_config : config
+
+type t
+
+(** Creates the engine and its pool. *)
+val create : ?config:config -> unit -> t
+
+(** Feed one request line (without the newline).  Never raises on bad
+    input — malformed lines become [bad_request] responses. *)
+val submit_line : t -> string -> unit
+
+(** Push a pre-made [bad_request] response (the IO layer's oversized
+    line path, where there is no parseable line to submit). *)
+val submit_bad : t -> string -> unit
+
+(** Ready responses, in request order (possibly empty).  Non-blocking. *)
+val poll_responses : t -> string list
+
+(** Block until every submitted request has resolved; returns the
+    remaining responses in order. *)
+val flush : t -> string list
+
+(** Number of slots not yet emitted. *)
+val pending : t -> int
+
+(** The [stats] response body: request counters, queue state, latency
+    percentiles, cache stats.  Also answered in-band by an
+    [{"op":"stats"}] request. *)
+val stats_json : t -> string
+
+(** Per-task trace reports captured so far (newest last); empty unless
+    [capture_reports]. *)
+val reports : t -> Fetch_obs.Trace.report list
+
+(** Shut the pool down.  Pending tasks finish first ({!flush} remains
+    valid); further submissions raise. *)
+val shutdown : t -> unit

@@ -1,0 +1,148 @@
+(** Wire protocol — schema in the mli and DESIGN.md. *)
+
+module Json = Fetch_util.Json
+
+type error_code = Bad_request | Overloaded | Deadline_exceeded | Analysis_failed
+
+let error_code_label = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Analysis_failed -> "analysis_failed"
+
+type want = { w_starts : bool; w_eh : bool; w_diags : bool; w_findings : bool }
+
+let want_all = { w_starts = true; w_eh = true; w_diags = true; w_findings = true }
+let want_none = { w_starts = false; w_eh = false; w_diags = false; w_findings = false }
+
+type analyze = {
+  source : [ `Path of string | `Bytes of string ];
+  deadline_ms : int option;
+  want : want;
+}
+
+type op = Analyze of analyze | Stats
+
+type request = { id : Json.t option; op : op }
+
+(* Parsing is two-phase so a malformed request can still echo its id:
+   first recover [id] from whatever object shape arrived, then
+   validate the rest against that recovered id. *)
+
+let known_fields = [ "op"; "id"; "path"; "bytes_b64"; "deadline_ms"; "want" ]
+
+let parse_want id = function
+  | None -> Ok want_all
+  | Some (Json.List atoms) ->
+      let rec go acc = function
+        | [] -> Ok acc
+        | Json.Str "starts" :: rest -> go { acc with w_starts = true } rest
+        | Json.Str "eh" :: rest -> go { acc with w_eh = true } rest
+        | Json.Str "diags" :: rest -> go { acc with w_diags = true } rest
+        | Json.Str "findings" :: rest -> go { acc with w_findings = true } rest
+        | Json.Str other :: _ ->
+            Error (id, Printf.sprintf "unknown \"want\" member %S" other)
+        | _ -> Error (id, "\"want\" members must be strings")
+      in
+      go want_none atoms
+  | Some _ -> Error (id, "\"want\" must be an array of strings")
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (None, "invalid JSON: " ^ msg)
+  | Ok json -> (
+      match json with
+      | Json.Obj members -> (
+          let id = Json.member "id" json in
+          let fail msg = Error (id, msg) in
+          match
+            List.find_opt (fun (k, _) -> not (List.mem k known_fields)) members
+          with
+          | Some (k, _) -> fail (Printf.sprintf "unknown field %S" k)
+          | None -> (
+              match Json.member "op" json with
+              | Some (Json.Str "stats") -> Ok { id; op = Stats }
+              | Some (Json.Str "analyze") | None -> (
+                  let path = Json.member "path" json in
+                  let bytes = Json.member "bytes_b64" json in
+                  let source =
+                    match (path, bytes) with
+                    | Some (Json.Str p), None -> Ok (`Path p)
+                    | None, Some (Json.Str b) -> (
+                        match Fetch_util.B64.decode b with
+                        | Ok raw -> Ok (`Bytes raw)
+                        | Error e -> Error ("invalid \"bytes_b64\": " ^ e))
+                    | Some _, Some _ ->
+                        Error "\"path\" and \"bytes_b64\" are exclusive"
+                    | Some _, None -> Error "\"path\" must be a string"
+                    | None, Some _ -> Error "\"bytes_b64\" must be a string"
+                    | None, None -> Error "need \"path\" or \"bytes_b64\""
+                  in
+                  match source with
+                  | Error msg -> fail msg
+                  | Ok source -> (
+                      let deadline =
+                        match Json.member "deadline_ms" json with
+                        | None -> Ok None
+                        | Some j -> (
+                            match Json.to_int j with
+                            | Some ms when ms >= 0 -> Ok (Some ms)
+                            | _ ->
+                                Error
+                                  "\"deadline_ms\" must be a non-negative \
+                                   integer")
+                      in
+                      match deadline with
+                      | Error msg -> fail msg
+                      | Ok deadline_ms -> (
+                          match parse_want id (Json.member "want" json) with
+                          | Error e -> Error e
+                          | Ok want ->
+                              Ok { id; op = Analyze { source; deadline_ms; want } })))
+              | Some (Json.Str other) ->
+                  fail (Printf.sprintf "unknown op %S" other)
+              | Some _ -> fail "\"op\" must be a string"))
+      | _ -> Error (None, "request must be a JSON object"))
+
+(* Rendering.  Response bytes must be a pure function of
+   (id, want, summary payload): the warm path replays the exact cold
+   response, which the byte-identity tests pin down. *)
+
+let id_prefix = function
+  | None -> ""
+  | Some id -> Printf.sprintf "\"id\":%s," (Json.to_string id)
+
+(* The summary payload is itself JSON produced by [Summary.to_json];
+   re-parse and re-emit the selected members rather than splicing
+   substrings, so [want] filtering can't produce unbalanced output. *)
+let ok_response ~id ~want payload =
+  let fields =
+    match Json.parse payload with
+    | Ok (Json.Obj members) -> members
+    | _ -> []  (* unreachable for payloads we produce *)
+  in
+  let keep k =
+    match k with
+    | "starts" | "n_seeds" -> want.w_starts
+    | "eh_frame" -> want.w_eh
+    | "diags" -> want.w_diags
+    | "findings" -> want.w_findings
+    | _ -> true
+  in
+  let body =
+    fields
+    |> List.filter (fun (k, _) -> keep k)
+    |> List.map (fun (k, v) ->
+           Printf.sprintf "%s:%s" (Json.escape k) (Json.to_string v))
+    |> String.concat ","
+  in
+  Printf.sprintf "{%s\"status\":\"ok\"%s%s}" (id_prefix id)
+    (if body = "" then "" else ",")
+    body
+
+let error_response ~id ~code ~message =
+  Printf.sprintf "{%s\"status\":\"error\",\"code\":\"%s\",\"message\":%s}"
+    (id_prefix id) (error_code_label code) (Json.escape message)
+
+let stats_response ~id body =
+  Printf.sprintf "{%s\"status\":\"ok\",\"stats\":%s}" (id_prefix id) body

@@ -1,0 +1,227 @@
+(** Daemon IO loops — contract in the mli. *)
+
+type config = {
+  engine : Engine.config;
+  max_line_bytes : int;
+  stats_json_path : string option;
+  trace_chrome_path : string option;
+}
+
+let default_config =
+  {
+    engine = Engine.default_config;
+    max_line_bytes = 64 * 1024 * 1024;
+    stats_json_path = None;
+    trace_chrome_path = None;
+  }
+
+module Line_reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    max_line_bytes : int;
+    buf : Buffer.t;
+    chunk : Bytes.t;
+    mutable discarding : bool;  (* inside an over-bound line, pre-newline *)
+    mutable eof : bool;
+  }
+
+  let create ?(max_line_bytes = default_config.max_line_bytes) fd =
+    {
+      fd;
+      max_line_bytes = max 1 max_line_bytes;
+      buf = Buffer.create 4096;
+      chunk = Bytes.create 65536;
+      discarding = false;
+      eof = false;
+    }
+
+  (* Split the buffer on newlines, flagging lines the bound rejects.
+     The buffer retains only the unterminated tail — and when that tail
+     alone exceeds the bound we drop it eagerly (entering [discarding]),
+     so a never-terminated line costs bounded memory. *)
+  let drain t =
+    let data = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    let items = ref [] in
+    let n = String.length data in
+    let start = ref 0 in
+    (try
+       while true do
+         let nl = String.index_from data !start '\n' in
+         let line = String.sub data !start (nl - !start) in
+         (if t.discarding then begin
+            t.discarding <- false;
+            items := `Oversized :: !items
+          end
+          else if String.length line > t.max_line_bytes then
+            items := `Oversized :: !items
+          else items := `Line line :: !items);
+         start := nl + 1
+       done
+     with Not_found -> ());
+    let tail_len = n - !start in
+    if t.discarding then ()  (* still dropping: keep nothing *)
+    else if tail_len > t.max_line_bytes then t.discarding <- true
+    else Buffer.add_substring t.buf data !start tail_len;
+    List.rev !items
+
+  let step t =
+    if t.eof then [ `Eof ]
+    else
+      let n = Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) in
+      if n = 0 then begin
+        t.eof <- true;
+        let items = drain t in
+        let trailing =
+          if t.discarding then [ `Oversized ]
+          else if Buffer.length t.buf > 0 then begin
+            let l = Buffer.contents t.buf in
+            Buffer.clear t.buf;
+            [ `Line l ]
+          end
+          else []
+        in
+        items @ trailing @ [ `Eof ]
+      end
+      else begin
+        if t.discarding then begin
+          (* scan the raw chunk for the terminating newline; buffer only
+             what follows it *)
+          match Bytes.index_from_opt t.chunk 0 '\n' with
+          | Some i when i < n ->
+              Buffer.add_subbytes t.buf t.chunk i (n - i)
+              (* the '\n' itself re-enters [drain], closing the discard *)
+          | _ -> ()
+        end
+        else Buffer.add_subbytes t.buf t.chunk 0 n;
+        drain t
+      end
+end
+
+let oversized_msg cfg =
+  Printf.sprintf "request line exceeds %d bytes" cfg.max_line_bytes
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+(* Best-effort write: a vanished socket peer must not kill the daemon
+   (the engine's work is already metered and cached either way). *)
+let write_response fd s =
+  match write_all fd (s ^ "\n") with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
+let emit engine fd =
+  List.for_all (fun r -> write_response fd r) (Engine.poll_responses engine)
+
+let feed engine cfg items =
+  List.iter
+    (function
+      | `Line l -> Engine.submit_line engine l
+      | `Oversized -> Engine.submit_bad engine (oversized_msg cfg)
+      | `Eof -> ())
+    items
+
+(* [select] that treats signal interruption as an empty wake-up: a
+   handler (e.g. the CLI's SIGTERM stop flag) must bounce us back to
+   the loop condition, not unwind the daemon through an exception. *)
+let select_read fds timeout =
+  match Unix.select fds [] [] timeout with
+  | readable, _, _ -> readable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+(* One session: pump [rd] lines into the engine, responses out to [wr],
+   until EOF; then flush the in-flight tail.  Returns false when the
+   peer disappeared mid-write. *)
+let session ?(idle_timeout = -1.0) ?(should_stop = fun () -> false) engine cfg
+    rd wr =
+  let reader = Line_reader.create ~max_line_bytes:cfg.max_line_bytes rd in
+  let alive = ref true in
+  let eof = ref false in
+  while (not !eof) && !alive && not (should_stop ()) do
+    (* block for input when idle (socket sessions tick at [idle_timeout]
+       so a stop request interrupts an idle connection); tick fast while
+       responses are in flight *)
+    let timeout = if Engine.pending engine > 0 then 0.005 else idle_timeout in
+    let readable = select_read [ rd ] timeout in
+    if readable <> [] then begin
+      let items = Line_reader.step reader in
+      if List.mem `Eof items then eof := true;
+      feed engine cfg items
+    end;
+    alive := emit engine wr
+  done;
+  if !alive then alive := List.for_all (write_response wr) (Engine.flush engine)
+  else ignore (Engine.flush engine);
+  !alive
+
+let dump_outputs engine cfg report =
+  (match cfg.stats_json_path with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Engine.stats_json engine);
+          Out_channel.output_char oc '\n')
+  | None -> ());
+  match cfg.trace_chrome_path with
+  | Some path ->
+      let merged =
+        Fetch_obs.Trace.merge (report :: Engine.reports engine)
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Fetch_obs.Report.chrome_trace merged))
+  | None -> ()
+
+(* Bracket the dispatch loop in a trace run so the serve.* counters and
+   histograms the engine mirrors land in the Chrome trace / final
+   report alongside the per-task reports. *)
+let with_dispatch_run engine cfg f =
+  let finally_dump report =
+    dump_outputs engine cfg report;
+    Engine.shutdown engine
+  in
+  match Fetch_obs.Trace.with_run f with
+  | (), report -> finally_dump report
+  | exception e ->
+      let report = { Fetch_obs.Trace.spans = []; counters = []; histograms = [] } in
+      finally_dump report;
+      raise e
+
+let run_stdin ?(config = default_config) rd wr =
+  let engine = Engine.create ~config:config.engine () in
+  with_dispatch_run engine config (fun () -> ignore (session engine config rd wr))
+
+let run_socket ?(config = default_config) ?(should_stop = fun () -> false) path =
+  (if Sys.file_exists path then
+     match (Unix.stat path).st_kind with
+     | Unix.S_SOCK -> Unix.unlink path
+     | _ -> invalid_arg (Printf.sprintf "%s exists and is not a socket" path));
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 8;
+  let engine = Engine.create ~config:config.engine () in
+  let cleanup () =
+    (try Unix.close srv with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      with_dispatch_run engine config (fun () ->
+          while not (should_stop ()) do
+            (* wake periodically to re-check should_stop *)
+            let readable = select_read [ srv ] 0.2 in
+            if readable <> [] then begin
+              let client, _ = Unix.accept srv in
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close client with Unix.Unix_error _ -> ())
+                (fun () ->
+                  ignore
+                    (session ~idle_timeout:0.2 ~should_stop engine config
+                       client client))
+            end
+          done))

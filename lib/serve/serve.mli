@@ -1,0 +1,54 @@
+(** IO loops for the serve daemon: stdin-JSONL and Unix-domain socket.
+
+    Both loops are thin drivers over {!Engine} — they own no protocol
+    logic.  Each reads request lines through a bounded line reader
+    (lines over [max_line_bytes] are discarded up to the next newline
+    and answered with a structured [bad_request], so one hostile line
+    can neither kill the daemon nor desynchronise the stream), feeds
+    the engine, and writes back the ordered responses as they resolve.
+
+    - {!run_stdin} serves one session: read fd → write fd (normally
+      stdin → stdout), until EOF on the read side, then flushes every
+      in-flight response before returning.
+    - {!run_socket} listens on a Unix-domain socket path and serves
+      connections {e one at a time} (the engine — and its cache — lives
+      across connections, which is the point of the daemon).  Returns
+      when [should_stop ()] becomes true, polled between IO waits.
+
+    On return both entry points write the final stats JSON and the
+    Chrome trace (dispatch-loop run merged with the per-task reports
+    captured by the engine) to the configured paths. *)
+
+type config = {
+  engine : Engine.config;
+  max_line_bytes : int;  (** longer request lines are shed as bad_request *)
+  stats_json_path : string option;  (** final {!Engine.stats_json} dump *)
+  trace_chrome_path : string option;  (** merged Chrome trace dump *)
+}
+
+val default_config : config
+
+(** Serve one JSONL session across a pair of file descriptors. *)
+val run_stdin : ?config:config -> Unix.file_descr -> Unix.file_descr -> unit
+
+(** Listen on [path] (unlinked first if it is a stale socket) and serve
+    connections sequentially until [should_stop ()].  Default
+    [should_stop] never stops. *)
+val run_socket : ?config:config -> ?should_stop:(unit -> bool) -> string -> unit
+
+(** {2 Exposed for tests} *)
+
+(** Bounded line reader over a file descriptor. *)
+module Line_reader : sig
+  type t
+
+  val create : ?max_line_bytes:int -> Unix.file_descr -> t
+
+  (** One read(2) plus buffer scan.  Returns the completed items, in
+      order: [`Line l] for each full line (newline stripped, length
+      within bound) and [`Oversized] for each discarded over-bound
+      line; [`Eof] once after the peer closes (any unterminated trailing
+      bytes are delivered first, as a line).  Blocks only if the fd
+      would block — callers [select] first. *)
+  val step : t -> [ `Line of string | `Oversized | `Eof ] list
+end

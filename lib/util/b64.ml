@@ -1,0 +1,95 @@
+(** RFC 4648 base64 — contract in the mli. *)
+
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit b = Buffer.add_char out alphabet.[b land 0x3f] in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    let b0 = byte !i and b1 = byte (!i + 1) and b2 = byte (!i + 2) in
+    emit (b0 lsr 2);
+    emit ((b0 lsl 4) lor (b1 lsr 4));
+    emit ((b1 lsl 2) lor (b2 lsr 6));
+    emit b2;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = byte !i in
+      emit (b0 lsr 2);
+      emit (b0 lsl 4);
+      Buffer.add_string out "=="
+  | 2 ->
+      let b0 = byte !i and b1 = byte (!i + 1) in
+      emit (b0 lsr 2);
+      emit ((b0 lsl 4) lor (b1 lsr 4));
+      emit (b1 lsl 2);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+(* Inverse alphabet: -1 for bytes outside it. *)
+let inv =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+  t
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then
+    Error (Printf.sprintf "base64 length %d is not a multiple of 4" n)
+  else if n = 0 then Ok ""
+  else begin
+    let pad =
+      if s.[n - 1] <> '=' then 0 else if s.[n - 2] = '=' then 2 else 1
+    in
+    let out = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    (try
+       let i = ref 0 in
+       while !i < n do
+         let digit k =
+           let c = s.[!i + k] in
+           (* '=' is only legal as the final padding *)
+           if c = '=' && !i + k >= n - pad then 0
+           else
+             let v = inv.(Char.code c) in
+             if v < 0 || c = '=' then begin
+               err :=
+                 Some
+                   (Printf.sprintf "invalid base64 byte %C at offset %d" c
+                      (!i + k));
+               raise Exit
+             end
+             else v
+         in
+         let d0 = digit 0 and d1 = digit 1 and d2 = digit 2 and d3 = digit 3 in
+         let triple = (d0 lsl 18) lor (d1 lsl 12) lor (d2 lsl 6) lor d3 in
+         Buffer.add_char out (Char.chr ((triple lsr 16) land 0xff));
+         if not (!i + 4 >= n && pad >= 2) then
+           Buffer.add_char out (Char.chr ((triple lsr 8) land 0xff));
+         if not (!i + 4 >= n && pad >= 1) then
+           Buffer.add_char out (Char.chr (triple land 0xff));
+         i := !i + 4
+       done
+     with Exit -> ());
+    match !err with
+    | Some e -> Error e
+    | None ->
+        (* canonical-form check: the dropped bits of the last group must
+           be zero, so decode ∘ encode is the identity and no two inputs
+           decode to the same bytes *)
+        let canonical =
+          pad = 0
+          ||
+          let last v bits = v land ((1 lsl bits) - 1) = 0 in
+          if pad = 1 then last inv.(Char.code s.[n - 2]) 2
+          else last inv.(Char.code s.[n - 3]) 4
+        in
+        if canonical then Ok (Buffer.contents out)
+        else Error "non-canonical base64 padding bits"
+  end

@@ -1,0 +1,14 @@
+(** RFC 4648 base64 (standard alphabet, [=] padding).
+
+    The serve protocol carries whole binaries inline in JSON lines;
+    base64 keeps them printable without a third-party dependency.
+    [decode] is total: any input that is not canonical base64 — bad
+    characters, bad length, data after padding — is an [Error], never an
+    exception. *)
+
+val encode : string -> string
+
+(** Strict inverse of {!encode}: requires canonical padding and rejects
+    whitespace and non-alphabet bytes (with the offending position in
+    the message). *)
+val decode : string -> (string, string) result

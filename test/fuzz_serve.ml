@@ -1,0 +1,189 @@
+(* Deterministic mutation fuzzer for the serve daemon's request path.
+
+   Takes valid request lines (analyze-by-path, analyze-by-inline-bytes,
+   stats, narrow `want`s), applies byte flips, truncations, splices,
+   duplications and concatenations driven by Fetch_util.Prng, feeds
+   every mutant to a live Engine, and asserts on every iteration:
+
+     1. totality   — submit_line never raises and never kills the
+        engine; a later well-formed request on the same engine still
+        answers ok;
+     2. one-for-one — every submitted line produces exactly one
+        response, in order;
+     3. structure  — every response is one parseable JSON object with
+        status ok, or status error and a documented code
+        (bad_request / overloaded / deadline_exceeded /
+        analysis_failed).
+
+   Runs as part of `dune runtest` and as a CI smoke job.  Failures
+   print the seed, iteration and the offending line, to be checked in
+   as regression fixtures in test_serve.ml. *)
+
+open Fetch_util
+module Engine = Fetch_serve.Engine
+
+let iters = ref 500
+let seed = ref 0x5e12e
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--iters" :: n :: rest ->
+        iters := int_of_string n;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "usage: fuzz_serve [--iters N] [--seed N] (got %S)\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ---- base corpus: realistic request lines to mutate ----
+
+   No line carries a decodable ELF: a mutant that stays a well-formed
+   request must fail fast (missing file / junk bytes), keeping the fuzz
+   loop cheap while still driving the full parse-and-classify path. *)
+
+let base_lines =
+  [
+    {|{"id":1,"path":"/nonexistent/fuzz-serve"}|};
+    {|{"id":"r2","op":"analyze","bytes_b64":"bm90IGFuIGVsZg==","deadline_ms":50}|};
+    {|{"op":"stats","id":[1,2]}|};
+    {|{"id":{"k":3},"path":"/nonexistent/fuzz-serve","want":["starts","diags"]}|};
+    {|{"bytes_b64":""}|};
+  ]
+
+let mutate rng line =
+  let b = Bytes.of_string line in
+  let n = Bytes.length b in
+  match Prng.int rng 6 with
+  | 0 when n > 0 ->
+      (* flip 1-4 random bytes *)
+      for _ = 1 to Prng.range rng 1 4 do
+        let i = Prng.int rng n in
+        Bytes.set b i (Char.chr (Prng.int rng 256))
+      done;
+      Bytes.to_string b
+  | 1 when n > 0 ->
+      (* truncate at a random point *)
+      Bytes.sub_string b 0 (Prng.int rng n)
+  | 2 when n > 0 ->
+      (* splice a run of random printable bytes *)
+      let start = Prng.int rng n in
+      let len = min (Prng.range rng 1 8) (n - start) in
+      for i = start to start + len - 1 do
+        Bytes.set b i (Char.chr (32 + Prng.int rng 95))
+      done;
+      Bytes.to_string b
+  | 3 ->
+      (* duplicate a slice into the middle (unbalances nesting) *)
+      if n < 2 then line
+      else
+        let lo = Prng.int rng (n - 1) in
+        let len = min (Prng.range rng 1 10) (n - lo) in
+        String.sub line 0 lo ^ String.sub line lo len ^ String.sub line lo (n - lo)
+  | 4 ->
+      (* concatenate two bases (trailing garbage after one value) *)
+      line ^ Prng.choice_list rng base_lines
+  | _ ->
+      (* single bit flip *)
+      if n = 0 then line
+      else begin
+        let i = Prng.int rng n in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)));
+        Bytes.to_string b
+      end
+
+let known_codes =
+  [ "bad_request"; "overloaded"; "deadline_exceeded"; "analysis_failed" ]
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %s\n" msg)
+    fmt
+
+(* Every response line must be one JSON object with a documented
+   status/code. *)
+let check_response ~what line =
+  match Json.parse line with
+  | Error e -> fail "[%s] unparseable response %S: %s" what line e
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      match str "status" with
+      | Some "ok" -> ()
+      | Some "error" ->
+          (match str "code" with
+          | Some c when List.mem c known_codes -> ()
+          | other ->
+              fail "[%s] undocumented error code %s in %S" what
+                (match other with Some c -> c | None -> "<none>")
+                line);
+          if str "message" = None then
+            fail "[%s] error without message: %S" what line
+      | _ -> fail "[%s] response without ok/error status: %S" what line)
+
+let () =
+  let rng = Prng.create !seed in
+  let engine =
+    Engine.create
+      ~config:
+        {
+          Engine.default_config with
+          domains = 1;
+          cache_bytes = 1024 * 1024;
+          queue_bound = 8;
+        }
+      ()
+  in
+  (* mutants go in per-iteration batches of 1-4 lines; the engine must
+     answer each batch one-for-one, in order *)
+  let i = ref 1 in
+  while !i <= !iters do
+    let batch = Prng.range rng 1 4 in
+    let lines =
+      List.init batch (fun _ -> mutate rng (Prng.choice_list rng base_lines))
+    in
+    List.iter (fun l -> Engine.submit_line engine l) lines;
+    let responses = Engine.flush engine in
+    if List.length responses <> batch then
+      fail "[iter %d] %d lines got %d responses" !i batch (List.length responses)
+    else
+      List.iter
+        (fun r -> check_response ~what:(Printf.sprintf "iter %d" !i) r)
+        responses;
+    i := !i + batch
+  done;
+  (* after the storm, a healthy request on the same engine still works *)
+  let profile =
+    Fetch_synth.Profile.make Fetch_synth.Profile.Synthgcc Fetch_synth.Profile.O2
+  in
+  let raw =
+    (Fetch_synth.Link.build_random ~profile ~seed:7
+       { Fetch_synth.Gen.default_spec with n_funcs = 8 })
+      .raw
+  in
+  Engine.submit_line engine
+    (Printf.sprintf {|{"id":"post","bytes_b64":%s}|} (Json.escape (B64.encode raw)));
+  (match Engine.flush engine with
+  | [ r ] -> (
+      check_response ~what:"post-storm" r;
+      match Json.parse r with
+      | Ok j
+        when Option.bind (Json.member "status" j) Json.to_str = Some "ok" ->
+          ()
+      | _ -> fail "[post-storm] healthy request no longer analyzes: %S" r)
+  | rs -> fail "[post-storm] expected 1 response, got %d" (List.length rs));
+  Engine.shutdown engine;
+  if !failures > 0 then begin
+    Printf.printf "fuzz_serve: %d FAILURES (seed %d, %d iters)\n" !failures
+      !seed !iters;
+    exit 1
+  end
+  else Printf.printf "fuzz_serve: OK — %d iterations, seed %d\n" !iters !seed

@@ -17,4 +17,5 @@ let () =
       ("eval", Test_eval.suite);
       ("adversarial", Test_adversarial.suite);
       ("pe", Test_pe.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -214,6 +214,91 @@ let () =
   check "rules: --stats shows facts.* counters" (contains "facts.derived");
   check "rules: --stats shows the facts.eval span" (contains "facts.eval");
 
+  (* ---- explain: a garbage address must exit 2 with usage, not crash ---- *)
+  List.iter
+    (fun addr ->
+      let code, _ = run (Printf.sprintf "explain %s %s" clean addr) in
+      check (Printf.sprintf "explain rejects %s with exit 2" addr) (code = 2))
+    [ "zzz"; "0xgg"; "''" ];
+  let code_ok, _ = run (Printf.sprintf "explain %s 0x401000" clean) in
+  check "explain accepts a hex address" (code_ok = 0);
+
+  (* ---- serve: one stdin session through the real executable ---- *)
+  let reqs = Filename.temp_file "fetch_cli" ".jsonl" in
+  let oc = open_out_bin reqs in
+  Printf.fprintf oc
+    {|{"id":1,"path":%s}
+{"id":2,"path":%s,"want":["starts"]}
+not even json
+{"id":4,"path":"/nonexistent/fetch-cli-serve"}
+{"op":"stats","id":5}
+|}
+    (Fetch_util.Json.escape clean)
+    (Fetch_util.Json.escape clean);
+  close_out oc;
+  let stats_out = Filename.temp_file "fetch_cli" ".stats" in
+  let code, serve_text =
+    run
+      (Printf.sprintf "serve --domains 2 --stats-json %s < %s"
+         (Filename.quote stats_out) (Filename.quote reqs))
+  in
+  check "serve session exits 0" (code = 0);
+  let responses = lines serve_text in
+  check "serve answers every line" (List.length responses = 5);
+  let field line k =
+    match Json.parse line with
+    | Ok j -> Json.member k j
+    | Error _ -> None
+  in
+  let statuses =
+    List.map (fun l -> Option.bind (field l "status") Json.to_str) responses
+  in
+  check "serve statuses in request order"
+    (statuses
+    = [ Some "ok"; Some "ok"; Some "error"; Some "error"; Some "ok" ]);
+  let ids = List.map (fun l -> Option.bind (field l "id") Json.to_int) responses in
+  check "serve echoes ids in order"
+    (ids = [ Some 1; Some 2; None; Some 4; Some 5 ]);
+  (match responses with
+  | _ :: narrow :: bad :: missing :: stats :: _ ->
+      check "serve want=starts drops findings" (field narrow "findings" = None);
+      check "serve malformed line is bad_request"
+        (Option.bind (field bad "code") Json.to_str = Some "bad_request");
+      check "serve unreadable path is analysis_failed"
+        (Option.bind (field missing "code") Json.to_str = Some "analysis_failed");
+      check "serve in-band stats counts requests"
+        (match
+           Option.bind (field stats "stats") (Json.member "requests")
+           |> Fun.flip Option.bind Json.to_int
+         with
+        | Some n -> n >= 4
+        | None -> false)
+  | _ -> check "serve responses have the expected shape" false);
+  let stats_text = read_file stats_out in
+  check "serve --stats-json writes a parseable snapshot on exit"
+    (match Json.parse (String.trim stats_text) with
+    | Ok j -> Json.member "cache" j <> None
+    | Error _ -> false);
+  (* an over-bound request line is answered, not fatal: the line is
+     discarded to its newline and the stream resumes *)
+  let oc = open_out_bin reqs in
+  Printf.fprintf oc "{\"id\":1,\"bytes_b64\":\"%s\"}\n{\"op\":\"stats\"}\n"
+    (String.make 4096 'A');
+  close_out oc;
+  let code, serve_text =
+    run (Printf.sprintf "serve --max-line-kb 1 < %s" (Filename.quote reqs))
+  in
+  check "serve survives an over-bound line" (code = 0);
+  (match lines serve_text with
+  | [ oversized; stats ] ->
+      check "over-bound line answered with bad_request"
+        (Option.bind (field oversized "code") Json.to_str = Some "bad_request");
+      check "stream resumes after the over-bound line"
+        (Option.bind (field stats "status") Json.to_str = Some "ok")
+  | rs -> check (Printf.sprintf "expected 2 responses, got %d" (List.length rs)) false);
+  Sys.remove reqs;
+  Sys.remove stats_out;
+
   Sys.remove clean;
   Sys.remove broken;
   Sys.remove warn;

@@ -160,9 +160,28 @@ let test_heights_driver_on_subset () =
   check Alcotest.bool "precision high" true (Metrics.precision !pr > 95.0);
   check Alcotest.bool "recall high" true (Metrics.recall !pr > 95.0)
 
+(* score_lists is the set-based replacement for the CLI's old quadratic
+   list-membership scoring: pin it to the naive definition *)
+let prop_score_lists_matches_naive =
+  let gen = QCheck.(pair (list (int_bound 64)) (list (int_bound 64))) in
+  QCheck.Test.make ~name:"score_lists matches the naive quadratic scorer"
+    ~count:200 gen (fun (truth, detected) ->
+      let m = Metrics.score_lists ~truth ~detected in
+      let dedup_sorted l = List.sort_uniq compare l in
+      let naive_fp =
+        dedup_sorted (List.filter (fun d -> not (List.mem d truth)) detected)
+      in
+      let naive_fn =
+        dedup_sorted (List.filter (fun t -> not (List.mem t detected)) truth)
+      in
+      m.fp = naive_fp && m.fn = naive_fn
+      && m.n_true = List.length (dedup_sorted truth)
+      && m.n_detected = List.length (dedup_sorted detected))
+
 let suite =
   [
     Alcotest.test_case "metrics scoring" `Quick test_metrics;
+    QCheck_alcotest.to_alcotest prop_score_lists_matches_naive;
     Alcotest.test_case "precision/recall" `Quick test_pre_rec;
     Alcotest.test_case "corpus determinism" `Quick test_corpus_deterministic;
     Alcotest.test_case "corpus counts" `Quick test_corpus_count;

@@ -221,9 +221,58 @@ let test_corpus_par_matches_fold () =
     (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
     "parallel corpus matches the sequential fold, in order" seq par
 
+(* --- streaming futures --- *)
+
+let test_pool_futures () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let ok = Pool.submit pool (fun () -> 6 * 7) in
+      let boom =
+        Pool.submit pool ~label:"boom" (fun () -> failwith "kaboom")
+      in
+      let dropped =
+        Pool.submit pool ~cancel:(fun () -> true) (fun () -> 99)
+      in
+      check Alcotest.int "await returns the value" 42
+        (match Pool.await ok with Pool.Value v -> v | _ -> -1);
+      (match Pool.await boom with
+      | Pool.Fail f ->
+          check Alcotest.string "failure keeps the label" "boom" f.f_label;
+          check Alcotest.bool "failure captures the exception" true
+            (String.length f.f_exn > 0)
+      | _ -> Alcotest.fail "raising task must resolve as Fail");
+      (match Pool.await dropped with
+      | Pool.Cancelled -> ()
+      | _ -> Alcotest.fail "cancel hook true must resolve as Cancelled");
+      (* poll converges to the awaited outcome *)
+      check Alcotest.bool "poll sees the resolved outcome" true
+        (Pool.poll ok = Some (Pool.Value 42)))
+
+let test_pool_future_map_mix () =
+  (* futures and batch maps share the queue without disturbing each
+     other's ordering *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      let futs = List.init 10 (fun i -> Pool.submit pool (fun () -> i + 1)) in
+      let mapped = Pool.map pool (fun i -> i * 2) (List.init 10 Fun.id) in
+      check
+        (Alcotest.list Alcotest.int)
+        "map results ordered"
+        (List.init 10 (fun i -> i * 2))
+        (List.map (function Ok v -> v | Error _ -> -1) mapped);
+      check
+        (Alcotest.list Alcotest.int)
+        "futures resolve to their own values"
+        (List.init 10 (fun i -> i + 1))
+        (List.map
+           (fun f -> match Pool.await f with Pool.Value v -> v | _ -> -1)
+           futs))
+
 let suite =
   [
     Alcotest.test_case "pool map ordering" `Quick test_pool_map_order;
+    Alcotest.test_case "pool futures: value/fail/cancel" `Quick
+      test_pool_futures;
+    Alcotest.test_case "pool futures alongside maps" `Quick
+      test_pool_future_map_mix;
     Alcotest.test_case "pool failure isolation" `Quick test_pool_failure_isolation;
     Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
     Alcotest.test_case "trace contexts are per-domain" `Quick

@@ -242,9 +242,48 @@ let test_json_parse () =
   check Alcotest.bool "escape roundtrips" true
     (Json.to_str (ok (Json.escape s)) = Some s)
 
+(* ---- base64 (the serve protocol's inline-bytes carrier) ---- *)
+
+let test_b64_vectors () =
+  (* RFC 4648 §10 test vectors, both directions *)
+  let vectors =
+    [
+      ("", ""); ("f", "Zg=="); ("fo", "Zm8="); ("foo", "Zm9v");
+      ("foob", "Zm9vYg=="); ("fooba", "Zm9vYmE="); ("foobar", "Zm9vYmFy");
+    ]
+  in
+  List.iter
+    (fun (plain, enc) ->
+      check Alcotest.string "encode" enc (B64.encode plain);
+      check Alcotest.bool "decode" true (B64.decode enc = Ok plain))
+    vectors
+
+let test_b64_rejects () =
+  let rejected s = match B64.decode s with Error _ -> true | Ok _ -> false in
+  List.iter
+    (fun s -> check Alcotest.bool (Printf.sprintf "rejects %S" s) true (rejected s))
+    [
+      "Zg";  (* missing padding *)
+      "Zg=";  (* short padding *)
+      "Zg===";  (* over-padded *)
+      "Z===";  (* padding can't start at position 1 *)
+      "Zm9v Yg==";  (* whitespace *)
+      "Zm9v\n";  (* trailing newline *)
+      "Zh==";  (* non-canonical: dropped bits not zero *)
+      "Zm9vYg==Zg==";  (* data after padding *)
+      "Zm9*";  (* non-alphabet byte *)
+    ]
+
+let prop_b64_roundtrip =
+  QCheck.Test.make ~name:"base64 roundtrip" ~count:500
+    QCheck.(string_gen_of_size Gen.(int_bound 200) Gen.char)
+    (fun s -> B64.decode (B64.encode s) = Ok s)
+
 let suite =
   [
     Alcotest.test_case "byte buf/cursor roundtrip" `Quick test_buf_roundtrip;
+    Alcotest.test_case "base64 rfc vectors" `Quick test_b64_vectors;
+    Alcotest.test_case "base64 strictness" `Quick test_b64_rejects;
     Alcotest.test_case "json parser" `Quick test_json_parse;
     Alcotest.test_case "byte buf patching" `Quick test_patch;
     Alcotest.test_case "cstring roundtrip" `Quick test_cstring;
@@ -259,6 +298,7 @@ let suite =
     Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
     Alcotest.test_case "prng weighted" `Quick test_prng_weighted;
     Alcotest.test_case "text table render" `Quick test_text_table;
+    qcheck prop_b64_roundtrip;
     qcheck prop_uleb;
     qcheck prop_sleb;
     qcheck prop_interval_find_consistent;
